@@ -1,0 +1,82 @@
+"""Ablation: the set-trie depth cap ``k`` (§4.2).
+
+The index caps node-label size at ``k`` to avoid exponential growth in
+the vocabulary; lookups of longer labels fall back to sound supersets.
+This ablation sweeps ``k`` and reports index size, build time and the
+candidate-set quality (average candidates per query — lower is better
+pruning), quantifying the paper's size/precision trade-off.
+"""
+
+import statistics
+import time
+from dataclasses import replace
+
+from repro.automata.ltl2ba import translate
+from repro.bench.harness import specs_to_formulas
+from repro.bench.reporting import format_table, write_report
+from repro.index.prefilter import PrefilterIndex
+from repro.ltl.ast import conj
+
+DEPTHS = (1, 2, 3)
+
+
+def test_ablation_index_depth(benchmark, datasets, bench_sizes, results_dir):
+    def experiment():
+        specs = datasets["medium_contracts"].generate(
+            max(30, bench_sizes["figure6_db_size"] // 2)
+        )
+        prepared = []
+        for spec in specs:
+            formula = conj(spec.clauses)
+            prepared.append((translate(formula), formula.variables()))
+        query_config = replace(
+            datasets["complex_queries"],
+            size=max(4, bench_sizes["queries_per_workload"] // 2),
+        )
+        queries = [
+            translate(q) for q in specs_to_formulas(query_config.generate())
+        ]
+
+        rows = []
+        candidate_sets: dict[int, list[frozenset]] = {}
+        for depth in DEPTHS:
+            start = time.perf_counter()
+            index = PrefilterIndex(depth=depth)
+            for i, (ba, vocabulary) in enumerate(prepared):
+                index.add_contract(i, ba, vocabulary)
+            build_seconds = time.perf_counter() - start
+
+            sets = [index.candidates(q) for q in queries]
+            candidate_sets[depth] = sets
+            rows.append((
+                depth,
+                index.num_nodes,
+                index.size_estimate(),
+                round(build_seconds * 1000, 1),
+                round(statistics.mean(len(s) for s in sets), 1),
+            ))
+        return rows, candidate_sets, len(prepared)
+
+    rows, candidate_sets, n_contracts = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    write_report(
+        results_dir / "ablation_index_depth.txt",
+        format_table(
+            ["depth k", "trie nodes", "size (entries)", "build (ms)",
+             "avg candidates"],
+            rows,
+            title=f"Ablation - set-trie depth cap "
+                  f"({n_contracts} medium contracts, complex queries)",
+        ),
+    )
+
+    # deeper tries are never less precise: candidate sets shrink (or stay)
+    for shallow, deep in zip(DEPTHS, DEPTHS[1:]):
+        for s_set, d_set in zip(candidate_sets[shallow],
+                                candidate_sets[deep]):
+            assert d_set <= s_set
+    # and never smaller in node count
+    node_counts = [row[1] for row in rows]
+    assert node_counts == sorted(node_counts)

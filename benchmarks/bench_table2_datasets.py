@@ -1,0 +1,81 @@
+"""Table 2: dataset statistics.
+
+Regenerates the paper's dataset-statistics table (sizes, pattern counts,
+BA state/transition averages and standard deviations) for the six
+generated datasets, and prints the paper's reported values next to ours
+for shape comparison.  Absolute values differ because our translator is
+not byte-identical to LTL2BA and the scaled datasets are smaller; the
+ordering simple < medium < complex is the reproduced shape.
+"""
+
+from repro.bench.reporting import format_table, write_report
+from repro.workload.datasets import dataset_statistics
+
+#: The paper's Table 2, for side-by-side reference.
+PAPER_TABLE2 = {
+    "Simple contracts": (3000, 5, 31.00, 34.73, 628.71, 1253.37),
+    "Medium contracts": (1000, 6, 41.82, 43.23, 964.69, 1628.66),
+    "Complex contracts": (1000, 7, 50.85, 47.5, 1291.63, 1904.82),
+    "Simple queries": (100, 1, 2.31, 1.41, 5.2, 5.4),
+    "Medium queries": (100, 2, 5.44, 4.81, 23.86, 33.18),
+    "Complex queries": (100, 3, 9.6, 11.11, 92.84, 203.42),
+}
+
+ORDER = [
+    "simple_contracts", "medium_contracts", "complex_contracts",
+    "simple_queries", "medium_queries", "complex_queries",
+]
+
+
+def test_table2_statistics(benchmark, results_dir, datasets, bench_sizes):
+    sample = bench_sizes["table2_sample"]
+
+    def experiment():
+        return {
+            key: dataset_statistics(datasets[key], sample_size=sample)
+            for key in ORDER
+        }
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for key in ORDER:
+        stats = measured[key]
+        paper = PAPER_TABLE2[stats.name]
+        rows.append(stats.row() + (
+            f"(paper: {paper[2]} / {paper[4]})",
+        ))
+    report = format_table(
+        ["dataset", "size", "#patterns", "states avg", "states stdev",
+         "trans avg", "trans stdev", "paper states/trans avg"],
+        rows,
+        title="Table 2 - dataset statistics",
+    )
+    write_report(results_dir / "table2.txt", report)
+
+    # Shape assertions: complexity must grow monotonically within each
+    # family, as it does in the paper's table.
+    contracts = [measured[k] for k in ORDER[:3]]
+    queries = [measured[k] for k in ORDER[3:]]
+    assert (
+        contracts[0].transitions_avg
+        < contracts[1].transitions_avg
+        < contracts[2].transitions_avg
+    )
+    assert (
+        queries[0].states_avg <= queries[1].states_avg <= queries[2].states_avg
+    )
+
+
+def test_benchmark_contract_translation(benchmark, datasets):
+    """The per-contract registration conversion the statistics rest on."""
+    from repro.automata.ltl2ba import translate
+    from repro.ltl.ast import conj
+
+    specs = datasets["simple_contracts"].generate(5)
+    formulas = [conj(s.clauses) for s in specs]
+
+    def translate_batch():
+        return [translate(f) for f in formulas]
+
+    automata = benchmark(translate_batch)
+    assert len(automata) == 5

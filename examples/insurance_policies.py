@@ -1,0 +1,104 @@
+"""Insurance-policy brokering: a second contract domain.
+
+The paper argues the approach generalizes "beyond web services and
+software, e.g. airline tickets and insurance policies" (§1).  This
+example models home-insurance policies whose fine print differs in how
+claims, premium increases, cancellations and renewals interact over
+time, and answers customer questions no attribute schema could encode:
+
+* "Can I file a second claim without the insurer cancelling me?"
+* "Can the premium rise even if I never file a claim?"
+* "After a cancellation, can I ever be reinstated?"
+
+Run with::
+
+    python examples/insurance_policies.py
+"""
+
+from repro.broker import AttributeFilter, ContractDatabase, le
+
+# Event vocabulary shared by all insurance contracts.
+#   claim          - the customer files a claim
+#   payout         - the insurer pays a claim
+#   premiumIncrease- the insurer raises the premium
+#   cancel         - the insurer cancels the policy
+#   renew          - the policy is renewed for another term
+#   reinstate      - a cancelled policy is reinstated
+
+COMMON = [
+    # a payout only ever follows a claim (p B q: every q is preceded by p)
+    "claim B payout",
+    # cancellation is terminal unless explicitly reinstated
+    "G(cancel -> ((!claim && !payout && !renew) W reinstate))",
+]
+
+db = ContractDatabase()
+
+db.register("BudgetShield Basic", COMMON + [
+    # one claim per policy lifetime; a claim triggers a premium increase
+    # and forfeits renewal
+    "G(claim -> X(!F claim))",
+    "G(claim -> F premiumIncrease)",
+    "G(claim -> !F renew)",
+    # the insurer may cancel at any time and never reinstates
+    "G(!reinstate)",
+], attributes={"premium": 40, "coverage": 100_000})
+
+db.register("HomeSafe Standard", COMMON + [
+    # at most two claims: after a claim, any further claim is the last
+    "G(claim -> X G(claim -> X(!F claim)))",
+    # premiums never rise without a preceding claim
+    "claim B premiumIncrease",
+    # cancellation only after a claim; reinstatement possible
+    "claim B cancel",
+], attributes={"premium": 75, "coverage": 250_000})
+
+db.register("Platinum Umbrella", COMMON + [
+    # unlimited claims, but every claim is eventually paid out
+    "G(claim -> F payout)",
+    # the insurer never cancels
+    "G(!cancel)",
+    # premiums never increase
+    "G(!premiumIncrease)",
+], attributes={"premium": 190, "coverage": 1_000_000})
+
+
+def ask(question: str, ltl: str, attribute_filter=None):
+    result = db.query(ltl, attribute_filter or AttributeFilter())
+    print(f"\n{question}")
+    print(f"  LTL    : {ltl}")
+    print(f"  matches: {list(result.contract_names) or '(none)'}")
+    return set(result.contract_names)
+
+
+print(f"registered {len(db)} insurance policies")
+
+two_claims = ask(
+    "Which policies let me file two claims (no cancellation in between)?",
+    "F(claim && X F claim)",
+)
+assert two_claims == {"HomeSafe Standard", "Platinum Umbrella"}
+
+silent_increase = ask(
+    "Under which policies can my premium rise although I never claim?",
+    "G(!claim) && F premiumIncrease",
+)
+assert silent_increase == {"BudgetShield Basic"}
+
+reinstatement = ask(
+    "Where can a cancelled policy come back to life?",
+    "F(cancel && F reinstate)",
+)
+assert reinstatement == {"HomeSafe Standard"}
+
+guaranteed_payout = ask(
+    "Affordable policies (premium <= 100) where a claim can be followed "
+    "by a payout and a renewal?",
+    "F(claim && F(payout && F renew))",
+    AttributeFilter.where(le("premium", 100)),
+)
+assert guaranteed_payout == {"HomeSafe Standard"}
+
+print("\nNote how BudgetShield never matches claim-heavy questions: its "
+      "one-claim clause and the underspecified 'reinstate' event exclude "
+      "it exactly as Definition 1 prescribes.")

@@ -1,0 +1,85 @@
+"""Synthetic-workload exploration: the §7 experiments in miniature.
+
+Generates a small contract database and query workload with the Dwyer
+pattern generator (§7.2), then shows what each optimization contributes:
+index pruning rates, projection sizes, and scan-versus-optimized timing.
+
+Run with::
+
+    python examples/synthetic_workload.py
+"""
+
+import statistics
+
+from repro.bench.harness import build_database, specs_to_formulas
+from repro.bench.reporting import format_table
+from repro.broker.database import BrokerConfig
+from repro.workload.generator import WorkloadGenerator
+
+NUM_CONTRACTS = 60
+CONTRACT_PATTERNS = 3
+NUM_QUERIES = 10
+VOCABULARY = 10
+
+print(f"generating {NUM_CONTRACTS} contracts "
+      f"({CONTRACT_PATTERNS} clauses each) over {VOCABULARY} events ...")
+generator = WorkloadGenerator(vocabulary_size=VOCABULARY, seed=42)
+contracts = generator.generate_specs(NUM_CONTRACTS, CONTRACT_PATTERNS)
+queries = specs_to_formulas(generator.generate_specs(NUM_QUERIES, 1))
+
+db = build_database(contracts, BrokerConfig())
+stats = db.database_stats()
+print(f"database: {stats['contracts']} contracts, "
+      f"avg {stats['states_avg']:.1f} states / "
+      f"{stats['transitions_avg']:.1f} transitions per BA, "
+      f"{stats['index_nodes']} index nodes")
+
+reg = db.registration_stats
+print(f"registration: translate {reg.translation_seconds:.2f}s, "
+      f"index {reg.prefilter_seconds:.2f}s, "
+      f"projections {reg.projection_seconds:.2f}s")
+
+# Warm the lazily materialized projection quotients first: the paper
+# precomputes its simplified BAs at registration time, so steady-state
+# is the comparable regime.
+for query in queries:
+    db.query(query)
+
+rows = []
+speedups = []
+for i, query in enumerate(queries):
+    scan = db.query(query, use_prefilter=False, use_projections=False)
+    fast = db.query(query, use_prefilter=True, use_projections=True)
+    assert scan.contract_ids == fast.contract_ids
+    speedup = max(scan.stats.total_seconds, 1e-9) / max(
+        fast.stats.total_seconds, 1e-9
+    )
+    speedups.append(speedup)
+    rows.append((
+        f"q{i}",
+        len(fast.contract_ids),
+        fast.stats.candidates,
+        f"{fast.stats.pruning_ratio:.0%}",
+        round(scan.stats.total_seconds * 1000, 1),
+        round(fast.stats.total_seconds * 1000, 1),
+        round(speedup, 1),
+    ))
+
+print()
+print(format_table(
+    ["query", "matches", "candidates", "pruned", "scan ms",
+     "optimized ms", "speedup"],
+    rows,
+    title="scan vs. optimized evaluation",
+))
+print(f"\naverage speedup: {statistics.mean(speedups):.1f}x "
+      f"(the paper reports growing speedups as databases get larger)")
+
+# How much do the precomputed projections shrink the checked automata?
+sample = next(db.contracts())
+store = sample.projections
+print(f"\nprojection store of '{sample.name}': "
+      f"{store.num_subsets} literal subsets -> "
+      f"{store.num_distinct_partitions} distinct partitions "
+      f"({store.num_distinct_partitions / store.num_subsets:.0%}; "
+      f"the paper observed ~5% on its larger contracts)")

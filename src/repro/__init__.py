@@ -1,0 +1,59 @@
+"""repro — a full reproduction of *"Querying contract databases based on
+temporal behavior"* (Damaggio, Deutsch, Zhou; SIGMOD 2011).
+
+The library implements a contract broker in which service contracts are
+both specified and queried through their temporal behavior, expressed as
+declarative LTL clauses over a common event vocabulary:
+
+* :mod:`repro.ltl` — LTL ASTs, parser, semantics, Dwyer pattern library;
+* :mod:`repro.automata` — Büchi automata and an LTL2BA-style translator;
+* :mod:`repro.core` — the permission semantics and Algorithm 2;
+* :mod:`repro.index` — the prefiltering index (§4);
+* :mod:`repro.projection` — the bisimulation optimization (§5);
+* :mod:`repro.broker` — the end-to-end contract database;
+* :mod:`repro.workload` — the synthetic workload generator (§7.2);
+* :mod:`repro.bench` — the harness regenerating the paper's tables and
+  figures.
+
+Thirty-second tour::
+
+    from repro import ContractDatabase
+
+    db = ContractDatabase()
+    db.register("Ticket A", [
+        "G(dateChange -> !F refund)",       # no refund after a change
+    ])
+    result = db.query("F(missedFlight && F(refund || dateChange))")
+    print(result.contract_names)
+"""
+
+from .broker import (
+    AttributeFilter,
+    BrokerConfig,
+    Contract,
+    ContractDatabase,
+    ContractSpec,
+    QueryResult,
+)
+from .core import find_witness, permits
+from .errors import ReproError
+from .ltl import Formula, Run, parse, satisfies
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeFilter",
+    "BrokerConfig",
+    "Contract",
+    "ContractDatabase",
+    "ContractSpec",
+    "QueryResult",
+    "find_witness",
+    "permits",
+    "ReproError",
+    "Formula",
+    "Run",
+    "parse",
+    "satisfies",
+    "__version__",
+]

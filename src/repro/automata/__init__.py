@@ -1,0 +1,109 @@
+"""Büchi automata: labels, data structure, LTL translation, reduction.
+
+The data model of the broker (§2.3): contracts and queries are stored and
+checked as Büchi automata whose transition labels are conjunctions of
+event literals.
+
+Typical use::
+
+    from repro.automata import translate
+    from repro.ltl import parse
+
+    ba = translate(parse("G(dateChange -> !F refund)"))
+    ba.accepts(run)
+"""
+
+from .bisim import (
+    bisimulation_partition,
+    blocks_of,
+    partition_signature,
+    quotient,
+    quotient_by_bisimulation,
+)
+from .buchi import BuchiAutomaton, BuchiBuilder, Transition
+from .gba import GeneralizedBuchi
+from .hoa import from_hoa, to_hoa
+from .labels import (
+    TRUE_LABEL,
+    Label,
+    Literal,
+    compatible,
+    label_from_formula,
+    label_to_formula,
+    neg,
+    pos,
+)
+from .language import enumerate_runs, example_behaviors
+from .ltl2ba import DEFAULT_STATE_BUDGET, translate, translate_text
+from .product import intersection, union
+from .reduce import (
+    empty_automaton,
+    merge_duplicate_transitions,
+    reduce_automaton,
+    remove_dead,
+    remove_unreachable,
+)
+from .simulation import (
+    direct_simulation,
+    prune_dominated_transitions,
+    quotient_by_simulation,
+    reduce_with_simulation,
+)
+from .serialize import (
+    automaton_from_dict,
+    automaton_to_dict,
+    dumps,
+    load,
+    load_many,
+    loads,
+    save,
+    save_many,
+    to_dot,
+)
+
+__all__ = [
+    "BuchiAutomaton",
+    "BuchiBuilder",
+    "Transition",
+    "GeneralizedBuchi",
+    "from_hoa",
+    "to_hoa",
+    "TRUE_LABEL",
+    "Label",
+    "Literal",
+    "compatible",
+    "label_from_formula",
+    "label_to_formula",
+    "neg",
+    "pos",
+    "DEFAULT_STATE_BUDGET",
+    "translate",
+    "translate_text",
+    "enumerate_runs",
+    "example_behaviors",
+    "intersection",
+    "union",
+    "empty_automaton",
+    "merge_duplicate_transitions",
+    "reduce_automaton",
+    "remove_dead",
+    "remove_unreachable",
+    "bisimulation_partition",
+    "blocks_of",
+    "partition_signature",
+    "quotient",
+    "quotient_by_bisimulation",
+    "automaton_from_dict",
+    "automaton_to_dict",
+    "dumps",
+    "load",
+    "load_many",
+    "loads",
+    "save",
+    "save_many",
+    "to_dot",
+    "direct_simulation",
+    "prune_dominated_transitions",
+    "quotient_by_simulation",
+    "reduce_with_simulation",
+]

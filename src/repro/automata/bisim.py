@@ -1,0 +1,148 @@
+"""Bisimulation partition refinement and quotient automata.
+
+This is the engine behind the paper's §5 optimization: collapsing
+bisimilar states of (projected) contract BAs yields smaller automata that
+are *equivalent* for permission checking (Theorems 8 and 9).  It is also
+reused as a generic state-reduction pass after LTL translation.
+
+Definition 9 of the paper: states ``a ~ b`` iff
+
+1. ``a`` is final iff ``b`` is final, and
+2. for every edge ``a --λ--> a'`` there is ``b --λ--> b'`` with
+   ``a' ~ b'``, and vice versa.
+
+The coarsest such relation is computed by *signature refinement*: start
+from the {final, non-final} partition (possibly pre-refined by a caller-
+supplied partition — see :func:`bisimulation_partition`'s ``seed``) and
+repeatedly split blocks by the multiset of ``(label, successor block)``
+pairs until stable.  Seeding is what makes the all-subsets projection
+computation of §5.3 cheap: by Theorem 3 the partition for a literal set
+``L' ⊇ L`` refines the one for ``L``, so refinement can resume from the
+parent's partition instead of restarting from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from .buchi import BuchiAutomaton, Transition, _state_key
+from .labels import Label
+
+State = Hashable
+
+#: A partition is a mapping from state to block id; block ids are dense
+#: integers but carry no meaning beyond identity.
+Partition = dict
+
+
+def initial_partition(ba: BuchiAutomaton) -> Partition:
+    """The {final, non-final} split (point 1 of Definition 9)."""
+    out: Partition = {}
+    for state in ba.states:
+        out[state] = 1 if state in ba.final else 0
+    return out
+
+
+def refine_once(ba: BuchiAutomaton, partition: Partition) -> Partition:
+    """One global signature-splitting round; returns a (possibly) finer
+    partition with freshly numbered blocks."""
+    signatures: dict[State, tuple] = {}
+    for state in ba.states:
+        signature = frozenset(
+            (label, partition[dst]) for label, dst in ba.successors(state)
+        )
+        signatures[state] = (partition[state], signature)
+    renumber: dict[tuple, int] = {}
+    out: Partition = {}
+    for state in sorted(ba.states, key=_state_key):
+        key = signatures[state]
+        block = renumber.get(key)
+        if block is None:
+            block = len(renumber)
+            renumber[key] = block
+        out[state] = block
+    return out
+
+
+def bisimulation_partition(
+    ba: BuchiAutomaton,
+    seed: Partition | None = None,
+) -> Partition:
+    """The coarsest bisimulation partition of ``ba`` (Definition 9).
+
+    Args:
+        ba: the automaton.
+        seed: an optional partition known to be *coarser* than (or equal
+            to) the target — typically the partition of a smaller literal
+            projection (Theorem 3).  Refinement resumes from it, saving
+            the early rounds.  It is intersected with the final/non-final
+            split, so a caller cannot accidentally violate point 1.
+    """
+    current = initial_partition(ba)
+    if seed is not None:
+        # Intersect the seed with the base split: block identity becomes
+        # the pair (seed block, final flag).
+        renumber: dict[tuple, int] = {}
+        merged: Partition = {}
+        for state in sorted(ba.states, key=_state_key):
+            key = (seed[state], current[state])
+            block = renumber.get(key)
+            if block is None:
+                block = len(renumber)
+                renumber[key] = block
+            merged[state] = block
+        current = merged
+
+    while True:
+        refined = refine_once(ba, current)
+        if _block_count(refined) == _block_count(current):
+            return refined
+        current = refined
+
+
+def _block_count(partition: Partition) -> int:
+    return len(set(partition.values()))
+
+
+def blocks_of(partition: Partition) -> list[frozenset]:
+    """The partition as a list of state blocks, ordered by block id."""
+    by_id: dict[int, set] = {}
+    for state, block in partition.items():
+        by_id.setdefault(block, set()).add(state)
+    return [frozenset(by_id[i]) for i in sorted(by_id)]
+
+
+def quotient(ba: BuchiAutomaton, partition: Partition) -> BuchiAutomaton:
+    """The quotient automaton of Definition 10.
+
+    States are block ids; the initial state is the block of the original
+    initial state; a block is final iff it contains only final states
+    (blocks are final-pure because refinement starts from the
+    final/non-final split); transitions are the images of the original
+    ones, deduplicated.
+    """
+    block_ids = set(partition.values())
+    transitions: set[tuple[int, Label, int]] = set()
+    for t in ba.transitions():
+        transitions.add((partition[t.src], t.label, partition[t.dst]))
+    impure = {partition[s] for s in ba.states if s not in ba.final}
+    final = block_ids - impure
+    return BuchiAutomaton(
+        block_ids,
+        partition[ba.initial],
+        [Transition(src, label, dst) for src, label, dst in transitions],
+        final,
+    )
+
+
+def quotient_by_bisimulation(ba: BuchiAutomaton) -> BuchiAutomaton:
+    """Convenience: quotient by the coarsest bisimulation."""
+    return quotient(ba, bisimulation_partition(ba))
+
+
+def partition_signature(partition: Partition) -> frozenset:
+    """A canonical, block-id-independent fingerprint of a partition: the
+    frozenset of its blocks.  Two partitions with equal signatures induce
+    identical quotients; the projection store uses this to deduplicate
+    (the paper observed ~5% distinct partitions across subsets, §5.2)."""
+    return frozenset(blocks_of(partition))

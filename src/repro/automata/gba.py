@@ -1,0 +1,95 @@
+"""Generalized Büchi automata and their degeneralization.
+
+The tableau construction of :mod:`repro.automata.ltl2ba` naturally yields
+a *generalized* Büchi automaton (GBA): acceptance is a family of state
+sets ``F_1..F_n``, and a run is accepted iff it visits every ``F_i``
+infinitely often.  The classical counter construction converts a GBA into
+an equivalent plain BA — the representation the rest of the paper's
+machinery (and this library) operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from ..errors import AutomatonError
+from .buchi import BuchiAutomaton, Transition
+from .labels import Label
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class GeneralizedBuchi:
+    """A GBA with a single initial state and state-based acceptance sets."""
+
+    states: frozenset
+    initial: State
+    transitions: tuple[tuple[State, Label, State], ...]
+    acceptance_sets: tuple[frozenset, ...]
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise AutomatonError("initial state is not a state")
+        for src, _, dst in self.transitions:
+            if src not in self.states or dst not in self.states:
+                raise AutomatonError("transition uses unknown state")
+        for acc in self.acceptance_sets:
+            if not acc <= self.states:
+                raise AutomatonError("acceptance set is not a subset of states")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.transitions)
+
+    def nontrivial_acceptance_sets(self) -> tuple[frozenset, ...]:
+        """Acceptance sets other than the full state set.
+
+        A set equal to all states is visited infinitely often by every
+        infinite run, so it never constrains acceptance; dropping such
+        sets before degeneralization avoids pointless state copies.
+        """
+        return tuple(acc for acc in self.acceptance_sets if acc != self.states)
+
+    def degeneralize(self) -> BuchiAutomaton:
+        """The classical counter construction.
+
+        With acceptance sets ``F_0..F_{n-1}``, states become pairs
+        ``(q, i)`` where the counter ``i`` means "waiting to visit F_i".
+        Leaving a state whose ``q ∈ F_i`` advances the counter (mod n);
+        the accepting states are ``{(q, 0) | q ∈ F_0}``: they are visited
+        infinitely often iff the counter completes full cycles infinitely
+        often, i.e. iff every ``F_i`` is visited infinitely often.
+
+        With zero (nontrivial) acceptance sets every state is accepting
+        and the structure is copied verbatim.
+        """
+        acceptance = self.nontrivial_acceptance_sets()
+        n = len(acceptance)
+        if n == 0:
+            return BuchiAutomaton(
+                self.states,
+                self.initial,
+                [Transition(src, label, dst) for src, label, dst in self.transitions],
+                self.states,
+            )
+
+        def advance(counter: int, state: State) -> int:
+            if state in acceptance[counter]:
+                return (counter + 1) % n
+            return counter
+
+        states = [(q, i) for q in self.states for i in range(n)]
+        transitions = []
+        for src, label, dst in self.transitions:
+            for i in range(n):
+                transitions.append(
+                    Transition((src, i), label, (dst, advance(i, src)))
+                )
+        final = [(q, 0) for q in acceptance[0]]
+        return BuchiAutomaton(states, (self.initial, 0), transitions, final)

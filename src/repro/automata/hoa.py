@@ -1,0 +1,168 @@
+"""HOA (Hanoi Omega-Automata) format support.
+
+The HOA format (http://adl.github.io/hoaf/) is the lingua franca of the
+ω-automata ecosystem (Spot, Owl, ltl2tgba, ...).  Exporting the broker's
+contract automata lets users cross-check them against those tools — the
+closest modern equivalent of the paper's reliance on LTL2BA [12] — and
+importing lets automata produced elsewhere be registered as contracts.
+
+Only the fragment this library produces is supported: state-based Büchi
+acceptance (``Acceptance: 1 Inf(0)``), a single initial state, and
+transition labels that are conjunctions of atomic propositions or their
+negations (``t`` for the unconstrained label).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..errors import AutomatonError
+from .buchi import BuchiAutomaton, Transition
+from .labels import TRUE_LABEL, Label, neg, pos
+
+
+def to_hoa(ba: BuchiAutomaton, name: str = "contract") -> str:
+    """Serialize ``ba`` in HOA v1 (state-based Büchi acceptance)."""
+    canonical = ba.canonical()
+    propositions = sorted(canonical.events())
+    index_of = {event: i for i, event in enumerate(propositions)}
+
+    def encode(label: Label) -> str:
+        if label.is_true:
+            return "t"
+        parts = []
+        for literal in sorted(label.literals):
+            token = str(index_of[literal.event])
+            parts.append(token if literal.positive else f"!{token}")
+        return " & ".join(parts)
+
+    lines = [
+        "HOA: v1",
+        f'name: "{name}"',
+        f"States: {canonical.num_states}",
+        f"Start: {canonical.initial}",
+        f"AP: {len(propositions)} "
+        + " ".join(f'"{p}"' for p in propositions)
+        if propositions
+        else "AP: 0",
+        "acc-name: Buchi",
+        "Acceptance: 1 Inf(0)",
+        "properties: trans-labels explicit-labels state-acc",
+        "--BODY--",
+    ]
+    for state in range(canonical.num_states):
+        acc = " {0}" if state in canonical.final else ""
+        lines.append(f"State: {state}{acc}")
+        for label, dst in canonical.successors(state):
+            lines.append(f"  [{encode(label)}] {dst}")
+    lines.append("--END--")
+    return "\n".join(lines)
+
+
+_HEADER_RE = re.compile(r"^(\w[\w-]*):\s*(.*)$")
+_STATE_RE = re.compile(r"^State:\s*(\d+)\s*(\{[\d\s]*\})?\s*$")
+_EDGE_RE = re.compile(r"^\[(.*)\]\s*(\d+)\s*$")
+
+
+def from_hoa(text: str) -> BuchiAutomaton:
+    """Parse the HOA fragment produced by :func:`to_hoa`.
+
+    Raises :class:`AutomatonError` on anything outside the supported
+    fragment (multiple start states, non-Büchi acceptance, disjunctive
+    labels).
+    """
+    headers: dict[str, str] = {}
+    body: list[str] = []
+    in_body = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "--BODY--":
+            in_body = True
+            continue
+        if line == "--END--":
+            break
+        if in_body:
+            body.append(line)
+        else:
+            match = _HEADER_RE.match(line)
+            if match:
+                headers[match.group(1)] = match.group(2).strip()
+
+    if headers.get("HOA") != "v1":
+        raise AutomatonError("expected 'HOA: v1'")
+    acceptance = headers.get("Acceptance", "")
+    if acceptance.replace(" ", "") != "1Inf(0)":
+        raise AutomatonError(
+            f"unsupported acceptance: {acceptance!r} (need Büchi)"
+        )
+    try:
+        num_states = int(headers["States"])
+        initial = int(headers["Start"])
+    except (KeyError, ValueError) as exc:
+        raise AutomatonError(f"malformed HOA headers: {exc}") from exc
+    if " " in headers.get("Start", "").strip():
+        raise AutomatonError("multiple start states are not supported")
+
+    propositions = _parse_ap(headers.get("AP", "0"))
+
+    transitions: list[Transition] = []
+    final: set[int] = set()
+    current: int | None = None
+    for line in body:
+        state_match = _STATE_RE.match(line)
+        if state_match:
+            current = int(state_match.group(1))
+            if state_match.group(2):
+                final.add(current)
+            continue
+        edge_match = _EDGE_RE.match(line)
+        if edge_match:
+            if current is None:
+                raise AutomatonError("edge before any 'State:' line")
+            label = _parse_label(edge_match.group(1), propositions)
+            transitions.append(
+                Transition(current, label, int(edge_match.group(2)))
+            )
+            continue
+        raise AutomatonError(f"unsupported HOA body line: {line!r}")
+
+    return BuchiAutomaton(range(num_states), initial, transitions, final)
+
+
+def _parse_ap(text: str) -> list[str]:
+    parts = text.split(None, 1)
+    count = int(parts[0])
+    names = re.findall(r'"((?:[^"\\]|\\.)*)"', parts[1] if len(parts) > 1 else "")
+    if len(names) != count:
+        raise AutomatonError(
+            f"AP header declares {count} propositions, found {len(names)}"
+        )
+    return names
+
+
+def _parse_label(text: str, propositions: list[str]) -> Label:
+    text = text.strip()
+    if text in ("t", ""):
+        return TRUE_LABEL
+    if "|" in text:
+        raise AutomatonError(
+            "disjunctive HOA labels are outside the supported fragment"
+        )
+    literals = []
+    for token in text.split("&"):
+        token = token.strip()
+        negated = token.startswith("!")
+        if negated:
+            token = token[1:].strip()
+        try:
+            event = propositions[int(token)]
+        except (ValueError, IndexError) as exc:
+            raise AutomatonError(f"bad AP reference {token!r}") from exc
+        literals.append(neg(event) if negated else pos(event))
+    label = Label.try_of(literals)
+    if label is None:
+        raise AutomatonError(f"contradictory HOA label: {text!r}")
+    return label

@@ -1,0 +1,139 @@
+"""Bounded exploration of a Büchi automaton's language.
+
+Contracts are sets of allowed temporal sequences (§2); being able to
+*enumerate* representative allowed sequences is invaluable for contract
+authors ("what does my specification actually permit?") and powers the
+examples' explanations.  This module enumerates accepted
+ultimately-periodic runs by enumerating their finite representations:
+simple prefixes into an accepting knot plus simple cycles back to it —
+the lasso paths of §3.1.
+
+Enumeration is bounded (``limit`` runs, ``max_length`` per prefix/cycle)
+because the language is generally infinite.  Snapshots instantiate each
+transition label minimally: constrained events take their required
+value, everything else is false.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..ltl.runs import Run
+from . import graph
+from .buchi import BuchiAutomaton
+from .labels import Label
+
+State = Hashable
+
+
+#: Cap on breadth-first expansions per enumeration — dense automata have
+#: exponentially many simple paths, and an unbounded frontier would hang
+#: on them.  Hitting the budget just truncates the enumeration.
+DEFAULT_WORK_BUDGET = 20_000
+
+
+def enumerate_runs(
+    ba: BuchiAutomaton,
+    limit: int = 10,
+    max_length: int = 8,
+    work_budget: int = DEFAULT_WORK_BUDGET,
+) -> Iterator[Run]:
+    """Yield up to ``limit`` distinct accepted runs of ``ba``.
+
+    Runs are produced in breadth-first order of their prefix length, so
+    the simplest allowed behaviors come out first.  Enumeration is
+    best-effort: it stops after ``limit`` runs, path length
+    ``max_length``, or ``work_budget`` explored edges — whichever comes
+    first — so it is safe on dense automata.
+    """
+    reachable = graph.reachable_from(ba.initial, ba.successor_states)
+    accepting = graph.states_on_accepting_cycles(
+        reachable, ba.successor_states, ba.is_final
+    )
+    knots = sorted(accepting & ba.final, key=str)
+    if not knots:
+        return
+
+    produced = 0
+    seen: set[Run] = set()
+    budget = [work_budget]
+    for prefix_labels, knot in _bounded_paths(
+        ba, ba.initial, set(knots), max_length, budget
+    ):
+        if produced >= limit:
+            return
+        for cycle_labels in _bounded_cycles(ba, knot, max_length, budget):
+            run = Run(
+                tuple(l.pick_snapshot() for l in prefix_labels),
+                tuple(l.pick_snapshot() for l in cycle_labels),
+            )
+            if run in seen:
+                continue
+            seen.add(run)
+            produced += 1
+            yield run
+            if produced >= limit:
+                return
+
+
+def _bounded_paths(
+    ba: BuchiAutomaton,
+    source: State,
+    targets: set,
+    max_length: int,
+    budget: list[int],
+) -> Iterator[tuple[list[Label], State]]:
+    """Simple paths (as label lists) from ``source`` into ``targets``, in
+    breadth-first order, including the empty path if applicable."""
+    if source in targets:
+        yield [], source
+    queue: list[tuple[State, list[Label], frozenset]] = [
+        (source, [], frozenset({source}))
+    ]
+    while queue and budget[0] > 0:
+        state, labels, visited = queue.pop(0)
+        if len(labels) >= max_length:
+            continue
+        for label, dst in ba.successors(state):
+            budget[0] -= 1
+            if budget[0] <= 0:
+                return
+            if dst in targets:
+                yield labels + [label], dst
+            if dst not in visited:
+                queue.append((dst, labels + [label], visited | {dst}))
+
+
+def _bounded_cycles(
+    ba: BuchiAutomaton,
+    knot: State,
+    max_length: int,
+    budget: list[int],
+) -> Iterator[list[Label]]:
+    """Simple cycles (as label lists) from ``knot`` back to itself."""
+    queue: list[tuple[State, list[Label], frozenset]] = [
+        (knot, [], frozenset())
+    ]
+    while queue and budget[0] > 0:
+        state, labels, visited = queue.pop(0)
+        if len(labels) >= max_length:
+            continue
+        for label, dst in ba.successors(state):
+            budget[0] -= 1
+            if budget[0] <= 0:
+                return
+            if dst == knot:
+                yield labels + [label]
+            elif dst not in visited:
+                queue.append((dst, labels + [label], visited | {dst}))
+
+
+def example_behaviors(
+    ba: BuchiAutomaton,
+    limit: int = 5,
+    horizon: int = 6,
+) -> list[list[frozenset]]:
+    """Human-friendly view: the first ``horizon`` snapshots of up to
+    ``limit`` allowed runs (used by examples to print 'this contract
+    allows: ...')."""
+    return [run.unroll(horizon) for run in enumerate_runs(ba, limit=limit)]

@@ -1,0 +1,79 @@
+"""Language-level operations on Büchi automata: intersection and union.
+
+The permission check of §6.2 is deliberately *not* a plain language
+intersection (it additionally requires a full projection class), but the
+classical intersection product is still the right tool in several
+supporting roles: the test suite uses it as an independent necessary
+condition for permission, and downstream users get the standard toolbox
+they would expect from an automata library.
+
+Intersection uses the classical two-track construction: the product
+tracks which automaton's acceptance set it is currently waiting for, and
+a run is accepted iff the track flips forever — i.e. both automata
+accept.  Union simply merges the two automata under a fresh initial
+state (Büchi automata are closed under union without blow-up).
+"""
+
+from __future__ import annotations
+
+from .buchi import BuchiAutomaton, Transition
+
+
+def intersection(a: BuchiAutomaton, b: BuchiAutomaton) -> BuchiAutomaton:
+    """A BA accepting exactly the runs accepted by both ``a`` and ``b``.
+
+    States are ``(state_a, state_b, track)`` with ``track ∈ {0, 1}``:
+    track 0 waits for an ``a``-final state, track 1 for a ``b``-final
+    one.  Accepting states are the track-1 states about to flip back —
+    they recur iff both final sets are visited infinitely often.
+    """
+    initial = (a.initial, b.initial, 0)
+    transitions: list[Transition] = []
+    states = {initial}
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop()
+        state_a, state_b, track = state
+        if track == 0:
+            next_track = 1 if state_a in a.final else 0
+        else:
+            next_track = 0 if state_b in b.final else 1
+        for label_a, dst_a in a.successors(state_a):
+            for label_b, dst_b in b.successors(state_b):
+                combined = label_a.conjoin(label_b)
+                if combined is None:
+                    continue
+                dst = (dst_a, dst_b, next_track)
+                transitions.append(Transition(state, combined, dst))
+                if dst not in states:
+                    states.add(dst)
+                    frontier.append(dst)
+    final = {s for s in states if s[2] == 1 and s[1] in b.final}
+    return BuchiAutomaton(states, initial, transitions, final)
+
+
+def union(a: BuchiAutomaton, b: BuchiAutomaton) -> BuchiAutomaton:
+    """A BA accepting exactly the runs accepted by ``a`` or ``b``.
+
+    The two automata are placed side by side (states tagged by side) and
+    a fresh initial state copies both original initial states' outgoing
+    transitions.
+    """
+    initial = ("u", None)
+
+    def tag(side: str, state) -> tuple:
+        return (side, state)
+
+    transitions: list[Transition] = []
+    states: set = {initial}
+    for side, ba in (("a", a), ("b", b)):
+        for state in ba.states:
+            states.add(tag(side, state))
+        for t in ba.transitions():
+            transitions.append(
+                Transition(tag(side, t.src), t.label, tag(side, t.dst))
+            )
+        for label, dst in ba.successors(ba.initial):
+            transitions.append(Transition(initial, label, tag(side, dst)))
+    final = {tag("a", s) for s in a.final} | {tag("b", s) for s in b.final}
+    return BuchiAutomaton(states, initial, transitions, final)

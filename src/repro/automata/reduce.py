@@ -1,0 +1,104 @@
+"""Structural reduction of Büchi automata.
+
+The tableau translation tends to produce automata with unreachable
+states, states that cannot contribute to any accepting run, and many
+bisimilar duplicates (degeneralization copies in particular).  This
+module trims all three, preserving the accepted language exactly:
+
+* :func:`remove_unreachable` — drop states unreachable from the initial
+  state;
+* :func:`remove_dead` — drop states from which no accepting cycle is
+  reachable (a run through them can never satisfy the lasso acceptance
+  condition);
+* :func:`quotient_by_bisimulation` (re-exported from
+  :mod:`repro.automata.bisim`) — merge bisimilar states;
+* :func:`reduce_automaton` — the composition, used by the translator and
+  available to users who build automata by hand.
+
+Reduction matters beyond translation speed: smaller contract BAs make the
+permission product smaller, and fewer distinct labels make the prefilter
+index and the projection store cheaper.
+"""
+
+from __future__ import annotations
+
+from . import graph
+from .bisim import quotient_by_bisimulation
+from .buchi import BuchiAutomaton, Transition
+
+
+def empty_automaton() -> BuchiAutomaton:
+    """The canonical empty-language automaton: a single non-final initial
+    state with no transitions."""
+    return BuchiAutomaton([0], 0, [], [])
+
+
+def remove_unreachable(ba: BuchiAutomaton) -> BuchiAutomaton:
+    """Restrict to the states reachable from the initial state."""
+    keep = graph.reachable_from(ba.initial, ba.successor_states)
+    if keep == ba.states:
+        return ba
+    return _restrict(ba, keep)
+
+
+def remove_dead(ba: BuchiAutomaton) -> BuchiAutomaton:
+    """Restrict to states from which an accepting cycle is reachable.
+
+    A state contributes to the language only if some lasso through it
+    exists, i.e. it can reach a cyclic SCC containing a final state.  If
+    the initial state itself is dead the language is empty and the
+    canonical empty automaton is returned.
+    """
+    reachable = graph.reachable_from(ba.initial, ba.successor_states)
+    cores = graph.states_on_accepting_cycles(
+        reachable, ba.successor_states, ba.is_final
+    )
+    if not cores:
+        return empty_automaton()
+    live = graph.backward_reachable(cores, reachable, ba.successor_states)
+    live &= reachable
+    if ba.initial not in live:
+        return empty_automaton()
+    if live == ba.states:
+        return ba
+    return _restrict(ba, live)
+
+
+def merge_duplicate_transitions(ba: BuchiAutomaton) -> BuchiAutomaton:
+    """Collapse transitions with identical (src, label, dst)."""
+    unique = {(t.src, t.label, t.dst) for t in ba.transitions()}
+    if len(unique) == ba.num_transitions:
+        return ba
+    return BuchiAutomaton(
+        ba.states,
+        ba.initial,
+        [Transition(src, label, dst) for src, label, dst in unique],
+        ba.final,
+    )
+
+
+def reduce_automaton(ba: BuchiAutomaton) -> BuchiAutomaton:
+    """Full reduction pipeline: trim, merge duplicates, quotient.
+
+    The quotient step can create new unreachable/dead opportunities only
+    in degenerate cases, so one pass of each is sufficient in practice;
+    we run trim → quotient → trim for good measure (all passes are cheap
+    relative to translation).
+    """
+    ba = remove_unreachable(ba)
+    ba = remove_dead(ba)
+    if ba.num_states <= 1 and ba.num_transitions == 0:
+        return ba
+    ba = merge_duplicate_transitions(ba)
+    ba = quotient_by_bisimulation(ba)
+    ba = remove_unreachable(ba)
+    return ba
+
+
+def _restrict(ba: BuchiAutomaton, keep: set) -> BuchiAutomaton:
+    return BuchiAutomaton(
+        keep,
+        ba.initial,
+        [t for t in ba.transitions() if t.src in keep and t.dst in keep],
+        ba.final & keep,
+    )

@@ -1,0 +1,147 @@
+"""Direct-simulation reduction of Büchi automata.
+
+Bisimulation (used by §5 of the paper and our post-translation
+reduction) only merges states with *identical* branching behavior.
+Direct simulation is the classical finer tool — LTL2BA [12] itself
+applies it — and preserves the language under two transformations:
+
+* **quotienting** by mutual direct similarity (``s ≤ t`` and ``t ≤ s``);
+* **pruning dominated transitions**: if ``s --λ--> u`` and
+  ``s --λ' --> v`` with ``λ' ⊆ λ`` (the weaker guard fires whenever the
+  stronger does) and ``u ≤ v``, the stronger transition is redundant.
+
+Direct simulation ``s ≤ t`` holds when ``t`` can do — with guards at
+least as permissive and at least the same acceptance — whatever ``s``
+can, forever:
+
+1. if ``s`` is final then ``t`` is final, and
+2. for every ``s --λ--> s'`` there is ``t --λ'--> t'`` with
+   ``λ' ⊆ λ`` (as literal sets) and ``s' ≤ t'``.
+
+The relation is computed as a greatest fixpoint over state pairs —
+quadratic in states times transitions, fine at contract-automaton sizes.
+This module is offered as an *optional* extra reduction
+(:func:`reduce_with_simulation`); the default pipeline sticks to the
+paper's bisimulation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .buchi import BuchiAutomaton, Transition
+
+State = Hashable
+
+
+def direct_simulation(ba: BuchiAutomaton) -> set[tuple[State, State]]:
+    """The direct-simulation preorder as a set of ``(smaller, larger)``
+    pairs (reflexive by construction)."""
+    states = list(ba.states)
+    # start from the coarsest candidate relation honoring condition 1
+    relation: set[tuple[State, State]] = {
+        (s, t)
+        for s in states
+        for t in states
+        if (s not in ba.final) or (t in ba.final)
+    }
+
+    def simulates_step(s: State, t: State) -> bool:
+        for label_s, dst_s in ba.successors(s):
+            matched = False
+            for label_t, dst_t in ba.successors(t):
+                if label_t.literals <= label_s.literals and (
+                    (dst_s, dst_t) in relation
+                ):
+                    matched = True
+                    break
+            if not matched:
+                return False
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in list(relation):
+            s, t = pair
+            if s == t:
+                continue
+            if not simulates_step(s, t):
+                relation.discard(pair)
+                changed = True
+    return relation
+
+
+def quotient_by_simulation(ba: BuchiAutomaton) -> BuchiAutomaton:
+    """Merge mutually similar states (simulation equivalence).
+
+    Language-preserving for direct simulation: mutually similar states
+    accept the same continuations with the same acceptance.
+    """
+    relation = direct_simulation(ba)
+    representative: dict[State, State] = {}
+    ordered = sorted(ba.states, key=lambda s: str(s))
+    for state in ordered:
+        if state in representative:
+            continue
+        representative[state] = state
+        for other in ordered:
+            if other in representative:
+                continue
+            if (state, other) in relation and (other, state) in relation:
+                representative[other] = state
+    transitions = {
+        (representative[t.src], t.label, representative[t.dst])
+        for t in ba.transitions()
+    }
+    states = set(representative.values())
+    final = {representative[s] for s in ba.final}
+    return BuchiAutomaton(
+        states,
+        representative[ba.initial],
+        [Transition(src, label, dst) for src, label, dst in transitions],
+        final,
+    )
+
+
+def prune_dominated_transitions(ba: BuchiAutomaton) -> BuchiAutomaton:
+    """Drop transitions subsumed by a sibling with a weaker guard and a
+    simulating destination (LTL2BA's transition-implication rule)."""
+    relation = direct_simulation(ba)
+    kept: list[Transition] = []
+    for src in ba.states:
+        outgoing = list(ba.successors(src))
+        for i, (label_i, dst_i) in enumerate(outgoing):
+            dominated = False
+            for j, (label_j, dst_j) in enumerate(outgoing):
+                if i == j:
+                    continue
+                if not label_j.literals <= label_i.literals:
+                    continue
+                if (dst_i, dst_j) not in relation:
+                    continue
+                if label_j.literals == label_i.literals and dst_i == dst_j:
+                    # identical twins: keep only the first
+                    dominated = j < i
+                else:
+                    # strict domination needs a tie-break when mutual
+                    dominated = not (
+                        label_i.literals <= label_j.literals
+                        and (dst_j, dst_i) in relation
+                        and j > i
+                    )
+                if dominated:
+                    break
+            if not dominated:
+                kept.append(Transition(src, label_i, dst_i))
+    return BuchiAutomaton(ba.states, ba.initial, kept, ba.final)
+
+
+def reduce_with_simulation(ba: BuchiAutomaton) -> BuchiAutomaton:
+    """The full optional pipeline: simulation quotient, dominated-edge
+    pruning, then the standard structural reduction."""
+    from .reduce import reduce_automaton
+
+    ba = quotient_by_simulation(ba)
+    ba = prune_dominated_transitions(ba)
+    return reduce_automaton(ba)

@@ -1,0 +1,36 @@
+"""Benchmark harness: experiment runners and report rendering for every
+table and figure of the paper's evaluation (§7)."""
+
+from .harness import (
+    GridCell,
+    IndexBuildReport,
+    QueryEvaluation,
+    SweepPoint,
+    build_database,
+    evaluate_query,
+    extend_database,
+    index_build_report,
+    run_figure5,
+    run_figure6,
+    run_queries,
+    specs_to_formulas,
+)
+from .reporting import format_bar_chart, format_table, write_report
+
+__all__ = [
+    "GridCell",
+    "IndexBuildReport",
+    "QueryEvaluation",
+    "SweepPoint",
+    "build_database",
+    "evaluate_query",
+    "extend_database",
+    "index_build_report",
+    "run_figure5",
+    "run_figure6",
+    "run_queries",
+    "specs_to_formulas",
+    "format_bar_chart",
+    "format_table",
+    "write_report",
+]

@@ -1,0 +1,72 @@
+"""Plain-text rendering of benchmark results.
+
+The harness prints the same rows/series the paper reports — Table 2's
+dataset statistics, Figure 5's per-database-size averages, Figure 6's
+complexity grid — as monospace tables, and writes them to result files
+that EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "x",
+) -> str:
+    """A quick ASCII bar chart (used for the speedup figures)."""
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    peak = max(values) if values else 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if peak > 0 else ""
+        out.append(f"{label.ljust(label_width)}  {bar} {value:.1f}{unit}")
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def write_report(path: str | Path, text: str) -> Path:
+    """Write a report file, creating parent directories; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

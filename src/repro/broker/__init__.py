@@ -1,0 +1,73 @@
+"""The contract broker: registration, relational pre-selection, and
+temporal-permission query evaluation.
+
+Quick tour::
+
+    from repro.broker import ContractDatabase, AttributeFilter, le
+
+    db = ContractDatabase()
+    db.register(
+        "Ticket A",
+        ["G(dateChange -> !F refund)", ...],
+        attributes={"price": 420, "route": "SAN-NYC"},
+    )
+    result = db.query(
+        "F(missedFlight && F(refund || dateChange))",
+        AttributeFilter.where(le("price", 500)),
+    )
+"""
+
+from .analytics import Comparison, Relation, compare
+from .contract import Contract, ContractSpec
+from .monitor import ContractMonitor, MonitorStatus
+from .vocabulary import EventVocabulary
+from .persist import load_database, save_database
+from .parallel import register_many
+from .planner import QueryPlan, QueryPlanner
+from .database import BrokerConfig, ContractDatabase, RegistrationStats
+from .query import QueryResult, QueryStats
+from .relational import (
+    MATCH_ALL,
+    AttributeCondition,
+    AttributeFilter,
+    contains,
+    eq,
+    ge,
+    gt,
+    is_in,
+    le,
+    lt,
+    ne,
+)
+
+__all__ = [
+    "Comparison",
+    "Relation",
+    "compare",
+    "Contract",
+    "ContractSpec",
+    "ContractMonitor",
+    "EventVocabulary",
+    "MonitorStatus",
+    "load_database",
+    "save_database",
+    "QueryPlan",
+    "QueryPlanner",
+    "register_many",
+    "BrokerConfig",
+    "ContractDatabase",
+    "RegistrationStats",
+    "QueryResult",
+    "QueryStats",
+    "MATCH_ALL",
+    "AttributeCondition",
+    "AttributeFilter",
+    "contains",
+    "eq",
+    "ge",
+    "gt",
+    "is_in",
+    "le",
+    "lt",
+    "ne",
+]

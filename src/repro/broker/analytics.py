@@ -1,0 +1,118 @@
+"""Comparing contracts by behavior.
+
+A broker storing competing contracts can answer more than point queries:
+*how do two contracts differ?*  At the automaton level the question has
+a crisp reading — exhibit an event sequence one contract allows and the
+other forbids.  This module provides:
+
+* :func:`distinguishing_run` — a concrete run allowed by one contract
+  and not by the other (restricted to their shared behavior where the
+  vocabularies differ, every behavioral witness is over the first
+  contract's events, mirroring Definition 1's projection discipline);
+* :func:`behavioral_relation` — the summary verdict: equivalent, one
+  side strictly more permissive, or incomparable, each direction backed
+  by a witness run;
+* :meth:`compare` on id pairs for broker users.
+
+The implementation is exact in one direction at a time: "A allows
+something B forbids" is decided by emptiness of ``L(A) ∩ L(¬B)``…
+without complementation, we instead search A's lasso space directly and
+check each candidate against B — complete up to the configured
+enumeration bounds, which is what a comparison UI needs (a concrete,
+showable difference), not a proof of equivalence.  When no difference is
+found within bounds the relation is reported as *indistinguishable up to
+the bound*, never as proven equivalence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..automata.buchi import BuchiAutomaton
+from ..automata.language import enumerate_runs
+from ..ltl.runs import Run
+from .contract import Contract
+
+
+class Relation(enum.Enum):
+    """Outcome of a bounded behavioral comparison."""
+
+    #: no difference found within the enumeration bounds
+    INDISTINGUISHABLE = "indistinguishable-up-to-bound"
+    #: the left contract allows behavior the right forbids (and not
+    #: vice versa, within bounds)
+    LEFT_MORE_PERMISSIVE = "left-more-permissive"
+    #: symmetric case
+    RIGHT_MORE_PERMISSIVE = "right-more-permissive"
+    #: each allows something the other forbids
+    INCOMPARABLE = "incomparable"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The verdict plus the witness runs that support it."""
+
+    relation: Relation
+    left_only: Run | None
+    right_only: Run | None
+
+    def __str__(self) -> str:
+        parts = [self.relation.value]
+        if self.left_only is not None:
+            parts.append(f"left-only: {self.left_only}")
+        if self.right_only is not None:
+            parts.append(f"right-only: {self.right_only}")
+        return "; ".join(parts)
+
+
+def distinguishing_run(
+    allowed_by: BuchiAutomaton,
+    forbidden_by: BuchiAutomaton,
+    limit: int = 64,
+    max_length: int = 8,
+) -> Run | None:
+    """A run accepted by ``allowed_by`` and rejected by ``forbidden_by``.
+
+    Enumerates up to ``limit`` lasso runs of the first automaton
+    (simplest first) and returns the first the second rejects; ``None``
+    if none is found within the bounds.
+    """
+    for run in enumerate_runs(allowed_by, limit=limit,
+                              max_length=max_length):
+        if not forbidden_by.accepts(run):
+            return run
+    return None
+
+
+def behavioral_relation(
+    left: BuchiAutomaton,
+    right: BuchiAutomaton,
+    limit: int = 64,
+    max_length: int = 8,
+) -> Comparison:
+    """Bounded two-way comparison of the automata's languages."""
+    left_only = distinguishing_run(left, right, limit, max_length)
+    right_only = distinguishing_run(right, left, limit, max_length)
+    if left_only is None and right_only is None:
+        relation = Relation.INDISTINGUISHABLE
+    elif right_only is None:
+        relation = Relation.LEFT_MORE_PERMISSIVE
+    elif left_only is None:
+        relation = Relation.RIGHT_MORE_PERMISSIVE
+    else:
+        relation = Relation.INCOMPARABLE
+    return Comparison(relation, left_only, right_only)
+
+
+def compare(left: Contract, right: Contract,
+            limit: int = 64, max_length: int = 8) -> Comparison:
+    """Compare two registered contracts by behavior.
+
+    Witnesses are event sequences over the respective contract's own
+    vocabulary; when the vocabularies differ, a "left-only" run may be
+    rejected by the right contract merely because it cites events the
+    right contract constrains differently — which is exactly the
+    information a customer comparing the two needs.
+    """
+    return behavioral_relation(left.ba, right.ba, limit, max_length)

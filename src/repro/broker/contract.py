@@ -1,0 +1,78 @@
+"""Registered contracts: the broker's unit of storage.
+
+A contract couples (a) ordinary relational attributes — price, route,
+dates, whatever the application schema needs — with (b) a temporal
+specification given as a set of declarative LTL clauses over the common
+event vocabulary (§1, requirement iv).  At registration the broker
+translates the clauses' conjunction to a Büchi automaton and precomputes
+the auxiliary structures both optimizations need: the §6.2.4 seeds and
+the §5 projection store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..automata.buchi import BuchiAutomaton
+from ..ltl.ast import Formula, conj
+from ..projection.store import ProjectionStore
+
+
+@dataclass(frozen=True)
+class ContractSpec:
+    """What a provider submits: a name, the declarative temporal clauses,
+    and the relational attributes."""
+
+    name: str
+    clauses: tuple[Formula, ...]
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def formula(self) -> Formula:
+        """The conjunction of all clauses (§2, Example 5)."""
+        return conj(self.clauses)
+
+    @property
+    def vocabulary(self) -> frozenset[str]:
+        """The events the specification cites — the set ``V`` that the
+        permission semantics restricts sequences to (Definition 4)."""
+        out: set[str] = set()
+        for clause in self.clauses:
+            out |= clause.variables()
+        return frozenset(out)
+
+
+@dataclass
+class Contract:
+    """A registered contract with its precomputed artifacts.
+
+    ``vocabulary`` is copied out of the spec at registration so the hot
+    permission path does not re-derive it from the formula on every
+    check.
+    """
+
+    contract_id: int
+    spec: ContractSpec
+    ba: BuchiAutomaton
+    seeds: frozenset
+    vocabulary: frozenset = frozenset()
+    projections: ProjectionStore | None = None
+
+    def __post_init__(self) -> None:
+        if not self.vocabulary:
+            self.vocabulary = self.spec.vocabulary
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def attributes(self) -> Mapping[str, Any]:
+        return self.spec.attributes
+
+    def __str__(self) -> str:
+        return (
+            f"Contract#{self.contract_id}({self.name!r}, "
+            f"{len(self.spec.clauses)} clauses, {self.ba.num_states} states)"
+        )

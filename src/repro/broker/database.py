@@ -1,0 +1,433 @@
+"""The contract database: the broker the paper builds (§3, §7.1).
+
+Architecture (mirroring the prototype's four modules):
+
+* **registration** (:meth:`ContractDatabase.register`) — a contract's
+  LTL clauses are conjoined, translated to a Büchi automaton
+  (:mod:`repro.automata.ltl2ba` standing in for LTL2BA [12]) and reduced;
+  the prefilter index (§4) is updated and the projection store (§5) and
+  seed set (§6.2.4) are precomputed;
+* **query evaluation** (:meth:`ContractDatabase.query`) — the query is
+  translated, the relational attribute filter narrows the database, the
+  pruning condition selects candidates from the index, and the
+  permission algorithm (Algorithm 2) runs on each candidate using the
+  smallest applicable precomputed projection.
+
+Every optimization can be toggled per database (:class:`BrokerConfig`)
+or per query, which is how the benchmark harness measures the paper's
+unoptimized-versus-optimized comparisons.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..automata.buchi import BuchiAutomaton
+from ..automata.ltl2ba import DEFAULT_STATE_BUDGET, translate
+from ..core.permission import (
+    PermissionStats,
+    PermissionWitness,
+    find_witness,
+    permits,
+)
+from ..core.seeds import compute_seeds
+from ..errors import BrokerError
+from ..index.prefilter import PrefilterIndex
+from ..index.pruning import pruning_condition
+from ..ltl.ast import Formula
+from ..ltl.parser import parse
+from ..projection.store import ProjectionStore
+from .contract import Contract, ContractSpec
+from .query import QueryResult, QueryStats
+from .relational import MATCH_ALL, AttributeFilter
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Tunable knobs of the broker.
+
+    Attributes:
+        use_prefilter: evaluate pruning conditions against the §4 index.
+        use_projections: precompute and use the §5 simplified BAs.
+        use_seeds: apply the §6.2.4 seed filter inside Algorithm 2.
+        prefilter_depth: set-trie depth cap ``k``.
+        projection_subset_cap: max projected-literal-subset size
+            (``None`` = all subsets).
+        permission_algorithm: ``"ndfs"`` (Algorithm 2) or ``"scc"``.
+        state_budget: translation state cap per formula.
+    """
+
+    use_prefilter: bool = True
+    use_projections: bool = True
+    use_seeds: bool = True
+    prefilter_depth: int = 2
+    projection_subset_cap: int | None = 2
+    permission_algorithm: str = "ndfs"
+    state_budget: int = DEFAULT_STATE_BUDGET
+
+    def unoptimized(self) -> "BrokerConfig":
+        """A copy with both indexing optimizations off (the paper's
+        'scan' baseline)."""
+        return replace(self, use_prefilter=False, use_projections=False)
+
+
+@dataclass
+class RegistrationStats:
+    """Aggregate registration-side costs (§7.4 'index building')."""
+
+    contracts: int = 0
+    translation_seconds: float = 0.0
+    prefilter_seconds: float = 0.0
+    projection_seconds: float = 0.0
+    seeds_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.translation_seconds
+            + self.prefilter_seconds
+            + self.projection_seconds
+            + self.seeds_seconds
+        )
+
+
+class ContractDatabase:
+    """A queryable repository of temporally-specified contracts.
+
+    Args:
+        config: broker tuning knobs.
+        vocabulary: optional governed event catalog
+            (:class:`repro.broker.vocabulary.EventVocabulary`); when set,
+            registration rejects contracts citing unknown events — the
+            paper's "compact and reasonably stable interface"
+            (requirement ii) enforced at the publishing boundary.
+    """
+
+    def __init__(self, config: BrokerConfig | None = None,
+                 vocabulary=None):
+        self.config = config or BrokerConfig()
+        self.vocabulary = vocabulary
+        self._contracts: dict[int, Contract] = {}
+        self._next_id = 0
+        self._index = PrefilterIndex(depth=self.config.prefilter_depth)
+        self.registration_stats = RegistrationStats()
+
+    # -- registration ---------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        clauses: Sequence[str | Formula] | str | Formula,
+        attributes: Mapping[str, Any] | None = None,
+    ) -> Contract:
+        """Register a contract from its declarative clauses.
+
+        ``clauses`` may be a single clause or a sequence; strings are
+        parsed with the LTL grammar of :mod:`repro.ltl.parser`.
+        """
+        if isinstance(clauses, (str, Formula)):
+            clauses = [clauses]
+        parsed = tuple(
+            parse(c) if isinstance(c, str) else c for c in clauses
+        )
+        spec = ContractSpec(
+            name=name, clauses=parsed, attributes=dict(attributes or {})
+        )
+        return self.register_spec(spec)
+
+    def register_spec(
+        self,
+        spec: ContractSpec,
+        prebuilt_ba: BuchiAutomaton | None = None,
+    ) -> Contract:
+        """Register a prebuilt :class:`ContractSpec`.
+
+        ``prebuilt_ba`` lets callers (the persistence layer) skip the
+        translation when an equivalent automaton is already at hand; the
+        caller is responsible for its correctness.
+        """
+        if self.vocabulary is not None:
+            self.vocabulary.validate_contract(spec.name, spec.clauses)
+
+        contract_id = self._next_id
+        self._next_id += 1
+
+        start = time.perf_counter()
+        if prebuilt_ba is None:
+            ba = translate(spec.formula, state_budget=self.config.state_budget)
+        else:
+            ba = prebuilt_ba
+        self.registration_stats.translation_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        seeds = compute_seeds(ba)
+        self.registration_stats.seeds_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        self._index.add_contract(contract_id, ba, spec.vocabulary)
+        self.registration_stats.prefilter_seconds += time.perf_counter() - start
+
+        projections = None
+        if self.config.use_projections:
+            start = time.perf_counter()
+            projections = ProjectionStore(
+                ba, max_subset_size=self.config.projection_subset_cap
+            )
+            self.registration_stats.projection_seconds += (
+                time.perf_counter() - start
+            )
+
+        contract = Contract(
+            contract_id=contract_id,
+            spec=spec,
+            ba=ba,
+            seeds=seeds,
+            projections=projections,
+        )
+        self._contracts[contract_id] = contract
+        self.registration_stats.contracts += 1
+        return contract
+
+    def deregister(self, contract_id: int) -> None:
+        """Remove a contract from the database and the index."""
+        if contract_id not in self._contracts:
+            raise BrokerError(f"no contract with id {contract_id}")
+        del self._contracts[contract_id]
+        self._index.remove_contract(contract_id)
+
+    # -- query evaluation --------------------------------------------------------------
+
+    def query(
+        self,
+        query: str | Formula,
+        attribute_filter: AttributeFilter = MATCH_ALL,
+        *,
+        use_prefilter: bool | None = None,
+        use_projections: bool | None = None,
+        explain: bool = False,
+    ) -> QueryResult:
+        """All contracts that match the attribute filter and *permit* the
+        temporal query (Definition 1).
+
+        The per-query overrides let callers compare optimized and
+        unoptimized evaluation on the same database (the harness behind
+        Figures 5 and 6 does exactly this).  With ``explain`` the result
+        also carries a witness run per returned contract (extracted from
+        the full contract BA, so it is meaningful to show to a user).
+        """
+        prefilter_on = (
+            self.config.use_prefilter if use_prefilter is None else use_prefilter
+        )
+        projections_on = (
+            self.config.use_projections
+            if use_projections is None
+            else use_projections
+        )
+
+        stats = QueryStats(
+            database_size=len(self._contracts),
+            used_prefilter=prefilter_on,
+            used_projections=projections_on,
+        )
+        overall_start = time.perf_counter()
+
+        start = time.perf_counter()
+        if isinstance(query, tuple):
+            # internal fast path: (formula, prebuilt query BA) from
+            # query_planned, which already paid the translation
+            formula, query_ba = query
+        else:
+            formula = parse(query) if isinstance(query, str) else query
+            query_ba = translate(
+                formula, state_budget=self.config.state_budget
+            )
+        stats.translation_seconds = time.perf_counter() - start
+
+        relational = [
+            c for c in self._contracts.values()
+            if attribute_filter.matches(c.attributes)
+        ]
+        stats.relational_matches = len(relational)
+        relational_ids = {c.contract_id for c in relational}
+
+        if prefilter_on:
+            start = time.perf_counter()
+            condition = pruning_condition(query_ba)
+            stats.pruning_condition = str(condition)
+            candidate_ids = self._index.evaluate(condition) & relational_ids
+            stats.prefilter_seconds = time.perf_counter() - start
+        else:
+            candidate_ids = relational_ids
+        stats.candidates = len(candidate_ids)
+
+        query_literals = query_ba.literals()
+        matched: list[Contract] = []
+        for contract_id in sorted(candidate_ids):
+            contract = self._contracts[contract_id]
+            start = time.perf_counter()
+            if projections_on and contract.projections is not None:
+                checked_ba, seeds = contract.projections.select_with_seeds(
+                    query_literals
+                )
+            else:
+                checked_ba = contract.ba
+                seeds = None
+            stats.selection_seconds += time.perf_counter() - start
+
+            start = time.perf_counter()
+            if seeds is None and checked_ba is contract.ba:
+                seeds = contract.seeds
+            outcome = permits(
+                checked_ba,
+                query_ba,
+                contract.vocabulary,
+                algorithm=self.config.permission_algorithm,
+                seeds=seeds,
+                use_seeds=self.config.use_seeds,
+            )
+            stats.permission_seconds += time.perf_counter() - start
+            stats.checked += 1
+            if outcome:
+                matched.append(contract)
+
+        witnesses: dict[int, PermissionWitness] = {}
+        if explain:
+            for contract in matched:
+                witness = find_witness(
+                    contract.ba, query_ba, contract.vocabulary
+                )
+                if witness is not None:
+                    witnesses[contract.contract_id] = witness
+
+        stats.permitted = len(matched)
+        stats.total_seconds = time.perf_counter() - overall_start
+        return QueryResult(
+            formula=formula,
+            contract_ids=tuple(c.contract_id for c in matched),
+            contract_names=tuple(c.name for c in matched),
+            stats=stats,
+            witnesses=witnesses,
+        )
+
+    def query_planned(
+        self,
+        query: str | Formula,
+        attribute_filter: AttributeFilter = MATCH_ALL,
+        planner=None,
+        **kwargs,
+    ) -> QueryResult:
+        """Like :meth:`query`, but let a :class:`QueryPlanner` choose the
+        optimizations per query (§1's observation that the techniques
+        serve different query profiles)."""
+        from .planner import QueryPlanner
+
+        planner = planner or QueryPlanner()
+        formula = parse(query) if isinstance(query, str) else query
+        query_ba = translate(formula, state_budget=self.config.state_budget)
+        plan = planner.plan(query_ba)
+        return self.query(
+            (formula, query_ba),  # reuse the translation
+            attribute_filter,
+            use_prefilter=plan.use_prefilter,
+            use_projections=plan.use_projections,
+            **kwargs,
+        )
+
+    def permits_contract(self, contract_id: int, query: str | Formula) -> bool:
+        """Direct single-contract permission check (full BA, no index)."""
+        contract = self.get(contract_id)
+        formula = parse(query) if isinstance(query, str) else query
+        query_ba = translate(formula, state_budget=self.config.state_budget)
+        return permits(
+            contract.ba,
+            query_ba,
+            contract.vocabulary,
+            algorithm=self.config.permission_algorithm,
+            seeds=contract.seeds,
+            use_seeds=self.config.use_seeds,
+        )
+
+    def explain(
+        self, contract_id: int, query: str | Formula
+    ) -> PermissionWitness | None:
+        """A simultaneous-lasso witness showing *why* the contract permits
+        the query (``None`` when it does not)."""
+        contract = self.get(contract_id)
+        formula = parse(query) if isinstance(query, str) else query
+        query_ba = translate(formula, state_budget=self.config.state_budget)
+        return find_witness(contract.ba, query_ba, contract.vocabulary)
+
+    def precompute_for_workload(
+        self, queries: Sequence[str | Formula]
+    ) -> int:
+        """Workload-guided projection precomputation (§5.2).
+
+        Given a sample of expected queries, compute for every contract
+        exactly the projections those queries will request — even beyond
+        the configured subset-size cap.  Returns the number of new
+        projections computed across the database.
+        """
+        from ..projection.project import workload_projection_subsets
+
+        query_literal_sets = []
+        for query in queries:
+            formula = parse(query) if isinstance(query, str) else query
+            query_ba = translate(formula, state_budget=self.config.state_budget)
+            query_literal_sets.append(query_ba.literals())
+
+        added = 0
+        start = time.perf_counter()
+        for contract in self._contracts.values():
+            if contract.projections is None:
+                continue
+            subsets = workload_projection_subsets(
+                contract.projections.literals, query_literal_sets
+            )
+            added += contract.projections.precompute(subsets)
+        self.registration_stats.projection_seconds += (
+            time.perf_counter() - start
+        )
+        return added
+
+    # -- access & introspection -----------------------------------------------------------
+
+    def get(self, contract_id: int) -> Contract:
+        contract = self._contracts.get(contract_id)
+        if contract is None:
+            raise BrokerError(f"no contract with id {contract_id}")
+        return contract
+
+    def contracts(self) -> Iterator[Contract]:
+        return iter(self._contracts.values())
+
+    def __len__(self) -> int:
+        return len(self._contracts)
+
+    def __contains__(self, contract_id: int) -> bool:
+        return contract_id in self._contracts
+
+    @property
+    def index(self) -> PrefilterIndex:
+        return self._index
+
+    def database_stats(self) -> dict:
+        """Table-2 style aggregate statistics of the stored automata."""
+        import statistics as st
+
+        state_counts = [c.ba.num_states for c in self._contracts.values()]
+        transition_counts = [
+            c.ba.num_transitions for c in self._contracts.values()
+        ]
+        if not state_counts:
+            return {"contracts": 0}
+        return {
+            "contracts": len(state_counts),
+            "states_avg": st.mean(state_counts),
+            "states_stddev": st.pstdev(state_counts),
+            "transitions_avg": st.mean(transition_counts),
+            "transitions_stddev": st.pstdev(transition_counts),
+            "index_nodes": self._index.num_nodes,
+            "index_size": self._index.size_estimate(),
+        }

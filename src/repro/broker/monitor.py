@@ -1,0 +1,160 @@
+"""Runtime monitoring of contracts against unfolding event histories.
+
+The related work the paper builds on (§8, [16][19]) monitors *live*
+contracts: as events actually happen, check whether the contract can
+still be honored.  The broker's data model makes this a small addition —
+a contract's Büchi automaton is run *nondeterministically* over the
+observed snapshots, tracking the set of states consistent with the
+history:
+
+* if the set becomes empty, the history already **violates** the
+  contract (no allowed sequence extends it);
+* otherwise the contract is still **satisfiable**: some state in the set
+  can reach an accepting cycle (states that cannot are pruned eagerly,
+  so emptiness is detected as early as possible).
+
+The monitor can also report which *queries* remain possible futures —
+e.g. "after what just happened, can this ticket still be refunded?" —
+by checking permission of the query against the contract restricted to
+continuations of the history.  That restriction is expressed directly on
+the automaton: the reachable state set becomes the new initial frontier.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from ..automata.buchi import BuchiAutomaton, Transition
+from ..automata import graph
+from ..core.permission import permits
+from ..ltl.runs import Snapshot
+from .contract import Contract
+
+
+class MonitorStatus(enum.Enum):
+    """Verdict about the observed history."""
+
+    #: Some allowed sequence extends the history.
+    ACTIVE = "active"
+    #: No allowed sequence extends the history: the contract is violated.
+    VIOLATED = "violated"
+
+
+class ContractMonitor:
+    """Tracks one contract against an unfolding sequence of snapshots.
+
+    >>> monitor = ContractMonitor.for_contract(contract)
+    >>> monitor.advance({"purchase"})
+    >>> monitor.advance({"missedFlight"})
+    >>> monitor.status
+    <MonitorStatus.ACTIVE: 'active'>
+    >>> monitor.can_still("F refund")
+    True
+    """
+
+    def __init__(self, ba: BuchiAutomaton,
+                 vocabulary: frozenset[str] | None = None):
+        self._ba = ba
+        self._vocabulary = vocabulary if vocabulary is not None else ba.events()
+        # states that can still contribute to an accepting run
+        reachable = graph.reachable_from(ba.initial, ba.successor_states)
+        cores = graph.states_on_accepting_cycles(
+            reachable, ba.successor_states, ba.is_final
+        )
+        self._live = graph.backward_reachable(
+            cores, reachable, ba.successor_states
+        )
+        self._frontier: frozenset = (
+            frozenset({ba.initial}) if ba.initial in self._live else frozenset()
+        )
+        self._history: list[Snapshot] = []
+
+    @classmethod
+    def for_contract(cls, contract: Contract) -> "ContractMonitor":
+        """Monitor a registered broker contract."""
+        return cls(contract.ba, contract.vocabulary)
+
+    # -- observation ------------------------------------------------------------
+
+    def advance(self, snapshot: Iterable[str]) -> MonitorStatus:
+        """Consume one observed snapshot and return the updated status."""
+        snap = frozenset(snapshot)
+        self._history.append(snap)
+        if not self._frontier:
+            return self.status
+        next_frontier: set = set()
+        for state in self._frontier:
+            for label, dst in self._ba.successors(state):
+                if dst in self._live and label.satisfied_by(snap):
+                    next_frontier.add(dst)
+        self._frontier = frozenset(next_frontier)
+        return self.status
+
+    def advance_all(self, snapshots: Iterable[Iterable[str]]) -> MonitorStatus:
+        """Consume a batch of snapshots."""
+        for snap in snapshots:
+            self.advance(snap)
+        return self.status
+
+    # -- verdicts ----------------------------------------------------------------
+
+    @property
+    def status(self) -> MonitorStatus:
+        if not self._frontier:
+            return MonitorStatus.VIOLATED
+        return MonitorStatus.ACTIVE
+
+    @property
+    def history(self) -> tuple[Snapshot, ...]:
+        return tuple(self._history)
+
+    @property
+    def possible_states(self) -> frozenset:
+        """The automaton states consistent with the history (live only)."""
+        return self._frontier
+
+    def can_still(self, query) -> bool:
+        """Can the observed history still be extended to one that the
+        contract allows *and* that satisfies ``query`` from here on?
+
+        ``query`` is an LTL string/formula or a prebuilt query BA; it is
+        interpreted over the *future* (the suffix after the history), and
+        the same permission semantics as the broker applies: the future
+        uses only contract-vocabulary events.
+        """
+        query_ba = _as_query_ba(query)
+        if not self._frontier:
+            return False
+        continuation = self._continuation_automaton()
+        return permits(continuation, query_ba, self._vocabulary)
+
+    def _continuation_automaton(self) -> BuchiAutomaton:
+        """The contract BA with the current frontier as initial states
+        (joined under a fresh initial that copies their first steps)."""
+        fresh = ("monitor-init",)
+        transitions = [
+            Transition(fresh, label, dst)
+            for state in self._frontier
+            for label, dst in self._ba.successors(state)
+            if dst in self._live
+        ]
+        transitions.extend(
+            t for t in self._ba.transitions()
+            if t.src in self._live and t.dst in self._live
+        )
+        states = set(self._live) | {fresh}
+        final = self._ba.final & self._live
+        return BuchiAutomaton(states, fresh, transitions, final)
+
+
+def _as_query_ba(query) -> BuchiAutomaton:
+    from ..automata.ltl2ba import translate
+    from ..ltl.ast import Formula
+    from ..ltl.parser import parse
+
+    if isinstance(query, BuchiAutomaton):
+        return query
+    if isinstance(query, Formula):
+        return translate(query)
+    return translate(parse(query))

@@ -1,0 +1,133 @@
+"""Persisting and reloading contract databases.
+
+The paper's prototype modules exchange text files (§7.1); this module
+provides the library equivalent: a database directory holding
+
+* ``contracts.json`` — every contract's name, clause texts and
+  relational attributes (the authoritative specification), plus the
+  broker configuration it was registered under;
+* ``automata.json`` — the translated contract BAs, so reloading skips
+  the (dominant) LTL-to-BA translation cost.
+
+The prefilter index, seed sets and projection partitions are *rebuilt*
+on load: they are deterministic functions of the automata, and
+rebuilding them is both cheaper than the original translation and
+immune to format drift.  ``load_database`` verifies that every stored
+automaton still matches its specification's vocabulary before trusting
+it, and falls back to re-translation on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..automata.serialize import automaton_from_dict, automaton_to_dict
+from ..errors import BrokerError
+from ..ltl.parser import parse
+from ..ltl.printer import format_formula
+from .contract import ContractSpec
+from .database import BrokerConfig, ContractDatabase
+
+_CONTRACTS_FILE = "contracts.json"
+_AUTOMATA_FILE = "automata.json"
+_FORMAT_VERSION = 1
+
+
+def save_database(db: ContractDatabase, directory: str | Path) -> Path:
+    """Write ``db`` to ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    config = db.config
+    contract_docs = []
+    automata_docs = []
+    for contract in sorted(db.contracts(), key=lambda c: c.contract_id):
+        contract_docs.append({
+            "name": contract.name,
+            "clauses": [format_formula(c) for c in contract.spec.clauses],
+            "attributes": dict(contract.attributes),
+        })
+        automata_docs.append(automaton_to_dict(contract.ba))
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "use_prefilter": config.use_prefilter,
+            "use_projections": config.use_projections,
+            "use_seeds": config.use_seeds,
+            "prefilter_depth": config.prefilter_depth,
+            "projection_subset_cap": config.projection_subset_cap,
+            "permission_algorithm": config.permission_algorithm,
+            "state_budget": config.state_budget,
+        },
+        "contracts": contract_docs,
+    }
+    (directory / _CONTRACTS_FILE).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    (directory / _AUTOMATA_FILE).write_text(
+        json.dumps(automata_docs, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return directory
+
+
+def load_database(
+    directory: str | Path,
+    config: BrokerConfig | None = None,
+) -> ContractDatabase:
+    """Rebuild a database saved by :func:`save_database`.
+
+    Args:
+        directory: the saved database directory.
+        config: optional configuration override; defaults to the one the
+            database was saved with.
+    """
+    directory = Path(directory)
+    contracts_path = directory / _CONTRACTS_FILE
+    automata_path = directory / _AUTOMATA_FILE
+    if not contracts_path.exists():
+        raise BrokerError(f"{contracts_path} does not exist")
+
+    try:
+        manifest = json.loads(contracts_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BrokerError(f"malformed {contracts_path}: {exc}") from exc
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise BrokerError(
+            f"unsupported database format: {manifest.get('format_version')!r}"
+        )
+
+    if config is None:
+        saved = manifest.get("config", {})
+        config = BrokerConfig(
+            use_prefilter=saved.get("use_prefilter", True),
+            use_projections=saved.get("use_projections", True),
+            use_seeds=saved.get("use_seeds", True),
+            prefilter_depth=saved.get("prefilter_depth", 2),
+            projection_subset_cap=saved.get("projection_subset_cap", 2),
+            permission_algorithm=saved.get("permission_algorithm", "ndfs"),
+            state_budget=saved.get("state_budget", 60_000),
+        )
+
+    automata_docs = []
+    if automata_path.exists():
+        automata_docs = json.loads(automata_path.read_text(encoding="utf-8"))
+
+    db = ContractDatabase(config)
+    for i, doc in enumerate(manifest.get("contracts", [])):
+        spec = ContractSpec(
+            name=doc["name"],
+            clauses=tuple(parse(text) for text in doc["clauses"]),
+            attributes=doc.get("attributes") or {},
+        )
+        ba = None
+        if i < len(automata_docs):
+            candidate = automaton_from_dict(automata_docs[i])
+            # Trust the stored automaton only if it cites no event the
+            # specification does not (a stale or edited file would).
+            if candidate.events() <= spec.vocabulary:
+                ba = candidate
+        db.register_spec(spec, prebuilt_ba=ba)
+    return db

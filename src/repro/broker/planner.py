@@ -1,0 +1,91 @@
+"""Per-query optimization planning.
+
+The paper observes that its two techniques serve different query
+profiles: prefiltering "is extremely effective for highly selective
+complex queries" (§1) while the bisimulation projections "provide the
+best results for simple queries that mention few events" (§1, §5.2).
+A production broker can exploit that by *choosing per query* instead of
+always paying both machineries' overheads.
+
+:class:`QueryPlanner` inspects the translated query BA and produces a
+:class:`QueryPlan`:
+
+* **prefilter** is engaged unless the pruning condition is trivially
+  ``TRUE`` (no pruning possible — evaluating it would only cost time);
+* **projections** are engaged when the query cites at most
+  ``projection_literal_budget`` literals.  Selection falls back to the
+  full automaton gracefully, so the budget defaults high — disabling
+  projections only pays off for queries so literal-heavy that even
+  per-contract selection overhead cannot be recouped.
+
+The planner is advisory: :meth:`ContractDatabase.query_planned` applies
+a plan, and the correctness of any plan is guaranteed by the soundness
+of the underlying techniques (plans change time, never answers — a
+property the tests assert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.buchi import BuchiAutomaton
+from ..index.condition import CondTrue
+from ..index.pruning import pruning_condition
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The chosen evaluation strategy for one query."""
+
+    use_prefilter: bool
+    use_projections: bool
+    reason: str
+
+    def __str__(self) -> str:
+        parts = []
+        parts.append("prefilter" if self.use_prefilter else "no-prefilter")
+        parts.append(
+            "projections" if self.use_projections else "no-projections"
+        )
+        return f"QueryPlan({', '.join(parts)}: {self.reason})"
+
+
+@dataclass(frozen=True)
+class QueryPlanner:
+    """Heuristic per-query optimizer.
+
+    Attributes:
+        projection_literal_budget: engage projections only for queries
+            citing at most this many literals.  The default is
+            deliberately permissive (selection is cheap and falls back
+            to the full automaton); lower it only for databases whose
+            projection stores are tiny relative to query width.
+    """
+
+    projection_literal_budget: int = 16
+
+    def plan(self, query_ba: BuchiAutomaton) -> QueryPlan:
+        """Choose a strategy from the query BA's shape."""
+        condition = pruning_condition(query_ba)
+        prunable = not isinstance(condition, CondTrue)
+        num_literals = len(query_ba.literals())
+        project = num_literals <= self.projection_literal_budget
+
+        if prunable and project:
+            reason = (
+                f"selective condition and only {num_literals} literals"
+            )
+        elif prunable:
+            reason = (
+                f"selective condition; {num_literals} literals exceed the "
+                "projection budget"
+            )
+        elif project:
+            reason = "condition cannot prune; query cites few literals"
+        else:
+            reason = "neither technique applicable; plain scan"
+        return QueryPlan(
+            use_prefilter=prunable,
+            use_projections=project,
+            reason=reason,
+        )

@@ -1,0 +1,87 @@
+"""Query-side objects: the result of a broker query and its statistics.
+
+The paper's runtime module "takes as input a query workload text file and
+outputs statistics regarding their evaluation" (§7.1); the per-phase
+timings recorded here are exactly the quantities its Figures 5 and 6
+aggregate (query LTL-to-BA conversion + candidate selection + permission
+checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..ltl.ast import Formula
+
+
+@dataclass
+class QueryStats:
+    """Per-query timing and work counters.
+
+    All durations are seconds.  ``scan_time`` in the paper's terminology
+    is the total of an unoptimized evaluation; here ``total_time`` plays
+    that role when both optimizations are disabled.
+    """
+
+    translation_seconds: float = 0.0
+    prefilter_seconds: float = 0.0
+    selection_seconds: float = 0.0
+    permission_seconds: float = 0.0
+    total_seconds: float = 0.0
+    database_size: int = 0
+    relational_matches: int = 0
+    candidates: int = 0
+    checked: int = 0
+    permitted: int = 0
+    used_prefilter: bool = False
+    used_projections: bool = False
+    pruning_condition: str = ""
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of the (relationally matching) database pruned away
+        before the permission algorithm ran."""
+        if self.relational_matches == 0:
+            return 0.0
+        return 1.0 - self.candidates / self.relational_matches
+
+
+@dataclass
+class QueryResult:
+    """The broker's answer to one temporal query.
+
+    ``witnesses`` is populated only when the query ran with
+    ``explain=True``: it maps each returned contract id to a
+    simultaneous-lasso witness whose :meth:`to_run` produces a concrete
+    allowed sequence satisfying the query — the evidence a customer
+    would want to see.
+    """
+
+    formula: Formula
+    contract_ids: tuple[int, ...]
+    contract_names: tuple[str, ...]
+    stats: QueryStats = field(default_factory=QueryStats)
+    witnesses: dict = field(default_factory=dict)
+
+    def witness_for(self, contract_id: int):
+        """The witness for one returned contract (KeyError if the query
+        did not run with ``explain=True`` or the contract not returned)."""
+        return self.witnesses[contract_id]
+
+    def __len__(self) -> int:
+        return len(self.contract_ids)
+
+    def __contains__(self, contract_id: int) -> bool:
+        return contract_id in self.contract_ids
+
+    def __iter__(self):
+        return iter(self.contract_ids)
+
+    def __str__(self) -> str:
+        names = ", ".join(self.contract_names) or "(none)"
+        return (
+            f"QueryResult({len(self.contract_ids)} contracts: {names}; "
+            f"{self.stats.checked} checked of {self.stats.candidates} "
+            f"candidates in {self.stats.total_seconds * 1000:.1f} ms)"
+        )

@@ -1,0 +1,110 @@
+"""The relational pre-selection substrate.
+
+The paper scopes itself to the temporal side of the broker and assumes
+"a traditional DBMS takes care of the features modeled as relational
+attributes" (§1, point a): a complete system first narrows a much larger
+database by attributes (route, date, price, ...) and only then checks
+temporal permission.  This module is that substrate — a small in-memory
+attribute store with typed predicates, enough to build the end-to-end
+examples the paper's introduction motivates and to bound the contract
+sets the temporal machinery sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+Predicate = Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class AttributeCondition:
+    """One attribute predicate, e.g. ``price <= 500``.
+
+    Missing attributes never match (a contract that does not declare a
+    price cannot satisfy a price bound).
+    """
+
+    attribute: str
+    description: str
+    predicate: Predicate
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        if self.attribute not in attributes:
+            return False
+        try:
+            return bool(self.predicate(attributes[self.attribute]))
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.description}"
+
+
+def eq(attribute: str, value: Any) -> AttributeCondition:
+    """``attribute == value``."""
+    return AttributeCondition(attribute, f"== {value!r}", lambda v: v == value)
+
+
+def ne(attribute: str, value: Any) -> AttributeCondition:
+    """``attribute != value``."""
+    return AttributeCondition(attribute, f"!= {value!r}", lambda v: v != value)
+
+
+def lt(attribute: str, value: Any) -> AttributeCondition:
+    """``attribute < value``."""
+    return AttributeCondition(attribute, f"< {value!r}", lambda v: v < value)
+
+
+def le(attribute: str, value: Any) -> AttributeCondition:
+    """``attribute <= value``."""
+    return AttributeCondition(attribute, f"<= {value!r}", lambda v: v <= value)
+
+
+def gt(attribute: str, value: Any) -> AttributeCondition:
+    """``attribute > value``."""
+    return AttributeCondition(attribute, f"> {value!r}", lambda v: v > value)
+
+
+def ge(attribute: str, value: Any) -> AttributeCondition:
+    """``attribute >= value``."""
+    return AttributeCondition(attribute, f">= {value!r}", lambda v: v >= value)
+
+
+def is_in(attribute: str, values: Iterable[Any]) -> AttributeCondition:
+    """``attribute in values``."""
+    allowed = frozenset(values)
+    return AttributeCondition(
+        attribute, f"in {sorted(map(repr, allowed))}", lambda v: v in allowed
+    )
+
+
+def contains(attribute: str, value: Any) -> AttributeCondition:
+    """``value in attribute`` (for collection-valued attributes)."""
+    return AttributeCondition(
+        attribute, f"contains {value!r}", lambda v: value in v
+    )
+
+
+@dataclass(frozen=True)
+class AttributeFilter:
+    """A conjunction of attribute conditions (a WHERE clause)."""
+
+    conditions: tuple[AttributeCondition, ...] = ()
+
+    @classmethod
+    def where(cls, *conditions: AttributeCondition) -> "AttributeFilter":
+        return cls(tuple(conditions))
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return all(c.matches(attributes) for c in self.conditions)
+
+    def __str__(self) -> str:
+        if not self.conditions:
+            return "TRUE"
+        return " AND ".join(str(c) for c in self.conditions)
+
+
+#: A filter that matches every contract.
+MATCH_ALL = AttributeFilter()

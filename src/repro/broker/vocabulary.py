@@ -1,0 +1,91 @@
+"""The common event vocabulary as a first-class, governed object.
+
+Requirement (ii) of the paper (§1): the interface between customers and
+providers — the shared vocabulary of events — "should be compact and
+reasonably stable".  In a production broker that interface needs
+governance: which events exist, what they mean, and a validation point
+so that a provider cannot accidentally publish a contract citing a
+misspelled event (which, under the permission semantics, would silently
+make the contract invisible to every query about the real event).
+
+:class:`EventVocabulary` carries the catalog (name → human description)
+and validates formulas against it; the broker accepts an optional
+vocabulary at construction and then rejects non-conforming contracts at
+registration time.  Queries are *not* rejected — a query citing unknown
+events is legitimate and simply matches nothing on those events (that is
+exactly Definition 1 at work) — but can be linted with
+:meth:`EventVocabulary.unknown_events`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import BrokerError
+from ..ltl.ast import Formula
+
+
+@dataclass(frozen=True)
+class EventVocabulary:
+    """An immutable catalog of the events contracts may cite."""
+
+    events: Mapping[str, str]
+
+    @classmethod
+    def of(cls, *names: str) -> "EventVocabulary":
+        """Quick constructor from bare names (empty descriptions)."""
+        return cls({name: "" for name in names})
+
+    @classmethod
+    def describe(cls, **described: str) -> "EventVocabulary":
+        """Constructor from ``name="description"`` pairs."""
+        return cls(dict(described))
+
+    def __contains__(self, event: str) -> bool:
+        return event in self.events
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self.events)
+
+    def description(self, event: str) -> str:
+        """The human description of one event (KeyError if unknown)."""
+        return self.events[event]
+
+    def unknown_events(self, formula: Formula) -> frozenset[str]:
+        """Events the formula cites that are not in the catalog."""
+        return formula.variables() - self.names()
+
+    def validate_contract(self, name: str,
+                          clauses: Iterable[Formula]) -> None:
+        """Raise :class:`BrokerError` if any clause cites an unknown
+        event (the registration-time guard)."""
+        unknown: set[str] = set()
+        for clause in clauses:
+            unknown |= self.unknown_events(clause)
+        if unknown:
+            raise BrokerError(
+                f"contract {name!r} cites events outside the common "
+                f"vocabulary: {sorted(unknown)}"
+            )
+
+    def extended(self, **described: str) -> "EventVocabulary":
+        """A new vocabulary with additional events.
+
+        Growing the vocabulary never invalidates published contracts —
+        the paper's requirement (iii): existing specifications make no
+        commitment about new events, and the permission semantics
+        already accounts for that.
+        """
+        merged = dict(self.events)
+        merged.update(described)
+        return EventVocabulary(merged)
+
+    def __str__(self) -> str:
+        return f"EventVocabulary({', '.join(sorted(self.events))})"

@@ -1,0 +1,275 @@
+"""Command-line interface to the contract broker.
+
+Mirrors the paper's prototype architecture (§7.1) of four independent
+modules exchanging text files:
+
+* ``contract-broker generate``  — the data generator (§7.2): writes a
+  JSON file of contract (or query) specifications;
+* ``contract-broker stats``     — dataset statistics (Table 2 rows);
+* ``contract-broker translate`` — LTL → Büchi automaton, printed or
+  saved as JSON (the registration step's conversion);
+* ``contract-broker build``     — register a spec file and persist the
+  database directory (contracts + automata);
+* ``contract-broker query``     — the runtime module: loads a spec file
+  or a built database and evaluates one or more queries, reporting
+  per-phase statistics;
+* ``contract-broker compare``   — behavioral diff of two contracts,
+  with witness sequences;
+* ``contract-broker demo``      — the airfare running example end to end.
+
+Spec-file format: a JSON list of ``{"name": ..., "clauses": [LTL, ...],
+"attributes": {...}}`` objects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from .automata.ltl2ba import translate
+from .automata.serialize import automaton_to_dict
+from .broker.database import BrokerConfig, ContractDatabase
+from .errors import ReproError
+from .ltl.parser import parse
+from .ltl.printer import format_formula
+from .workload.generator import WorkloadGenerator
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="contract-broker",
+        description="Query contract databases by temporal behavior "
+        "(SIGMOD 2011 reproduction).",
+    )
+    sub = parser.add_subparsers(required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic spec file")
+    gen.add_argument("--count", type=int, default=100)
+    gen.add_argument("--patterns", type=int, default=3,
+                     help="clauses per specification")
+    gen.add_argument("--vocabulary", type=int, default=12)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", type=Path, required=True)
+    gen.set_defaults(handler=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="Table-2 statistics of a spec file")
+    stats.add_argument("specs", type=Path)
+    stats.set_defaults(handler=_cmd_stats)
+
+    trans = sub.add_parser("translate", help="LTL to Büchi automaton")
+    trans.add_argument("formula", help="LTL formula text")
+    trans.add_argument("--json", action="store_true",
+                       help="emit the automaton as JSON")
+    trans.add_argument("--dot", action="store_true",
+                       help="emit the automaton in Graphviz DOT")
+    trans.set_defaults(handler=_cmd_translate)
+
+    build = sub.add_parser(
+        "build", help="register a spec file and save the database"
+    )
+    build.add_argument("specs", type=Path)
+    build.add_argument("--out", type=Path, required=True,
+                       help="database directory to create")
+    build.add_argument("--index-depth", type=int, default=2)
+    build.add_argument("--projection-cap", type=int, default=2)
+    build.set_defaults(handler=_cmd_build)
+
+    query = sub.add_parser(
+        "query",
+        help="evaluate queries over a spec file or a built database "
+             "directory",
+    )
+    query.add_argument("specs", type=Path)
+    query.add_argument("--query", action="append", required=True,
+                       dest="queries", help="LTL query (repeatable)")
+    query.add_argument("--no-prefilter", action="store_true")
+    query.add_argument("--no-projections", action="store_true")
+    query.add_argument("--index-depth", type=int, default=2)
+    query.add_argument("--projection-cap", type=int, default=2)
+    query.set_defaults(handler=_cmd_query)
+
+    comp = sub.add_parser(
+        "compare",
+        help="compare two contracts' temporal behavior by name",
+    )
+    comp.add_argument("specs", type=Path,
+                      help="spec file or built database directory")
+    comp.add_argument("left", help="name of the first contract")
+    comp.add_argument("right", help="name of the second contract")
+    comp.add_argument("--limit", type=int, default=64,
+                      help="behavior-enumeration bound")
+    comp.set_defaults(handler=_cmd_compare)
+
+    demo = sub.add_parser("demo", help="run the airfare running example")
+    demo.set_defaults(handler=_cmd_demo)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = WorkloadGenerator(
+        vocabulary_size=args.vocabulary, seed=args.seed
+    )
+    specs = generator.generate_specs(args.count, args.patterns)
+    docs = [
+        {
+            "name": f"contract-{i}",
+            "clauses": [format_formula(c) for c in spec.clauses],
+            "attributes": {},
+        }
+        for i, spec in enumerate(specs)
+    ]
+    args.out.write_text(json.dumps(docs, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {len(docs)} specifications to {args.out}")
+    return 0
+
+
+def _load_specs(path: Path) -> list[dict]:
+    docs = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(docs, list):
+        raise ReproError(f"{path}: expected a JSON list of specifications")
+    return docs
+
+
+def _build_db(docs: list[dict], config: BrokerConfig) -> ContractDatabase:
+    db = ContractDatabase(config)
+    for doc in docs:
+        db.register(doc["name"], doc["clauses"], doc.get("attributes") or {})
+    return db
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .bench.reporting import format_table
+
+    docs = _load_specs(args.specs)
+    start = time.perf_counter()
+    db = _build_db(docs, BrokerConfig(use_projections=False))
+    elapsed = time.perf_counter() - start
+    stats = db.database_stats()
+    print(format_table(
+        ["metric", "value"],
+        [(k, v) for k, v in stats.items()],
+        title=f"Dataset statistics for {args.specs} "
+              f"(built in {elapsed:.1f}s)",
+    ))
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from .automata.serialize import to_dot
+
+    ba = translate(parse(args.formula))
+    if args.json:
+        print(json.dumps(automaton_to_dict(ba), indent=2, sort_keys=True))
+    elif args.dot:
+        print(to_dot(ba))
+    else:
+        print(ba)
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .broker.persist import save_database
+
+    config = BrokerConfig(
+        prefilter_depth=args.index_depth,
+        projection_subset_cap=args.projection_cap,
+    )
+    docs = _load_specs(args.specs)
+    start = time.perf_counter()
+    db = _build_db(docs, config)
+    directory = save_database(db, args.out)
+    print(f"registered {len(db)} contracts in "
+          f"{time.perf_counter() - start:.1f}s; saved to {directory}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .broker.persist import load_database
+
+    config = BrokerConfig(
+        use_prefilter=not args.no_prefilter,
+        use_projections=not args.no_projections,
+        prefilter_depth=args.index_depth,
+        projection_subset_cap=args.projection_cap,
+    )
+    start = time.perf_counter()
+    if args.specs.is_dir():
+        db = load_database(args.specs, config)
+        print(f"loaded {len(db)} contracts in "
+              f"{time.perf_counter() - start:.1f}s")
+    else:
+        docs = _load_specs(args.specs)
+        db = _build_db(docs, config)
+        print(f"registered {len(db)} contracts in "
+              f"{time.perf_counter() - start:.1f}s")
+    for text in args.queries:
+        result = db.query(text)
+        s = result.stats
+        print(f"\nquery: {text}")
+        print(f"  matched : {list(result.contract_names)}")
+        print(f"  pruning : {s.pruning_condition or '(prefilter off)'}")
+        print(f"  phases  : translate {s.translation_seconds * 1000:.1f}ms | "
+              f"prefilter {s.prefilter_seconds * 1000:.1f}ms | "
+              f"permission {s.permission_seconds * 1000:.1f}ms")
+        print(f"  checked : {s.checked} of {s.database_size} contracts "
+              f"({s.pruning_ratio:.0%} pruned)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .broker.analytics import compare
+    from .broker.persist import load_database
+
+    if args.specs.is_dir():
+        db = load_database(args.specs)
+    else:
+        db = _build_db(_load_specs(args.specs),
+                       BrokerConfig(use_projections=False))
+    by_name = {c.name: c for c in db.contracts()}
+    missing = [n for n in (args.left, args.right) if n not in by_name]
+    if missing:
+        raise ReproError(
+            f"unknown contract(s) {missing}; available: "
+            f"{sorted(by_name)}"
+        )
+    result = compare(by_name[args.left], by_name[args.right],
+                     limit=args.limit)
+    print(f"{args.left} vs {args.right}: {result.relation.value}")
+    if result.left_only is not None:
+        print(f"  only {args.left} allows : {result.left_only}")
+    if result.right_only is not None:
+        print(f"  only {args.right} allows: {result.right_only}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .workload.airfare import QUERIES, all_ticket_specs
+
+    db = ContractDatabase()
+    for spec in all_ticket_specs():
+        contract = db.register_spec(spec)
+        print(f"registered {contract}")
+    for name, info in QUERIES.items():
+        result = db.query(info["ltl"])
+        print(f"\n{name}: {info['ltl']}")
+        print(f"  returned: {sorted(result.contract_names)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The paper's primary contribution: the permission semantics and its
+decision algorithms.
+
+Entry points::
+
+    from repro.core import permits, find_witness
+
+    permits(contract_ba, query_ba, vocabulary)   # Algorithm 2
+    find_witness(contract_ba, query_ba, vocabulary)
+"""
+
+from .permission import (
+    PermissionStats,
+    PermissionWitness,
+    WitnessStep,
+    find_witness,
+    permits,
+    permits_ndfs,
+    permits_scc,
+)
+from .seeds import compute_seeds
+
+__all__ = [
+    "PermissionStats",
+    "PermissionWitness",
+    "WitnessStep",
+    "find_witness",
+    "permits",
+    "permits_ndfs",
+    "permits_scc",
+    "compute_seeds",
+]

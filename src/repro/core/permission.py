@@ -1,0 +1,381 @@
+"""Checking that a contract permits a temporal query.
+
+This is the paper's core algorithmic contribution (§3.1, §6.2): a
+contract ``C(phi)`` *permits* a query ``psi`` iff the BAs of the two
+formulas admit a **simultaneous lasso path** (Definition 7) — a pair of
+lasso paths, one per automaton, whose step-wise labels are *compatible*:
+the query label mentions only contract-vocabulary events and does not
+conflict with the contract label.  Theorem 4 shows this captures exactly
+the projection-class semantics of Definition 5, and Theorem 6 shows the
+problem is PSPACE-complete in the formulas (LOGSPACE in the automata).
+
+Two interchangeable deciders are provided:
+
+* :func:`permits_ndfs` — the paper's Algorithm 2: an outer depth-first
+  search over compatible product pairs with a nested cycle search at
+  every candidate knot, optionally pruned by the precomputed *seeds* of
+  §6.2.4.  This is the algorithm the paper benchmarks.
+* :func:`permits_scc` — an equivalent emptiness check on the
+  compatibility product using strongly connected components (a
+  generalized-Büchi style formulation).  Used as a cross-check oracle in
+  tests and available to users who prefer it.
+
+:func:`find_witness` additionally extracts a concrete simultaneous lasso
+path and can materialize it as an ultimately-periodic run, which examples
+use to *explain* why a contract was returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from ..automata import graph
+from ..automata.buchi import BuchiAutomaton
+from ..automata.labels import Label
+from ..ltl.runs import Run
+from .seeds import compute_seeds
+
+State = Hashable
+Pair = tuple  # (contract state, query state)
+
+
+@dataclass
+class PermissionStats:
+    """Work counters for one permission check (consumed by benchmarks)."""
+
+    pairs_visited: int = 0
+    cycle_searches: int = 0
+    cycle_nodes_visited: int = 0
+    seeds_skipped: int = 0
+    result: bool = False
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One instant of a simultaneous lasso path."""
+
+    contract_state: State
+    query_state: State
+    contract_label: Label
+    query_label: Label
+
+    @property
+    def combined_label(self) -> Label:
+        """The satisfiable conjunction of the two labels."""
+        combined = self.contract_label.conjoin(self.query_label)
+        assert combined is not None, "witness steps are compatible by construction"
+        return combined
+
+
+@dataclass(frozen=True)
+class PermissionWitness:
+    """A finite representation of a simultaneous lasso path: the prefix
+    into the knot and the cycle back to it."""
+
+    prefix: tuple[WitnessStep, ...]
+    cycle: tuple[WitnessStep, ...]
+
+    def to_run(self) -> Run:
+        """A concrete ultimately-periodic run following the witness.
+
+        Every step's snapshot makes the step's combined label true and
+        every unmentioned event false; the result is accepted by both
+        automata and uses only contract-vocabulary events beyond the
+        query's requirements.
+        """
+        prefix = tuple(step.combined_label.pick_snapshot() for step in self.prefix)
+        loop = tuple(step.combined_label.pick_snapshot() for step in self.cycle)
+        return Run(prefix, loop)
+
+    def __str__(self) -> str:
+        def fmt(steps: tuple[WitnessStep, ...]) -> str:
+            return " ; ".join(str(s.combined_label) for s in steps)
+
+        return f"prefix[{fmt(self.prefix)}] cycle[{fmt(self.cycle)}]"
+
+
+class _CompatibilityContext:
+    """Memoized Definition 7 compatibility between contract and query
+    labels, fixed to one contract vocabulary."""
+
+    __slots__ = ("vocabulary", "_label_cache", "_vocab_cache")
+
+    def __init__(self, vocabulary: frozenset[str]):
+        self.vocabulary = vocabulary
+        self._label_cache: dict[tuple[Label, Label], bool] = {}
+        self._vocab_cache: dict[Label, bool] = {}
+
+    def query_label_admissible(self, query_label: Label) -> bool:
+        """Condition (i): the query label cites only contract events."""
+        cached = self._vocab_cache.get(query_label)
+        if cached is None:
+            cached = query_label.events() <= self.vocabulary
+            self._vocab_cache[query_label] = cached
+        return cached
+
+    def compatible(self, contract_label: Label, query_label: Label) -> bool:
+        if not self.query_label_admissible(query_label):
+            return False
+        key = (contract_label, query_label)
+        cached = self._label_cache.get(key)
+        if cached is None:
+            cached = not contract_label.conflicts(query_label)
+            self._label_cache[key] = cached
+        return cached
+
+
+def _pair_successors(
+    contract: BuchiAutomaton,
+    query: BuchiAutomaton,
+    ctx: _CompatibilityContext,
+    pair: Pair,
+) -> Iterator[tuple[Pair, Label, Label]]:
+    """Compatible product successors with the labels that enable them."""
+    contract_state, query_state = pair
+    for query_label, query_dst in query.successors(query_state):
+        if not ctx.query_label_admissible(query_label):
+            continue
+        for contract_label, contract_dst in contract.successors(contract_state):
+            if ctx.compatible(contract_label, query_label):
+                yield (contract_dst, query_dst), contract_label, query_label
+
+
+def permits_ndfs(
+    contract: BuchiAutomaton,
+    query: BuchiAutomaton,
+    vocabulary: frozenset[str] | None = None,
+    *,
+    seeds: frozenset | None = None,
+    use_seeds: bool = True,
+    stats: PermissionStats | None = None,
+) -> bool:
+    """Algorithm 2: nested depth-first search for a simultaneous lasso path.
+
+    Args:
+        contract: the contract BA.
+        query: the query BA.
+        vocabulary: the contract's event vocabulary (the variables of its
+            LTL specification).  Defaults to the events on the contract
+            BA's labels — callers that know the true vocabulary (the
+            broker does) should pass it, since a contract may cite an
+            event in its formula that its reduced BA no longer mentions.
+        seeds: precomputed :func:`repro.core.seeds.compute_seeds` result;
+            computed on the fly when ``use_seeds`` is set and none given.
+        use_seeds: apply the §6.2.4 seed filter to candidate knots.
+        stats: optional mutable counters, filled in during the search.
+    """
+    if vocabulary is None:
+        vocabulary = contract.events()
+    if stats is None:
+        stats = PermissionStats()
+    ctx = _CompatibilityContext(vocabulary)
+    if use_seeds and seeds is None:
+        seeds = compute_seeds(contract)
+
+    start: Pair = (contract.initial, query.initial)
+    visited: set[Pair] = set()
+    stack: list[Pair] = [start]
+    while stack:
+        pair = stack.pop()
+        if pair in visited:
+            continue
+        visited.add(pair)
+        stats.pairs_visited += 1
+        contract_state, query_state = pair
+        if query_state in query.final:
+            if use_seeds and seeds is not None and contract_state not in seeds:
+                stats.seeds_skipped += 1
+            else:
+                stats.cycle_searches += 1
+                if _cycle_search(contract, query, ctx, pair, stats):
+                    stats.result = True
+                    return True
+        for succ, _, _ in _pair_successors(contract, query, ctx, pair):
+            if succ not in visited:
+                stack.append(succ)
+    stats.result = False
+    return False
+
+
+def _cycle_search(
+    contract: BuchiAutomaton,
+    query: BuchiAutomaton,
+    ctx: _CompatibilityContext,
+    knot: Pair,
+    stats: PermissionStats,
+) -> bool:
+    """The nested search of Algorithm 2: is there a non-empty cycle from
+    ``knot`` back to itself that visits a pair with a contract-final
+    state?
+
+    Explores the product augmented with a boolean *foundFinal* flag (the
+    paper's variable of the same name), so each augmented node is visited
+    once — the iterative equivalent of the memoization scheme the paper
+    describes at the end of §6.2.2.
+    """
+    start_flag = knot[0] in contract.final
+    visited: set[tuple[Pair, bool]] = set()
+    stack: list[tuple[Pair, bool]] = [(knot, start_flag)]
+    while stack:
+        node = stack.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        stats.cycle_nodes_visited += 1
+        pair, flag = node
+        for succ, _, _ in _pair_successors(contract, query, ctx, pair):
+            if succ == knot and flag:
+                return True
+            succ_flag = flag or (succ[0] in contract.final)
+            if (succ, succ_flag) not in visited:
+                stack.append((succ, succ_flag))
+    return False
+
+
+def permits_scc(
+    contract: BuchiAutomaton,
+    query: BuchiAutomaton,
+    vocabulary: frozenset[str] | None = None,
+) -> bool:
+    """SCC-based decider, equivalent to :func:`permits_ndfs`.
+
+    A simultaneous lasso path exists iff the compatibility product has a
+    reachable cyclic SCC containing both a pair with a query-final state
+    and a pair with a contract-final state (one cycle can then visit
+    both, giving lasso paths in both automata simultaneously).
+    """
+    if vocabulary is None:
+        vocabulary = contract.events()
+    ctx = _CompatibilityContext(vocabulary)
+
+    def successors(pair: Pair) -> Iterator[Pair]:
+        for succ, _, _ in _pair_successors(contract, query, ctx, pair):
+            yield succ
+
+    start: Pair = (contract.initial, query.initial)
+    reachable = graph.reachable_from(start, successors)
+    for component in graph.strongly_connected_components(reachable, successors):
+        has_query_final = any(q in query.final for _, q in component)
+        has_contract_final = any(c in contract.final for c, _ in component)
+        if not (has_query_final and has_contract_final):
+            continue
+        if graph.is_cyclic_component(component, successors):
+            return True
+    return False
+
+
+def permits(
+    contract: BuchiAutomaton,
+    query: BuchiAutomaton,
+    vocabulary: frozenset[str] | None = None,
+    *,
+    algorithm: str = "ndfs",
+    seeds: frozenset | None = None,
+    use_seeds: bool = True,
+    stats: PermissionStats | None = None,
+) -> bool:
+    """Decide permission; dispatches to the requested algorithm.
+
+    ``algorithm`` is ``"ndfs"`` (the paper's Algorithm 2, default) or
+    ``"scc"``.
+    """
+    if algorithm == "ndfs":
+        return permits_ndfs(
+            contract, query, vocabulary,
+            seeds=seeds, use_seeds=use_seeds, stats=stats,
+        )
+    if algorithm == "scc":
+        return permits_scc(contract, query, vocabulary)
+    raise ValueError(f"unknown permission algorithm: {algorithm!r}")
+
+
+def find_witness(
+    contract: BuchiAutomaton,
+    query: BuchiAutomaton,
+    vocabulary: frozenset[str] | None = None,
+) -> PermissionWitness | None:
+    """A concrete simultaneous lasso path, or ``None`` if not permitted.
+
+    The witness is assembled from the compatibility product: a shortest
+    prefix to a knot pair inside an SCC that contains both kinds of final
+    pairs, then a cycle knot → contract-final pair → knot inside that
+    SCC.
+    """
+    if vocabulary is None:
+        vocabulary = contract.events()
+    ctx = _CompatibilityContext(vocabulary)
+
+    def successors(pair: Pair) -> Iterator[Pair]:
+        for succ, _, _ in _pair_successors(contract, query, ctx, pair):
+            yield succ
+
+    start: Pair = (contract.initial, query.initial)
+    reachable = graph.reachable_from(start, successors)
+    target_scc: set[Pair] | None = None
+    for component in graph.strongly_connected_components(reachable, successors):
+        members = set(component)
+        if not any(q in query.final for _, q in members):
+            continue
+        if not any(c in contract.final for c, _ in members):
+            continue
+        if graph.is_cyclic_component(component, successors):
+            target_scc = members
+            break
+    if target_scc is None:
+        return None
+
+    knots = {p for p in target_scc if p[1] in query.final}
+    prefix_steps, knot = _bfs_steps(contract, query, ctx, start, knots, None)
+    finals = {p for p in target_scc if p[0] in contract.final}
+    # Cycle: knot -> some contract-final pair -> knot, all inside the SCC.
+    to_final, mid = _bfs_steps(
+        contract, query, ctx, knot, finals, target_scc, require_step=True
+    )
+    back, _ = _bfs_steps(contract, query, ctx, mid, {knot}, target_scc)
+    cycle = tuple(to_final) + tuple(back)
+    return PermissionWitness(prefix=tuple(prefix_steps), cycle=cycle)
+
+
+def _bfs_steps(
+    contract: BuchiAutomaton,
+    query: BuchiAutomaton,
+    ctx: _CompatibilityContext,
+    source: Pair,
+    targets: set[Pair],
+    within: set[Pair] | None,
+    require_step: bool = False,
+) -> tuple[list[WitnessStep], Pair]:
+    """Shortest compatible-step path from ``source`` into ``targets``
+    (optionally restricted to the pair set ``within``); returns the steps
+    and the target reached.  With ``require_step`` the empty path is not
+    allowed even if the source is a target."""
+    if source in targets and not require_step:
+        return [], source
+    parents: dict[Pair, tuple[Pair, WitnessStep]] = {}
+    seen = {source}
+    frontier = [source]
+    while frontier:
+        next_frontier: list[Pair] = []
+        for pair in frontier:
+            for succ, contract_label, query_label in _pair_successors(
+                contract, query, ctx, pair
+            ):
+                if within is not None and succ not in within:
+                    continue
+                step = WitnessStep(pair[0], pair[1], contract_label, query_label)
+                if succ in targets and (succ not in seen or succ == source):
+                    steps = [step]
+                    cursor = pair
+                    while cursor != source:
+                        prev, prev_step = parents[cursor]
+                        steps.append(prev_step)
+                        cursor = prev
+                    steps.reverse()
+                    return steps, succ
+                if succ not in seen:
+                    seen.add(succ)
+                    parents[succ] = (pair, step)
+                    next_frontier.append(succ)
+        frontier = next_frontier
+    raise RuntimeError("BFS target unreachable — inconsistent SCC data")

@@ -1,0 +1,32 @@
+"""The *seeds* optimization of §6.2.4.
+
+Algorithm 2 starts a nested cycle search at every reachable product pair
+``(s, q)`` whose query state ``q`` is final.  The paper observes that the
+search is doomed unless the *contract* state ``s`` lies on a cycle of the
+contract BA that contains a contract-final state — otherwise no
+simultaneous lasso can close through the pair.  The set of such contract
+states depends only on the contract, so the broker precomputes it at
+registration time and Algorithm 2 skips all other candidate knots.
+"""
+
+from __future__ import annotations
+
+from ..automata import graph
+from ..automata.buchi import BuchiAutomaton
+
+
+def compute_seeds(contract_ba: BuchiAutomaton) -> frozenset:
+    """Contract states lying on a cycle through a contract-final state.
+
+    A state is on such a cycle iff its strongly connected component is
+    cyclic and contains a final state (any two states of an SCC share a
+    cycle).  Only pairs whose contract state is in this set can knot a
+    simultaneous lasso path.
+    """
+    reachable = graph.reachable_from(contract_ba.initial,
+                                     contract_ba.successor_states)
+    return frozenset(
+        graph.states_on_accepting_cycles(
+            reachable, contract_ba.successor_states, contract_ba.is_final
+        )
+    )

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the contract-broker library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+downstream application can install a single ``except ReproError`` guard
+around broker calls without accidentally swallowing unrelated failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class LTLSyntaxError(ReproError):
+    """Raised by the LTL parser on malformed input.
+
+    Attributes:
+        text: the full input string being parsed.
+        position: character offset at which the error was detected.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position >= 0:
+            return f"{base} (at offset {self.position})"
+        return base
+
+
+class AutomatonError(ReproError):
+    """Raised on structurally invalid automata (e.g. unknown states in a
+    transition, a final-state set that is not a subset of the states)."""
+
+
+class TranslationError(ReproError):
+    """Raised when the LTL-to-Büchi translation cannot complete, e.g. when
+    a configured state-count budget is exceeded."""
+
+
+class IndexError_(ReproError):
+    """Raised on invalid prefilter-index operations (duplicate contract
+    identifiers, lookups on an unbuilt index, bad depth bounds)."""
+
+
+class ProjectionError(ReproError):
+    """Raised on invalid projection-store operations."""
+
+
+class BrokerError(ReproError):
+    """Raised on invalid broker operations (duplicate registration,
+    querying an empty database when configured to reject it, ...)."""
+
+
+class WorkloadError(ReproError):
+    """Raised on invalid workload-generation parameters."""

@@ -1,0 +1,150 @@
+"""Complete (non-approximated) pruning conditions.
+
+§4.1.1 of the paper describes two grades of lasso pruning conditions.
+The *implemented* one (our :func:`repro.index.pruning.pruning_condition`)
+approximates: path conditions ignore intra-component labels, and cycle
+conditions only look at the knot's incoming transitions inside its SCC.
+The *complete* one enumerates actual lasso paths — "trivially,
+enumerating all lasso paths knotted in k and taking the disjunction of
+the condition for all of them, which consist of the conjunction of all
+the labels on the path".  The paper reports the approximation "has
+nearly the same number of false positives as the complete pruning
+conditions" while being much faster to build; this module implements the
+complete variant so that claim can be measured (see
+``benchmarks/bench_ablation_pruning_grade.py``).
+
+Because the number of simple paths/cycles is exponential, enumeration is
+budgeted: once ``max_paths`` prefixes or cycles have been collected for
+a knot, the remainder is over-approximated with ``TRUE`` — which keeps
+the condition *sound* (a necessary condition may only get weaker) at the
+price of precision, exactly the trade-off the paper's implementation
+makes wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..automata.buchi import BuchiAutomaton
+from ..automata.labels import Label
+from ..automata import graph
+from .condition import (
+    CondFalse,
+    CondLabel,
+    Condition,
+    TRUE_CONDITION,
+    make_and,
+    make_or,
+)
+
+State = Hashable
+
+#: Path-enumeration budget per knot; beyond it the condition falls back
+#: to TRUE (sound over-approximation).
+DEFAULT_MAX_PATHS = 512
+
+
+def complete_pruning_condition(
+    query: BuchiAutomaton, max_paths: int = DEFAULT_MAX_PATHS
+) -> Condition:
+    """The disjunction over final states of exact lasso pruning
+    conditions: (some simple prefix fully matched) ∧ (some simple cycle
+    fully matched)."""
+    reachable = graph.reachable_from(query.initial, query.successor_states)
+    disjuncts: list[Condition] = []
+    for knot in reachable:
+        if knot not in query.final:
+            continue
+        cycles = _cycle_conditions(query, knot, reachable, max_paths)
+        if isinstance(cycles, CondFalse):
+            continue
+        prefixes = _prefix_conditions(query, knot, reachable, max_paths)
+        disjuncts.append(make_and([prefixes, cycles]))
+    return make_or(disjuncts)
+
+
+def _label_leaf(label: Label) -> Condition:
+    return TRUE_CONDITION if label.is_true else CondLabel(label)
+
+
+def _prefix_conditions(
+    query: BuchiAutomaton,
+    knot: State,
+    reachable: set,
+    max_paths: int,
+) -> Condition:
+    """Disjunction over simple paths initial → knot of the conjunction of
+    their labels (the exact prefix condition)."""
+    if query.initial == knot:
+        return TRUE_CONDITION
+    conditions: list[Condition] = []
+    for labels, truncated in _simple_paths(
+        query, query.initial, knot, reachable, max_paths
+    ):
+        if truncated:
+            return TRUE_CONDITION
+        conditions.append(make_and([_label_leaf(l) for l in labels]))
+    return make_or(conditions)
+
+
+def _cycle_conditions(
+    query: BuchiAutomaton,
+    knot: State,
+    reachable: set,
+    max_paths: int,
+) -> Condition:
+    """Disjunction over simple cycles through the knot of the conjunction
+    of their labels (the exact cycle condition)."""
+    conditions: list[Condition] = []
+    for label, dst in query.successors(knot):
+        if dst == knot:  # self loop
+            conditions.append(_label_leaf(label))
+            continue
+        if dst not in reachable:
+            continue
+        for labels, truncated in _simple_paths(
+            query, dst, knot, reachable, max_paths, forbidden={knot}
+        ):
+            if truncated:
+                return TRUE_CONDITION
+            conditions.append(
+                make_and([_label_leaf(label)]
+                         + [_label_leaf(l) for l in labels])
+            )
+    return make_or(conditions)
+
+
+def _simple_paths(
+    query: BuchiAutomaton,
+    source: State,
+    target: State,
+    reachable: set,
+    max_paths: int,
+    forbidden: set | None = None,
+) -> Iterator[tuple[list[Label], bool]]:
+    """Yield ``(labels, truncated)`` for simple paths source → target.
+
+    The final yield has ``truncated=True`` when the budget ran out, so
+    callers can fall back to a sound over-approximation.
+    """
+    emitted = 0
+    # Iterative DFS over (state, path-labels, visited-set) triples.
+    stack: list[tuple[State, list[Label], frozenset]] = [
+        (source, [], frozenset({source}) | frozenset(forbidden or ()))
+    ]
+    while stack:
+        state, labels, visited = stack.pop()
+        if emitted >= max_paths:
+            yield [], True
+            return
+        for label, dst in query.successors(state):
+            if dst == target:
+                emitted += 1
+                yield labels + [label], False
+                if emitted >= max_paths:
+                    yield [], True
+                    return
+                continue
+            if dst in visited or dst not in reachable:
+                continue
+            stack.append((dst, labels + [label], visited | {dst}))

@@ -1,0 +1,233 @@
+"""Pruning-condition ASTs.
+
+A pruning condition (§4.1) is a monotone set expression over primitive
+lookups ``S(λ)`` — "the contracts having a label compatible with λ" —
+combined with unions (alternative lasso prefixes / knots) and
+intersections (labels that must all be matched).  Because the expression
+is monotone in its leaves, evaluating it against *supersets* ``S'(λ)``
+(the depth-capped index of §4.2 returns those for long labels) still
+yields a superset of the exact candidate set, which is all soundness
+requires.
+
+``TRUE`` is the unprunable condition (a final state reachable through
+unconstrained labels selects the whole database); ``FALSE`` selects
+nothing (an unsatisfiable query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..automata.labels import Label
+
+ContractSet = frozenset
+Lookup = Callable[[Label], ContractSet]
+
+
+class Condition:
+    """Base class of pruning-condition nodes."""
+
+    def evaluate(self, lookup: Lookup, universe: ContractSet) -> ContractSet:
+        """The candidate set selected by this condition.
+
+        Args:
+            lookup: the index's ``S(λ)`` (or superset ``S'(λ)``) function.
+            universe: the full set of contract ids (selected by ``TRUE``).
+        """
+        raise NotImplementedError
+
+    def labels(self) -> frozenset[Label]:
+        """Every ``S(λ)`` leaf label in the condition."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return make_and([self, other])
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return make_or([self, other])
+
+
+@dataclass(frozen=True)
+class CondTrue(Condition):
+    """Selects every contract (no pruning possible)."""
+
+    def evaluate(self, lookup: Lookup, universe: ContractSet) -> ContractSet:
+        return universe
+
+    def labels(self) -> frozenset[Label]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class CondFalse(Condition):
+    """Selects no contract."""
+
+    def evaluate(self, lookup: Lookup, universe: ContractSet) -> ContractSet:
+        return frozenset()
+
+    def labels(self) -> frozenset[Label]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "FALSE"
+
+
+TRUE_CONDITION = CondTrue()
+FALSE_CONDITION = CondFalse()
+
+
+@dataclass(frozen=True)
+class CondLabel(Condition):
+    """The primitive ``S(λ)`` lookup."""
+
+    label: Label
+
+    def evaluate(self, lookup: Lookup, universe: ContractSet) -> ContractSet:
+        return lookup(self.label)
+
+    def labels(self) -> frozenset[Label]:
+        return frozenset((self.label,))
+
+    def __str__(self) -> str:
+        return f"S({self.label})"
+
+
+@dataclass(frozen=True)
+class CondAnd(Condition):
+    """Intersection of the children's candidate sets.
+
+    The hash is cached at construction: condition trees get deep during
+    Algorithm 1's path accumulation, and the builders' deduplication
+    would otherwise re-hash whole subtrees quadratically.
+    """
+
+    children: tuple[Condition, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("and", self.children)))
+
+    def __hash__(self) -> int:  # noqa: D105 - cached structural hash
+        return self._hash  # type: ignore[attr-defined]
+
+    def evaluate(self, lookup: Lookup, universe: ContractSet) -> ContractSet:
+        result = universe
+        for child in self.children:
+            result = result & child.evaluate(lookup, universe)
+            if not result:
+                break
+        return result
+
+    def labels(self) -> frozenset[Label]:
+        out: frozenset[Label] = frozenset()
+        for child in self.children:
+            out |= child.labels()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class CondOr(Condition):
+    """Union of the children's candidate sets (hash cached, see
+    :class:`CondAnd`)."""
+
+    children: tuple[Condition, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("or", self.children)))
+
+    def __hash__(self) -> int:  # noqa: D105 - cached structural hash
+        return self._hash  # type: ignore[attr-defined]
+
+    def evaluate(self, lookup: Lookup, universe: ContractSet) -> ContractSet:
+        result: ContractSet = frozenset()
+        for child in self.children:
+            result = result | child.evaluate(lookup, universe)
+        return result
+
+    def labels(self) -> frozenset[Label]:
+        out: frozenset[Label] = frozenset()
+        for child in self.children:
+            out |= child.labels()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(c) for c in self.children) + ")"
+
+
+def make_and(children: Iterable[Condition]) -> Condition:
+    """Conjunction with flattening and identity/absorbing-element folding."""
+    flat: list[Condition] = []
+    seen: set[Condition] = set()
+    for child in _flatten(children, CondAnd):
+        if isinstance(child, CondFalse):
+            return FALSE_CONDITION
+        if isinstance(child, CondTrue) or child in seen:
+            continue
+        seen.add(child)
+        flat.append(child)
+    if not flat:
+        return TRUE_CONDITION
+    if len(flat) == 1:
+        return flat[0]
+    return CondAnd(tuple(flat))
+
+
+def make_or(children: Iterable[Condition]) -> Condition:
+    """Disjunction with flattening and identity/absorbing-element folding."""
+    flat: list[Condition] = []
+    seen: set[Condition] = set()
+    for child in _flatten(children, CondOr):
+        if isinstance(child, CondTrue):
+            return TRUE_CONDITION
+        if isinstance(child, CondFalse) or child in seen:
+            continue
+        seen.add(child)
+        flat.append(child)
+    if not flat:
+        return FALSE_CONDITION
+    if len(flat) == 1:
+        return flat[0]
+    return CondOr(tuple(flat))
+
+
+def _flatten(children: Iterable[Condition], cls: type) -> list[Condition]:
+    out: list[Condition] = []
+    for child in children:
+        if isinstance(child, cls):
+            out.extend(child.children)  # type: ignore[attr-defined]
+        else:
+            out.append(child)
+    return out
+
+
+def to_dnf(condition: Condition) -> list[list[Condition]]:
+    """The condition as a disjunction of conjunctions of primitive leaves
+    (the form Algorithm 1 describes); for display and tests.
+
+    ``TRUE`` maps to ``[[]]`` (one empty conjunct selecting everything)
+    and ``FALSE`` to ``[]``.
+    """
+    if isinstance(condition, CondTrue):
+        return [[]]
+    if isinstance(condition, CondFalse):
+        return []
+    if isinstance(condition, CondLabel):
+        return [[condition]]
+    if isinstance(condition, CondOr):
+        out: list[list[Condition]] = []
+        for child in condition.children:
+            out.extend(to_dnf(child))
+        return out
+    if isinstance(condition, CondAnd):
+        terms: list[list[Condition]] = [[]]
+        for child in condition.children:
+            child_terms = to_dnf(child)
+            terms = [t + c for t in terms for c in child_terms]
+        return terms
+    raise TypeError(f"unknown condition node: {type(condition).__name__}")

@@ -1,0 +1,156 @@
+"""The prefilter index (§4): registration-time structure + query-time use.
+
+At registration the index computes, for every transition label ``γ`` of
+the contract's BA, the expansion ``E(γ)`` with respect to the contract's
+vocabulary, and inserts the contract id into every depth-capped set-trie
+node whose literal set is contained in some expansion.  At query time the
+pruning condition extracted from the query BA (Algorithm 1) is evaluated
+against :meth:`PrefilterIndex.lookup`, yielding a candidate set that
+provably contains every permitting contract — the expensive permission
+algorithm then runs only on the candidates.
+
+Lookups of labels longer than the depth cap return the *intersection* of
+the sets of their depth-sized sub-labels; each of those is a superset of
+the exact ``S(λ)``, so the intersection still is, and monotonicity of the
+condition keeps the evaluation sound (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, islice
+
+from ..automata.buchi import BuchiAutomaton
+from ..automata.labels import Label
+from ..errors import IndexError_
+from .condition import Condition
+from .pruning import pruning_condition
+from .trie import SetTrie
+
+#: How many depth-sized sub-label combinations a long-label lookup will
+#: intersect before stopping; each combination only tightens the result,
+#: so truncation stays sound.
+_MAX_SUBSET_PROBES = 256
+
+
+@dataclass
+class PrefilterStats:
+    """Registration-side statistics (reported by the index benchmarks)."""
+
+    contracts: int = 0
+    labels_indexed: int = 0
+    node_insertions: int = 0
+    build_seconds: float = 0.0
+
+
+class PrefilterIndex:
+    """The §4 index over a database of contract BAs.
+
+    Args:
+        depth: set-trie depth cap ``k`` (§4.2); the structure grows with
+            the number of consistent literal sets of size ≤ ``k`` over
+            the vocabulary, so small values (2–3) are the practical
+            choice.
+    """
+
+    def __init__(self, depth: int = 2):
+        self._trie = SetTrie(depth=depth)
+        self._contracts: set[int] = set()
+        self.stats = PrefilterStats()
+
+    @property
+    def depth(self) -> int:
+        return self._trie.depth
+
+    @property
+    def universe(self) -> frozenset[int]:
+        """All registered contract ids (selected by the TRUE condition)."""
+        return frozenset(self._contracts)
+
+    # -- registration -------------------------------------------------------------
+
+    def add_contract(
+        self,
+        contract_id: int,
+        ba: BuchiAutomaton,
+        vocabulary: frozenset[str],
+    ) -> None:
+        """Index one contract BA under its vocabulary."""
+        if contract_id in self._contracts:
+            raise IndexError_(f"contract {contract_id} already indexed")
+        self._contracts.add(contract_id)
+        self.stats.contracts += 1
+        seen_expansions: set[frozenset] = set()
+        for label in ba.labels():
+            expansion = label.expansion(vocabulary)
+            if expansion in seen_expansions:
+                continue
+            seen_expansions.add(expansion)
+            self.stats.labels_indexed += 1
+            self.stats.node_insertions += self._trie.insert_expansion(
+                expansion, contract_id
+            )
+
+    def remove_contract(self, contract_id: int) -> None:
+        """Drop a contract from the index."""
+        if contract_id not in self._contracts:
+            raise IndexError_(f"contract {contract_id} is not indexed")
+        self._contracts.discard(contract_id)
+        self.stats.contracts -= 1
+        self._trie.remove_contract(contract_id)
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def lookup(self, label: Label) -> frozenset[int]:
+        """``S(λ)`` for short labels, the sound superset ``S'(λ)`` for
+        labels longer than the depth cap."""
+        literals = sorted(label.literals)
+        if len(literals) <= self._trie.depth:
+            return self._trie.get(literals)
+        result: frozenset[int] | None = None
+        probes = islice(
+            combinations(literals, self._trie.depth), _MAX_SUBSET_PROBES
+        )
+        for subset in probes:
+            subset_contracts = self._trie.get(subset)
+            result = (
+                subset_contracts
+                if result is None
+                else result & subset_contracts
+            )
+            if not result:
+                break
+        assert result is not None  # len(literals) > depth >= 1
+        return result
+
+    def candidates(self, query: BuchiAutomaton) -> frozenset[int]:
+        """The candidate contract set for a query BA: extract the pruning
+        condition (Algorithm 1) and evaluate it against the index."""
+        return self.evaluate(pruning_condition(query))
+
+    def evaluate(self, condition: Condition) -> frozenset[int]:
+        """Evaluate a prebuilt pruning condition against the index.
+
+        ``S(λ)`` lookups are memoized for the duration of the evaluation:
+        pruning conditions repeat the same labels across many disjuncts.
+        """
+        cache: dict[Label, frozenset[int]] = {}
+
+        def cached_lookup(label: Label) -> frozenset[int]:
+            result = cache.get(label)
+            if result is None:
+                result = self.lookup(label)
+                cache[label] = result
+            return result
+
+        return condition.evaluate(cached_lookup, self.universe)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._trie.num_nodes
+
+    def size_estimate(self) -> int:
+        """Rough entry-count footprint (paper's 'index size' metric)."""
+        return self._trie.size_estimate()

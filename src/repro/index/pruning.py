@@ -1,0 +1,136 @@
+"""Extracting pruning conditions from query BAs (Algorithm 1, §4.1).
+
+A contract can permit a query only if a *simultaneous* lasso path exists,
+which forces the contract to own a compatible label for every label on
+some lasso path of the query BA.  Enumerating query lasso paths is
+exponential, so — like the paper's implementation — we compute an
+approximated necessary condition per final state ``t``:
+
+* **cycle condition** — some incoming transition of ``t`` from inside
+  its strongly connected component must be matched (any lasso knotted at
+  ``t`` re-enters it through one of those);
+* **path condition** — the lasso prefix must cross the condensation DAG
+  from the initial state's component to ``t``'s component, so for each
+  crossed condensation edge one of the possible labels must be matched.
+  Labels *inside* a component are deliberately ignored: a prefix may or
+  may not traverse them, so "we cannot exclude any contract for not
+  having them" (Example 9).
+
+The overall pruning condition is the disjunction over final states of
+(path condition ∧ cycle condition).  The path conditions are memoized
+per component, giving the linear-time behavior the paper describes in
+§4.1.1.
+"""
+
+from __future__ import annotations
+
+from ..automata import graph
+from ..automata.buchi import BuchiAutomaton
+from .condition import (
+    FALSE_CONDITION,
+    TRUE_CONDITION,
+    CondFalse,
+    CondLabel,
+    Condition,
+    make_and,
+    make_or,
+)
+
+
+def pruning_condition(query: BuchiAutomaton) -> Condition:
+    """The pruning condition of the query BA.
+
+    Evaluating the result against the prefilter index yields a candidate
+    set guaranteed to contain every contract permitting the query (§4.1);
+    ``TRUE`` means the query cannot prune (e.g. a final state reachable
+    through unconstrained labels), ``FALSE`` means no contract can
+    possibly permit (e.g. no reachable final state on a cycle).
+    """
+    reachable = graph.reachable_from(query.initial, query.successor_states)
+    components = graph.strongly_connected_components(
+        reachable, query.successor_states
+    )
+    component_of: dict = {}
+    for i, members in enumerate(components):
+        for state in members:
+            component_of[state] = i
+
+    path_conditions = _component_path_conditions(
+        query, components, component_of, reachable
+    )
+
+    disjuncts: list[Condition] = []
+    for state in reachable:
+        if state not in query.final:
+            continue
+        cycle = _cycle_condition(query, state, component_of, reachable)
+        if isinstance(cycle, CondFalse):
+            continue
+        path = path_conditions[component_of[state]]
+        disjuncts.append(make_and([path, cycle]))
+    return make_or(disjuncts)
+
+
+def _cycle_condition(
+    query: BuchiAutomaton,
+    final_state,
+    component_of: dict,
+    reachable: set,
+) -> Condition:
+    """Disjunction of the labels on transitions entering ``final_state``
+    from within its own SCC (the paper's cycle approximation); ``FALSE``
+    when the state cannot lie on any cycle."""
+    target_component = component_of[final_state]
+    labels: list[Condition] = []
+    for src in reachable:
+        if component_of.get(src) != target_component:
+            continue
+        for label, dst in query.successors(src):
+            if dst != final_state:
+                continue
+            if label.is_true:
+                return TRUE_CONDITION
+            labels.append(CondLabel(label))
+    return make_or(labels)
+
+
+def _component_path_conditions(
+    query: BuchiAutomaton,
+    components: list[list],
+    component_of: dict,
+    reachable: set,
+) -> dict[int, Condition]:
+    """Necessary-label conditions for reaching each condensation
+    component from the initial state.
+
+    ``cond(C) = TRUE`` for the initial component; otherwise the
+    disjunction over incoming condensation edges ``D --λ--> C`` of
+    ``cond(D) ∧ S(λ)``.  Computed in one pass: Tarjan emits components in
+    reverse topological order, so iterating the list backwards visits
+    predecessors first.
+    """
+    initial_component = component_of[query.initial]
+    incoming: dict[int, list[tuple[int, Condition]]] = {}
+    for src in reachable:
+        src_component = component_of[src]
+        for label, dst in query.successors(src):
+            if dst not in component_of:
+                continue
+            dst_component = component_of[dst]
+            if dst_component == src_component:
+                continue
+            leaf = TRUE_CONDITION if label.is_true else CondLabel(label)
+            incoming.setdefault(dst_component, []).append((src_component, leaf))
+
+    conditions: dict[int, Condition] = {}
+    for index in range(len(components) - 1, -1, -1):
+        if index == initial_component:
+            conditions[index] = TRUE_CONDITION
+            continue
+        disjuncts = [
+            make_and([conditions[src], leaf])
+            for src, leaf in incoming.get(index, ())
+            if src in conditions
+        ]
+        conditions[index] = make_or(disjuncts)
+    return conditions

@@ -1,0 +1,147 @@
+"""The set-trie backing the prefilter index (§4.2).
+
+The paper adapts a TRIE [11] into a directed acyclic graph whose nodes
+are *sets of literals*: the root is the empty set, level one holds
+singletons, level two holds pairs, and so on up to a configurable depth
+``k`` (the depth cap is what keeps the structure from growing
+exponentially in the vocabulary).  A node labeled ``l`` is associated
+with the set of contracts owning a transition label ``γ`` whose
+expansion ``E(γ)`` contains ``l``.
+
+Because a node's key determines it uniquely, the DAG is realized as a
+dictionary from canonical literal tuples to nodes, with explicit child
+edges kept for ordered navigation (one literal per step — the paper's
+"linear in the number of literals" lookup).  Nodes whose literal set
+contains a complementary pair are never created: no satisfiable query
+label can ever look them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from ..errors import IndexError_
+from ..automata.labels import Label, Literal
+
+
+def _canonical(literals: Iterable[Literal]) -> tuple[Literal, ...]:
+    return tuple(sorted(literals))
+
+
+@dataclass
+class TrieNode:
+    """One node of the set-trie DAG."""
+
+    key: tuple[Literal, ...]
+    contracts: set[int] = field(default_factory=set)
+    #: child edges: adding one literal (greater than every key literal,
+    #: so each node is reached along exactly one ordered spine while the
+    #: DAG still shares nodes across unordered insertions).
+    children: dict[Literal, tuple[Literal, ...]] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        return len(self.key)
+
+
+class SetTrie:
+    """Depth-capped set-trie over literal sets.
+
+    Args:
+        depth: maximum node label size ``k`` (≥ 1).
+    """
+
+    def __init__(self, depth: int = 2):
+        if depth < 1:
+            raise IndexError_(f"trie depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._nodes: dict[tuple[Literal, ...], TrieNode] = {
+            (): TrieNode(key=())
+        }
+
+    # -- construction ---------------------------------------------------------
+
+    def insert_expansion(self, expansion: frozenset[Literal],
+                         contract_id: int) -> int:
+        """Associate ``contract_id`` with every consistent subset of
+        ``expansion`` of size ≤ depth; returns how many nodes were
+        touched."""
+        touched = 0
+        for size in range(0, self.depth + 1):
+            for subset in combinations(sorted(expansion), size):
+                if _contradictory(subset):
+                    continue
+                node = self._ensure_node(subset)
+                if contract_id not in node.contracts:
+                    node.contracts.add(contract_id)
+                    touched += 1
+        return touched
+
+    def remove_contract(self, contract_id: int) -> None:
+        """Remove a contract from every node (used on deregistration)."""
+        for node in self._nodes.values():
+            node.contracts.discard(contract_id)
+
+    def _ensure_node(self, key: tuple[Literal, ...]) -> TrieNode:
+        node = self._nodes.get(key)
+        if node is not None:
+            return node
+        node = TrieNode(key=key)
+        self._nodes[key] = node
+        if key:
+            parent = self._ensure_node(key[:-1])
+            parent.children[key[-1]] = key
+        return node
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, literals: Iterable[Literal]) -> frozenset[int]:
+        """The contract set of the node labeled exactly by ``literals``
+        (empty if no such node); requires ``len(literals) <= depth``."""
+        key = _canonical(literals)
+        if len(key) > self.depth:
+            raise IndexError_(
+                f"exact lookup of {len(key)} literals exceeds depth {self.depth}"
+            )
+        node = self._walk(key)
+        if node is None:
+            return frozenset()
+        return frozenset(node.contracts)
+
+    def _walk(self, key: tuple[Literal, ...]) -> TrieNode | None:
+        """Navigate from the root one literal at a time (the DAG walk the
+        paper describes; equivalent to a direct dictionary probe but kept
+        explicit so the structure is honest)."""
+        node = self._nodes[()]
+        for literal in key:
+            child_key = node.children.get(literal)
+            if child_key is None:
+                return None
+            node = self._nodes[child_key]
+        return node
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[TrieNode]:
+        return iter(self._nodes.values())
+
+    def size_estimate(self) -> int:
+        """Rough memory footprint: total contract-id entries plus node
+        keys (a stand-in for the paper's on-disk index size metric)."""
+        return sum(len(n.contracts) + len(n.key) for n in self._nodes.values())
+
+
+def _contradictory(literals: tuple[Literal, ...]) -> bool:
+    events: dict[str, bool] = {}
+    for lit in literals:
+        seen = events.get(lit.event)
+        if seen is not None and seen != lit.positive:
+            return True
+        events[lit.event] = lit.positive
+    return False

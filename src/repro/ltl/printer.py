@@ -1,0 +1,83 @@
+"""Pretty-printing of LTL formulas.
+
+Produces the concrete syntax accepted back by :mod:`repro.ltl.parser`, so
+``parse(format_formula(f)) == f`` holds structurally (a property exercised
+by the round-trip tests).
+
+Operator precedence, loosest to tightest::
+
+    <->   ->   ||   &&   U/W/B/R   (unary: ! X F G)   atoms
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+
+# Precedence levels; higher binds tighter.
+_PREC_IFF = 1
+_PREC_IMPLIES = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_TEMPORAL_BIN = 5
+_PREC_UNARY = 6
+_PREC_ATOM = 7
+
+_BINARY_SYMBOLS: dict[type, tuple[str, int]] = {
+    A.Iff: ("<->", _PREC_IFF),
+    A.Implies: ("->", _PREC_IMPLIES),
+    A.Or: ("||", _PREC_OR),
+    A.And: ("&&", _PREC_AND),
+    A.Until: ("U", _PREC_TEMPORAL_BIN),
+    A.WeakUntil: ("W", _PREC_TEMPORAL_BIN),
+    A.Before: ("B", _PREC_TEMPORAL_BIN),
+    A.Release: ("R", _PREC_TEMPORAL_BIN),
+}
+
+_UNARY_SYMBOLS: dict[type, str] = {
+    A.Not: "!",
+    A.Next: "X",
+    A.Finally: "F",
+    A.Globally: "G",
+}
+
+
+def format_formula(formula: A.Formula) -> str:
+    """Render ``formula`` as a parseable string."""
+    return _format(formula, 0)
+
+
+def _format(formula: A.Formula, parent_prec: int) -> str:
+    if isinstance(formula, A.TrueConst):
+        return "true"
+    if isinstance(formula, A.FalseConst):
+        return "false"
+    if isinstance(formula, A.Prop):
+        return formula.name
+
+    cls = type(formula)
+    if cls in _UNARY_SYMBOLS:
+        symbol = _UNARY_SYMBOLS[cls]
+        inner = _format(formula.operand, _PREC_UNARY)  # type: ignore[attr-defined]
+        # Alphabetic unary operators need a space before an alphanumeric
+        # operand ("X p"); "!" reads fine without one.
+        sep = "" if symbol == "!" else " "
+        text = f"{symbol}{sep}{inner}"
+        return _parenthesize(text, _PREC_UNARY, parent_prec)
+
+    if cls in _BINARY_SYMBOLS:
+        symbol, prec = _BINARY_SYMBOLS[cls]
+        # All binary operators are rendered non-associatively: children at
+        # the same level get parentheses, which keeps the output unambiguous
+        # regardless of the parser's associativity choices.
+        left = _format(formula.left, prec + 1)  # type: ignore[attr-defined]
+        right = _format(formula.right, prec + 1)  # type: ignore[attr-defined]
+        text = f"{left} {symbol} {right}"
+        return _parenthesize(text, prec, parent_prec)
+
+    raise TypeError(f"unknown formula node: {cls.__name__}")
+
+
+def _parenthesize(text: str, prec: int, parent_prec: int) -> str:
+    if prec < parent_prec:
+        return f"({text})"
+    return text

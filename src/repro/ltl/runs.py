@@ -1,0 +1,137 @@
+"""Ultimately-periodic runs: the finite representation of temporal sequences.
+
+The paper's formal model (§6.1) is the *run*: an infinite sequence of
+snapshots, each snapshot a truth assignment over the event vocabulary.
+Every satisfiable LTL formula has an ultimately-periodic model — a run of
+the shape ``prefix · loop^ω`` — and every lasso path of a Büchi automaton
+denotes such runs, so this finite representation is lossless for all the
+reasoning the library performs.
+
+A snapshot is represented as a ``frozenset`` of the event names true at
+that instant; every event not in the set is false.  This matches the
+paper's remark that finite sequences are encoded by appending dummy
+(empty) snapshots forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+Snapshot = frozenset
+
+
+def snapshot(*events: str) -> Snapshot:
+    """Build a snapshot in which exactly ``events`` are true."""
+    return frozenset(events)
+
+
+#: The empty snapshot (no event happens) used to pad finite sequences.
+EMPTY_SNAPSHOT: Snapshot = frozenset()
+
+
+@dataclass(frozen=True)
+class Run:
+    """An ultimately-periodic run ``prefix · loop^ω``.
+
+    Attributes:
+        prefix: finite, possibly empty sequence of snapshots.
+        loop: finite, non-empty sequence of snapshots repeated forever.
+    """
+
+    prefix: tuple[Snapshot, ...]
+    loop: tuple[Snapshot, ...]
+
+    def __post_init__(self) -> None:
+        if not self.loop:
+            raise ValueError("the loop of an ultimately-periodic run is non-empty")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls,
+        prefix: Iterable[Iterable[str]],
+        loop: Iterable[Iterable[str]] = ((),),
+    ) -> "Run":
+        """Build a run from per-instant iterables of true event names.
+
+        >>> Run.from_events([["purchase"], ["use"]])   # then nothing forever
+        """
+        return cls(
+            tuple(frozenset(s) for s in prefix),
+            tuple(frozenset(s) for s in loop),
+        )
+
+    @classmethod
+    def finite(cls, snapshots: Iterable[Iterable[str]]) -> "Run":
+        """Encode a finite sequence by appending empty snapshots forever,
+        exactly as the paper suggests (§2.3)."""
+        return cls.from_events(snapshots, [()])
+
+    # -- positional structure ---------------------------------------------------
+
+    @property
+    def period_start(self) -> int:
+        """Index of the first position inside the loop."""
+        return len(self.prefix)
+
+    @property
+    def num_positions(self) -> int:
+        """Number of distinct positions (prefix plus one loop unrolling)."""
+        return len(self.prefix) + len(self.loop)
+
+    def successor(self, position: int) -> int:
+        """The position reached one instant after ``position``."""
+        if position < 0 or position >= self.num_positions:
+            raise IndexError(f"position {position} out of range")
+        if position == self.num_positions - 1:
+            return self.period_start
+        return position + 1
+
+    def at(self, position: int) -> Snapshot:
+        """Snapshot at a distinct position (``0 <= position < num_positions``)."""
+        if position < len(self.prefix):
+            return self.prefix[position]
+        return self.loop[position - len(self.prefix)]
+
+    def instant(self, time: int) -> Snapshot:
+        """Snapshot at an arbitrary time point ``t >= 0`` of the infinite run."""
+        if time < 0:
+            raise IndexError("time must be non-negative")
+        if time < len(self.prefix):
+            return self.prefix[time]
+        return self.loop[(time - len(self.prefix)) % len(self.loop)]
+
+    def positions(self) -> Iterator[int]:
+        """Iterate over the distinct positions in order."""
+        return iter(range(self.num_positions))
+
+    # -- transformations ----------------------------------------------------------
+
+    def project(self, events: Iterable[str]) -> "Run":
+        """The V-projection of the run onto a set of events (Definition 3):
+        every snapshot is restricted to the given events."""
+        keep = frozenset(events)
+        return Run(
+            tuple(s & keep for s in self.prefix),
+            tuple(s & keep for s in self.loop),
+        )
+
+    def variables(self) -> frozenset[str]:
+        """All events that occur in at least one snapshot."""
+        out: set[str] = set()
+        for snap in self.prefix + self.loop:
+            out |= snap
+        return frozenset(out)
+
+    def unroll(self, length: int) -> list[Snapshot]:
+        """The first ``length`` snapshots of the infinite run (for display
+        and debugging)."""
+        return [self.instant(t) for t in range(length)]
+
+    def __str__(self) -> str:
+        def fmt(snaps: Sequence[Snapshot]) -> str:
+            return " ".join("{" + ",".join(sorted(s)) + "}" for s in snaps)
+
+        return f"{fmt(self.prefix)} ({fmt(self.loop)})^w".strip()

@@ -1,0 +1,129 @@
+"""Ground-truth LTL semantics over ultimately-periodic runs.
+
+This module is the library's *oracle*: it evaluates any LTL formula
+directly from the inductive satisfaction relation of §6.1, restricted to
+ultimately-periodic runs (which is lossless, since LTL cannot distinguish
+a run from any run with the same prefix/loop unrolling and every
+satisfiable formula has an ultimately-periodic model).
+
+The evaluator is deliberately simple — a per-position truth table per
+subformula, with least/greatest fixpoint iteration for ``U``/``R`` — and
+completely independent of the automata pipeline, so it can serve as the
+reference implementation in differential tests of the LTL-to-Büchi
+translation.
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+from .ast import Formula
+from .rewrite import nnf
+from .runs import Run
+
+
+def satisfies(run: Run, formula: Formula) -> bool:
+    """Decide ``run |= formula`` (satisfaction at instant 0).
+
+    >>> from repro.ltl.parser import parse
+    >>> from repro.ltl.runs import Run
+    >>> run = Run.from_events([["purchase"], ["use"]])
+    >>> satisfies(run, parse("purchase && X use"))
+    True
+    """
+    table = evaluate_positions(run, formula)
+    return table[0]
+
+
+def evaluate_positions(run: Run, formula: Formula) -> list[bool]:
+    """Truth value of ``formula`` at every distinct position of ``run``.
+
+    Index ``i`` of the result is the value of the formula on the suffix
+    ``run|_i`` (the paper's tail notation).
+    """
+    core = nnf(formula)
+    memo: dict[Formula, list[bool]] = {}
+    return _table(core, run, memo)
+
+
+def _table(formula: Formula, run: Run, memo: dict[Formula, list[bool]]) -> list[bool]:
+    cached = memo.get(formula)
+    if cached is not None:
+        return cached
+
+    n = run.num_positions
+    if isinstance(formula, A.TrueConst):
+        result = [True] * n
+    elif isinstance(formula, A.FalseConst):
+        result = [False] * n
+    elif isinstance(formula, A.Prop):
+        result = [formula.name in run.at(i) for i in range(n)]
+    elif isinstance(formula, A.Not):
+        # NNF guarantees the operand is a proposition.
+        inner = _table(formula.operand, run, memo)
+        result = [not v for v in inner]
+    elif isinstance(formula, A.And):
+        left = _table(formula.left, run, memo)
+        right = _table(formula.right, run, memo)
+        result = [a and b for a, b in zip(left, right)]
+    elif isinstance(formula, A.Or):
+        left = _table(formula.left, run, memo)
+        right = _table(formula.right, run, memo)
+        result = [a or b for a, b in zip(left, right)]
+    elif isinstance(formula, A.Next):
+        inner = _table(formula.operand, run, memo)
+        result = [inner[run.successor(i)] for i in range(n)]
+    elif isinstance(formula, A.Until):
+        result = _until_table(formula, run, memo)
+    elif isinstance(formula, A.Release):
+        result = _release_table(formula, run, memo)
+    else:  # pragma: no cover - nnf() eliminates every other operator
+        raise TypeError(f"non-core formula after NNF: {type(formula).__name__}")
+
+    memo[formula] = result
+    return result
+
+
+def _until_table(formula: A.Until, run: Run, memo: dict) -> list[bool]:
+    """Least fixpoint of  val = q || (p && X val)  on the lasso graph.
+
+    Starting from all-false and iterating to stability yields the least
+    fixpoint, which is the correct semantics for the (liveness) until: a
+    loop where ``p`` holds forever but ``q`` never does must evaluate to
+    false.
+    """
+    hold = _table(formula.left, run, memo)
+    target = _table(formula.right, run, memo)
+    n = run.num_positions
+    value = [False] * n
+    changed = True
+    while changed:
+        changed = False
+        # Iterate backwards so information propagates quickly along the
+        # prefix; the loop part stabilizes within a few sweeps.
+        for i in range(n - 1, -1, -1):
+            new = target[i] or (hold[i] and value[run.successor(i)])
+            if new != value[i]:
+                value[i] = new
+                changed = True
+    return value
+
+
+def _release_table(formula: A.Release, run: Run, memo: dict) -> list[bool]:
+    """Greatest fixpoint of  val = q && (p || X val)  — dual of until.
+
+    Starting from all-true captures the safety reading: a loop where ``q``
+    holds forever satisfies ``p R q`` even if ``p`` never does.
+    """
+    release = _table(formula.left, run, memo)
+    hold = _table(formula.right, run, memo)
+    n = run.num_positions
+    value = [True] * n
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            new = hold[i] and (release[i] or value[run.successor(i)])
+            if new != value[i]:
+                value[i] = new
+                changed = True
+    return value

@@ -1,0 +1,26 @@
+"""The bisimulation optimization (§5): projections of contract BAs and
+the per-contract store of precomputed simplified automata.
+
+Typical use::
+
+    from repro.projection import ProjectionStore
+
+    store = ProjectionStore(contract_ba, max_subset_size=2)
+    simplified = store.select(query_ba.literals())
+    permits(simplified, query_ba, vocabulary)   # same verdict, faster
+"""
+
+from .project import (
+    project,
+    required_literals,
+    workload_projection_subsets,
+)
+from .store import ProjectionStats, ProjectionStore
+
+__all__ = [
+    "project",
+    "required_literals",
+    "workload_projection_subsets",
+    "ProjectionStats",
+    "ProjectionStore",
+]

@@ -1,0 +1,262 @@
+"""The per-contract projection store (§5.2–§5.3).
+
+At registration time the store computes, for every subset ``L`` of the
+contract's cited literals up to a configurable size cap, the coarsest
+bisimulation *partition* of the projected automaton ``π_L(A)``.  As the
+paper notes, storing the partition (a list of bisimilar-state classes)
+is enough — the quotient graph is materialized lazily at query time from
+the original BA, so storage stays a small fraction of the database.
+
+Two ingredients keep the all-subsets computation tractable (§5.3):
+
+* **refinement reuse** (Theorem 3): for ``L' ⊇ L`` the partition for
+  ``L'`` refines the one for ``L``, so the subset lattice is traversed
+  small-to-large and each refinement is *seeded* with a parent's
+  partition instead of restarting from the {final, non-final} split;
+* **deduplication**: most subsets induce the *same* partition (the
+  paper observed ~5% distinct); partitions are stored once, keyed by a
+  canonical signature, and subsets map to signature ids.
+
+At query time :meth:`ProjectionStore.select` returns the smallest stored
+automaton equivalent to the contract for the given query literals —
+falling back to the full automaton when the required literal set exceeds
+every stored subset (the case the complementary prefilter optimization
+handles best, §5.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from ..automata.bisim import (
+    Partition,
+    bisimulation_partition,
+    blocks_of,
+    partition_signature,
+    quotient,
+)
+from ..automata.buchi import BuchiAutomaton
+from ..automata.labels import Literal
+from ..core.seeds import compute_seeds
+from ..errors import ProjectionError
+from .project import project, required_literals
+
+
+@dataclass
+class ProjectionStats:
+    """Precomputation statistics (reported by the index benchmarks)."""
+
+    subsets_considered: int = 0
+    partitions_computed: int = 0
+    distinct_partitions: int = 0
+    build_seconds: float = 0.0
+    stored_blocks: int = 0
+
+
+class ProjectionStore:
+    """Precomputed simplified projections of one contract BA.
+
+    Args:
+        ba: the (already reduced) contract BA.
+        max_subset_size: cap on the size of projected literal subsets;
+            ``None`` precomputes every subset (exponential in the cited
+            literals — only sensible for small contracts).  Queries whose
+            required literal set is larger than the cap simply fall back
+            to the full automaton (§5.2).
+    """
+
+    def __init__(
+        self,
+        ba: BuchiAutomaton,
+        max_subset_size: int | None = 2,
+        extra_subsets: Iterable[frozenset] = (),
+    ):
+        self.ba = ba
+        self.literals = ba.literals()
+        self.max_subset_size = max_subset_size
+        self._extra_subsets = [
+            frozenset(s) & self.literals for s in extra_subsets
+        ]
+        self.stats = ProjectionStats()
+        #: subset -> id of its partition in _partitions
+        self._subset_to_partition: dict[frozenset[Literal], int] = {}
+        #: deduplicated partitions, as state->block mappings
+        self._partitions: list[Partition] = []
+        self._signature_to_id: dict[frozenset, int] = {}
+        #: lazily materialized quotient automata, keyed by (partition id,
+        #: subset) — the labels depend on the subset, the shape on the
+        #: partition.
+        self._quotients: dict[tuple[int, frozenset[Literal]], BuchiAutomaton] = {}
+        #: seeds (§6.2.4) of each materialized quotient, keyed like
+        #: _quotients, so the permission algorithm never recomputes them.
+        self._quotient_seeds: dict[tuple[int, frozenset[Literal]], frozenset] = {}
+        self._build()
+
+    # -- registration-time computation -----------------------------------------
+
+    def _build(self) -> None:
+        start = time.perf_counter()
+        cap = self.max_subset_size
+        sizes: Iterable[int]
+        if cap is None:
+            sizes = range(0, len(self.literals) + 1)
+        else:
+            sizes = range(0, min(cap, len(self.literals)) + 1)
+        ordered = sorted(self.literals)
+        for size in sizes:
+            for subset_tuple in combinations(ordered, size):
+                subset = frozenset(subset_tuple)
+                self.stats.subsets_considered += 1
+                self._compute_subset(subset)
+        # Workload-guided extras (§5.2): projections for the literal sets
+        # an expected query workload will actually request, regardless of
+        # their size.  Sorted smallest-first so larger extras can seed
+        # from smaller ones.
+        for subset in sorted(set(self._extra_subsets), key=len):
+            if subset in self._subset_to_partition:
+                continue
+            self.stats.subsets_considered += 1
+            self._compute_subset(subset)
+        self.stats.build_seconds = time.perf_counter() - start
+        self.stats.distinct_partitions = len(self._partitions)
+        self._block_counts = [
+            len(set(p.values())) for p in self._partitions
+        ]
+        self.stats.stored_blocks = sum(self._block_counts)
+
+    def _compute_subset(self, subset: frozenset[Literal]) -> None:
+        seed: Partition | None = None
+        if subset:
+            # Theorem 3: any stored subset of this one yields a valid
+            # coarsening to seed from; prefer the finest minus-one parent,
+            # falling back to a scan (needed for workload-guided extras
+            # whose immediate parents were never computed).
+            best_blocks = -1
+            for literal in subset:
+                parent_id = self._subset_to_partition.get(subset - {literal})
+                if parent_id is None:
+                    continue
+                parent = self._partitions[parent_id]
+                blocks = len(set(parent.values()))
+                if blocks > best_blocks:
+                    best_blocks = blocks
+                    seed = parent
+            if seed is None:
+                for stored, parent_id in self._subset_to_partition.items():
+                    if not stored < subset:
+                        continue
+                    parent = self._partitions[parent_id]
+                    blocks = len(set(parent.values()))
+                    if blocks > best_blocks:
+                        best_blocks = blocks
+                        seed = parent
+        projected = project(self.ba, subset)
+        partition = bisimulation_partition(projected, seed=seed)
+        self.stats.partitions_computed += 1
+        signature = partition_signature(partition)
+        partition_id = self._signature_to_id.get(signature)
+        if partition_id is None:
+            partition_id = len(self._partitions)
+            self._partitions.append(partition)
+            self._signature_to_id[signature] = partition_id
+        self._subset_to_partition[subset] = partition_id
+
+    def precompute(self, subsets: Iterable[frozenset]) -> int:
+        """Add projections for explicit literal subsets after the fact.
+
+        This is the §5.2 workload-guided route: given the literal sets an
+        expected query workload requests (see
+        :func:`workload_projection_subsets`), precompute exactly those in
+        addition to the capped lattice.  Returns how many new subsets
+        were computed.
+        """
+        start = time.perf_counter()
+        added = 0
+        for subset in sorted(
+            {frozenset(s) & self.literals for s in subsets}, key=len
+        ):
+            if subset in self._subset_to_partition:
+                continue
+            self.stats.subsets_considered += 1
+            self._compute_subset(subset)
+            added += 1
+        self.stats.build_seconds += time.perf_counter() - start
+        self.stats.distinct_partitions = len(self._partitions)
+        self._block_counts = [
+            len(set(p.values())) for p in self._partitions
+        ]
+        self.stats.stored_blocks = sum(self._block_counts)
+        return added
+
+    # -- query-time use ------------------------------------------------------------
+
+    def select(self, query_literals: Iterable[Literal]) -> BuchiAutomaton:
+        """The smallest stored automaton equivalent to the contract for a
+        query citing ``query_literals`` (Theorem 7 / Theorem 9); the full
+        automaton if nothing smaller applies."""
+        ba, _ = self.select_with_seeds(query_literals)
+        return ba
+
+    def select_with_seeds(
+        self, query_literals: Iterable[Literal]
+    ) -> tuple[BuchiAutomaton, frozenset | None]:
+        """Like :meth:`select`, also returning the cached §6.2.4 seed set
+        of the chosen automaton (``None`` when the full BA is returned,
+        whose seeds the caller — the broker — precomputed itself)."""
+        needed = required_literals(query_literals, self.literals)
+        best: tuple[int, frozenset[Literal]] | None = None
+        best_blocks = self.ba.num_states + 1
+        for subset, partition_id in self._subset_to_partition.items():
+            if not needed <= subset:
+                continue
+            blocks = self._block_counts[partition_id]
+            if blocks < best_blocks:
+                best_blocks = blocks
+                best = (partition_id, subset)
+        if best is None or best_blocks >= self.ba.num_states:
+            return self.ba, None
+        return self._materialize(*best)
+
+    def _materialize(
+        self, partition_id: int, subset: frozenset[Literal]
+    ) -> tuple[BuchiAutomaton, frozenset]:
+        key = (partition_id, subset)
+        cached = self._quotients.get(key)
+        if cached is None:
+            projected = project(self.ba, subset)
+            cached = quotient(projected, self._partitions[partition_id])
+            self._quotients[key] = cached
+            self._quotient_seeds[key] = compute_seeds(cached)
+        return cached, self._quotient_seeds[key]
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def num_subsets(self) -> int:
+        return len(self._subset_to_partition)
+
+    @property
+    def num_distinct_partitions(self) -> int:
+        return len(self._partitions)
+
+    def partition_for(self, subset: frozenset[Literal]) -> list[frozenset]:
+        """The stored bisimilar-state classes for one subset (for tests
+        and introspection)."""
+        partition_id = self._subset_to_partition.get(frozenset(subset))
+        if partition_id is None:
+            raise ProjectionError(f"no stored projection for {set(subset)}")
+        return blocks_of(self._partitions[partition_id])
+
+    def has_subset(self, subset: frozenset) -> bool:
+        """True iff a projection for exactly this literal set is stored."""
+        return frozenset(subset) in self._subset_to_partition
+
+    def storage_estimate(self) -> int:
+        """Entries needed to persist the store: per distinct partition its
+        state->class list, plus the subset->partition map — the paper's
+        'list of bisimilar states' footprint (§5.2)."""
+        partition_entries = sum(len(p) for p in self._partitions)
+        return partition_entries + len(self._subset_to_partition)

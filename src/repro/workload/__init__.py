@@ -1,0 +1,32 @@
+"""Synthetic workload generation (§7.2) and domain fixtures.
+
+Typical use::
+
+    from repro.workload import WorkloadGenerator, SCALED_DATASETS
+
+    gen = WorkloadGenerator(vocabulary_size=12, seed=7)
+    contracts = gen.generate_specs(100, num_patterns=3)
+"""
+
+from .datasets import (
+    PAPER_DATASETS,
+    SCALED_DATASETS,
+    DatasetConfig,
+    DatasetStatistics,
+    dataset_statistics,
+)
+from .generator import GeneratedSpec, PatternSampler, WorkloadGenerator
+from .vocabulary import PAPER_VOCABULARY_SIZE, numbered_vocabulary
+
+__all__ = [
+    "PAPER_DATASETS",
+    "SCALED_DATASETS",
+    "DatasetConfig",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "GeneratedSpec",
+    "PatternSampler",
+    "WorkloadGenerator",
+    "PAPER_VOCABULARY_SIZE",
+    "numbered_vocabulary",
+]

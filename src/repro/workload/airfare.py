@@ -1,0 +1,155 @@
+"""The paper's running airfare example as a reusable fixture.
+
+Encodes the event vocabulary of Example 3, the common clauses C1–C5 of
+Example 5 (including the one-event-per-instant convention C0), and the
+three ticket policies of Example 2:
+
+* **Ticket A** — no refunds after a date change; unlimited date changes;
+* **Ticket B** — refunds always allowed; date changes only before the
+  scheduled departure (modeled, as in Example 5, as "no date change
+  after a missed flight");
+* **Ticket C** — no refunds; a single date change; only before the
+  scheduled departure.
+
+Two of the paper's clauses are adjusted to be satisfiable under the
+standard reflexive-``F`` semantics the paper itself defines in §6.1
+(``F p == true U p`` holds already when ``p`` holds *now*):
+
+* C2 is used un-``G``-ed — wrapping the before-clause in ``G`` would
+  require a fresh purchase between every pair of events;
+* C4/C5's "no other event can happen" use ``X G(no events)`` rather
+  than ``!F(...)``, since the triggering event itself would otherwise
+  falsify the consequent.
+
+The module also provides the queries of Examples 2 and 4 and their
+expected outcomes, which the integration tests assert verbatim.
+"""
+
+from __future__ import annotations
+
+from ..broker.contract import ContractSpec
+from ..ltl.parser import parse
+
+#: Example 3's vocabulary for single-trip flights.
+EVENTS: tuple[str, ...] = (
+    "purchase",
+    "use",
+    "missedFlight",
+    "refund",
+    "dateChange",
+)
+
+
+def one_event_per_instant() -> list[str]:
+    """C0: at most one event happens in each instant (Example 5)."""
+    return [
+        f"G({first} -> !{second})"
+        for first in EVENTS
+        for second in EVENTS
+        if first != second
+    ]
+
+
+def common_clauses() -> list[str]:
+    """C0–C5: the domain axioms shared by every airfare (Example 5)."""
+    others = " || ".join(e for e in EVENTS if e != "purchase")
+    no_more = " && ".join(f"!{e}" for e in EVENTS)
+    return one_event_per_instant() + [
+        # C1: the ticket is purchased once.
+        "G(purchase -> X(!F purchase))",
+        # C2: purchase precedes every other event.
+        f"purchase B ({others})",
+        # C3: a missed flight makes the ticket unusable unless rescheduled.
+        "G((missedFlight -> !F use) W dateChange)",
+        # C4: after a refund nothing else happens.
+        f"G(refund -> X G({no_more}))",
+        # C5: after the ticket is used nothing else happens.
+        f"G(use -> X G({no_more}))",
+    ]
+
+
+#: Ticket-specific policy clauses (Example 5).
+TICKET_CLAUSES: dict[str, list[str]] = {
+    "Ticket A": [
+        "G(dateChange -> !F refund)",
+    ],
+    "Ticket B": [
+        "G(missedFlight -> !F dateChange)",
+    ],
+    "Ticket C": [
+        "G(!refund)",
+        "G(dateChange -> X(!F dateChange))",
+        "G(missedFlight -> !F dateChange)",
+    ],
+}
+
+#: Illustrative relational attributes for the broker examples (the San
+#: Diego - New York scenario of Example 2).
+TICKET_ATTRIBUTES: dict[str, dict] = {
+    "Ticket A": {
+        "airline": "United", "cabin": "business",
+        "origin": "SAN", "destination": "JFK",
+        "date": "2010-10-19", "price": 980,
+    },
+    "Ticket B": {
+        "airline": "AA", "cabin": "economy",
+        "origin": "SAN", "destination": "JFK",
+        "date": "2010-10-19", "price": 640,
+    },
+    "Ticket C": {
+        "airline": "Delta", "cabin": "economy",
+        "origin": "SAN", "destination": "JFK",
+        "date": "2010-10-19", "price": 310,
+    },
+}
+
+
+def ticket_spec(name: str) -> ContractSpec:
+    """The full :class:`ContractSpec` of one ticket: common clauses plus
+    its policy clauses plus its relational attributes."""
+    clauses = [parse(c) for c in common_clauses() + TICKET_CLAUSES[name]]
+    return ContractSpec(
+        name=name,
+        clauses=tuple(clauses),
+        attributes=TICKET_ATTRIBUTES[name],
+    )
+
+
+def all_ticket_specs() -> list[ContractSpec]:
+    """Specs for Tickets A, B and C, in order."""
+    return [ticket_spec(name) for name in TICKET_CLAUSES]
+
+
+#: Queries from the paper with their expected result sets.
+QUERIES: dict[str, dict] = {
+    # Example 2: "allows a partial ticket refund or a date change after
+    # the first leg has been missed" — returns A and B, not C.
+    "refund_or_change_after_miss": {
+        "ltl": "F(missedFlight && F(refund || dateChange))",
+        "expected": {"Ticket A", "Ticket B"},
+    },
+    # Figure 1b: a refund after a missed flight.
+    "refund_after_miss": {
+        "ltl": "F(missedFlight && F refund)",
+        "expected": {"Ticket A", "Ticket B"},
+    },
+    # Example 4 (Q2): a class upgrade after a date change — no ticket
+    # cites class upgrades, so none is returned (§2.1).
+    "upgrade_after_change": {
+        "ltl": "F(dateChange && F classUpgrade)",
+        "expected": set(),
+    },
+    # §2.1 (Q3): after a date change, a class upgrade OR a refund — only
+    # Ticket B explicitly allows refunds after date changes.
+    "upgrade_or_refund_after_change": {
+        "ltl": "F(dateChange && F(classUpgrade || refund))",
+        "expected": {"Ticket B"},
+    },
+    # Figure 2c: two date changes.  Ticket C caps date changes at one and
+    # is excluded; A is unlimited, and B's Example-5 modeling only forbids
+    # changes after a missed flight, so both A and B permit.
+    "two_date_changes": {
+        "ltl": "F(dateChange && X F dateChange)",
+        "expected": {"Ticket A", "Ticket B"},
+    },
+}

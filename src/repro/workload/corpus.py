@@ -1,0 +1,293 @@
+"""A curated corpus of realistic service contracts.
+
+The paper motivates the broker with markets where "there is no
+negotiation of the contracts, but that present many possible choices in
+direct competition (e.g. airfares, insurances, warranties)" (§1).  This
+module provides a hand-written corpus across four such domains, each
+with its own event vocabulary, several competing contracts whose
+policies genuinely differ in temporal behavior, and a set of customer
+questions with their expected answers.
+
+The corpus serves three purposes: richer-than-synthetic integration
+tests, a demo dataset for the examples and the CLI, and documentation of
+how natural-language fine print maps onto declarative clauses
+(requirement iv of §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..broker.contract import ContractSpec
+from ..broker.vocabulary import EventVocabulary
+from ..ltl.parser import parse
+
+
+@dataclass(frozen=True)
+class CorpusDomain:
+    """One market domain: a vocabulary, competing contracts, questions."""
+
+    name: str
+    vocabulary: EventVocabulary
+    contracts: tuple[ContractSpec, ...]
+    #: question text -> (LTL, expected contract names)
+    questions: Mapping[str, tuple[str, frozenset[str]]]
+
+
+def _spec(name: str, clauses: Sequence[str], **attributes) -> ContractSpec:
+    return ContractSpec(
+        name=name,
+        clauses=tuple(parse(c) for c in clauses),
+        attributes=attributes,
+    )
+
+
+def _exclusive(events: Sequence[str]) -> list[str]:
+    """The paper's C0 convention (Example 5): at most one event per
+    instant, as pairwise exclusion clauses."""
+    return [
+        f"G({first} -> !{second})"
+        for first in events
+        for second in events
+        if first != second
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Domain 1: extended warranties for electronics
+# ---------------------------------------------------------------------------
+
+def _warranty_domain() -> CorpusDomain:
+    vocabulary = EventVocabulary.describe(
+        purchase="the device is purchased",
+        defect="a covered defect occurs",
+        repair="the device is repaired under warranty",
+        replace="the device is replaced under warranty",
+        claimDenied="a warranty claim is denied",
+        transfer="the warranty is transferred to a new owner",
+        expire="the warranty expires",
+    )
+    common = _exclusive(list(vocabulary.names())) + [
+        "purchase B (defect || repair || replace || claimDenied || transfer || expire)",
+        "G(expire -> G(!repair && !replace))",
+        "defect B repair",
+        "defect B replace",
+    ]
+    contracts = (
+        _spec("EconomyCare", common + [
+            # one repair, never a replacement, no transfers
+            "G(repair -> X(!F repair))",
+            "G(!replace)",
+            "G(!transfer)",
+        ], price=49, term_years=1),
+        _spec("StandardCare", common + [
+            # repairs unlimited; a replacement ends coverage
+            "G(replace -> X G(!repair && !replace))",
+            # transferable once
+            "G(transfer -> X(!F transfer))",
+        ], price=99, term_years=2),
+        _spec("PremiumCare", common + [
+            # every defect is eventually remedied, never denied
+            "G(defect -> F(repair || replace))",
+            "G(!claimDenied)",
+        ], price=199, term_years=3),
+    )
+    questions = {
+        "Can I get a second repair?": (
+            "F(repair && X F repair)",
+            frozenset({"StandardCare", "PremiumCare"}),
+        ),
+        "Could a claim simply be denied?": (
+            "F claimDenied",
+            frozenset({"EconomyCare", "StandardCare"}),
+        ),
+        "Can coverage continue after a replacement?": (
+            "F(replace && X F repair)",
+            frozenset({"PremiumCare"}),
+        ),
+        "Can I sell the device with the warranty?": (
+            "F transfer",
+            frozenset({"StandardCare", "PremiumCare"}),
+        ),
+    }
+    return CorpusDomain("warranty", vocabulary, contracts, questions)
+
+
+# ---------------------------------------------------------------------------
+# Domain 2: SaaS service-level agreements
+# ---------------------------------------------------------------------------
+
+def _saas_domain() -> CorpusDomain:
+    vocabulary = EventVocabulary.describe(
+        subscribe="the customer subscribes",
+        outage="a service outage occurs",
+        credit="a service credit is issued",
+        priceIncrease="the subscription price is raised",
+        cancel="the provider terminates the subscription",
+        exportData="the customer exports their data",
+    )
+    common = _exclusive(list(vocabulary.names())) + [
+        "subscribe B (outage || credit || priceIncrease || cancel || exportData)",
+        "outage B credit",
+    ]
+    contracts = (
+        _spec("FreeTier", common + [
+            # no credits ever; the provider may cancel at will; price
+            # can rise at any time; data export only before cancellation
+            "G(!credit)",
+            "G(cancel -> G !exportData)",
+        ], monthly=0),
+        _spec("BusinessSLA", common + [
+            # every outage is eventually credited
+            "G(outage -> F credit)",
+            # never cancelled while the customer has pending credits:
+            # cancellation must be preceded by a credit for every outage
+            "G(cancel -> !F outage)",
+            # data can be exported even after cancellation
+        ], monthly=99),
+        _spec("EnterpriseSLA", common + [
+            "G(outage -> F credit)",
+            "G(!cancel)",
+            "G(!priceIncrease)",
+        ], monthly=499),
+    )
+    questions = {
+        "Will outages be compensated?": (
+            "F(outage && F credit)",
+            frozenset({"BusinessSLA", "EnterpriseSLA"}),
+        ),
+        "Can the price rise on me?": (
+            "F priceIncrease",
+            frozenset({"FreeTier", "BusinessSLA"}),
+        ),
+        "Can I still export data after being cancelled?": (
+            "F(cancel && F exportData)",
+            frozenset({"BusinessSLA"}),
+        ),
+        "Might I be cancelled at all?": (
+            "F cancel",
+            frozenset({"FreeTier", "BusinessSLA"}),
+        ),
+    }
+    return CorpusDomain("saas", vocabulary, contracts, questions)
+
+
+# ---------------------------------------------------------------------------
+# Domain 3: gym memberships
+# ---------------------------------------------------------------------------
+
+def _gym_domain() -> CorpusDomain:
+    vocabulary = EventVocabulary.describe(
+        join="the member joins",
+        freeze="the membership is frozen",
+        unfreeze="the membership is reactivated",
+        guestVisit="the member brings a guest",
+        feeIncrease="the monthly fee is raised",
+        quit="the member cancels",
+    )
+    common = _exclusive(list(vocabulary.names())) + [
+        "join B (freeze || unfreeze || guestVisit || feeIncrease || quit)",
+        "freeze B unfreeze",
+        "G(quit -> G(!freeze && !unfreeze && !guestVisit))",
+    ]
+    contracts = (
+        _spec("FlexPass", common + [
+            # freeze whenever, guests whenever, but fees may rise
+        ], monthly=59, commitment_months=0),
+        _spec("AnnualBasic", common + [
+            # one freeze per membership; no guests; fee locked
+            "G(freeze -> X(!F freeze))",
+            "G(!guestVisit)",
+            "G(!feeIncrease)",
+        ], monthly=39, commitment_months=12),
+        _spec("FamilyPlus", common + [
+            # guests any time; fee locked; freezing forfeits guests
+            "G(!feeIncrease)",
+            "G(freeze -> G !guestVisit)",
+        ], monthly=89, commitment_months=6),
+    )
+    questions = {
+        "Can I freeze twice?": (
+            "F(freeze && X F(unfreeze && X F freeze))",
+            frozenset({"FlexPass", "FamilyPlus"}),
+        ),
+        "Could my fee ever rise?": (
+            "F feeIncrease",
+            frozenset({"FlexPass"}),
+        ),
+        "Guest after a freeze?": (
+            "F(freeze && X F guestVisit)",
+            frozenset({"FlexPass"}),
+        ),
+    }
+    return CorpusDomain("gym", vocabulary, contracts, questions)
+
+
+# ---------------------------------------------------------------------------
+# Domain 4: event-ticket resale policies
+# ---------------------------------------------------------------------------
+
+def _resale_domain() -> CorpusDomain:
+    vocabulary = EventVocabulary.describe(
+        buy="the ticket is bought",
+        listForSale="the ticket is listed for resale",
+        sell="the ticket is resold",
+        priceCapHit="the resale price cap binds",
+        attend="the holder attends the event",
+        voided="the ticket is voided by the promoter",
+    )
+    common = _exclusive(
+        ["buy", "listForSale", "sell", "attend", "voided"]
+    ) + [
+        "buy B (listForSale || sell || priceCapHit || attend || voided)",
+        "listForSale B sell",
+        "G(voided -> G(!attend && !sell))",
+        "G(attend -> X G(!attend && !sell && !listForSale))",
+    ]
+    contracts = (
+        _spec("NoResale", common + [
+            "G(!listForSale)",
+            "G(!sell)",
+        ], fee=0),
+        _spec("CappedResale", common + [
+            # resale allowed but the cap always binds on a sale
+            "G(sell -> priceCapHit)",
+        ], fee=5),
+        _spec("OpenResale", common + [
+            # free market; but the promoter may void fraudulent tickets
+        ], fee=12),
+    )
+    questions = {
+        "Can I resell at all?": (
+            "F sell",
+            frozenset({"CappedResale", "OpenResale"}),
+        ),
+        "Can I resell above the cap?": (
+            "F(sell && !priceCapHit)",
+            frozenset({"OpenResale"}),
+        ),
+        "Can a resold ticket still be voided?": (
+            "F(sell && X F voided)",
+            frozenset({"CappedResale", "OpenResale"}),
+        ),
+    }
+    return CorpusDomain("resale", vocabulary, contracts, questions)
+
+
+def all_domains() -> tuple[CorpusDomain, ...]:
+    """The full corpus, one :class:`CorpusDomain` per market."""
+    return (
+        _warranty_domain(),
+        _saas_domain(),
+        _gym_domain(),
+        _resale_domain(),
+    )
+
+
+def domain(name: str) -> CorpusDomain:
+    """Look up one domain by name."""
+    for d in all_domains():
+        if d.name == name:
+            return d
+    raise KeyError(f"no corpus domain named {name!r}")

@@ -1,0 +1,77 @@
+"""Selectivity-controlled query workloads.
+
+The paper attributes prefiltering's value to *highly selective* queries
+(§1) but its generator draws queries independently of the stored
+contracts, leaving selectivity to chance.  This module derives queries
+*from* registered contracts, with a knob that controls how specific —
+and therefore how selective — they are:
+
+given a contract, take one of its allowed behaviors (a lasso run of its
+BA) and turn the first ``depth`` event occurrences into the eventuality
+chain ``F(e1 && F(e2 && ... F(ek)))``.  The deriving contract permits
+the query by construction (its own witness run satisfies it); other
+contracts match only if they also allow that event pattern, which gets
+rarer as ``depth`` grows.
+
+Used by ``benchmarks/bench_selectivity.py`` to chart candidate-set size
+and speedup against selectivity.
+"""
+
+from __future__ import annotations
+
+from ..automata.buchi import BuchiAutomaton
+from ..automata.language import enumerate_runs
+from ..errors import WorkloadError
+from ..ltl.ast import And, Finally, Formula, Prop
+
+
+def chain_query(events: list[str]) -> Formula:
+    """The eventuality chain ``F(e1 && F(e2 && ...))`` over ``events``."""
+    if not events:
+        raise WorkloadError("cannot build a chain query from no events")
+    formula: Formula = Finally(Prop(events[-1]))
+    for event in reversed(events[:-1]):
+        formula = Finally(And(Prop(event), formula))
+    return formula
+
+
+def derive_query(
+    contract_ba: BuchiAutomaton,
+    depth: int,
+    max_behaviors: int = 16,
+) -> Formula | None:
+    """A depth-``depth`` chain query some behavior of the contract
+    exhibits, or ``None`` if no allowed behavior shows that many events.
+
+    Deterministic: behaviors are enumerated simplest-first and the first
+    one with enough event occurrences wins.
+    """
+    if depth < 1:
+        raise WorkloadError("depth must be >= 1")
+    for run in enumerate_runs(contract_ba, limit=max_behaviors):
+        events: list[str] = []
+        horizon = run.num_positions + len(run.loop)
+        for t in range(horizon):
+            snapshot = run.instant(t)
+            events.extend(sorted(snapshot))
+            if len(events) >= depth:
+                return chain_query(events[:depth])
+    return None
+
+
+def derived_workload(
+    contract_bas: list[BuchiAutomaton],
+    depth: int,
+    count: int,
+) -> list[Formula]:
+    """Up to ``count`` depth-``depth`` queries, derived round-robin from
+    the given contracts (contracts without deep-enough behaviors are
+    skipped)."""
+    queries: list[Formula] = []
+    for ba in contract_bas:
+        if len(queries) >= count:
+            break
+        query = derive_query(ba, depth)
+        if query is not None:
+            queries.append(query)
+    return queries

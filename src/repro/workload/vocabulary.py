@@ -1,0 +1,26 @@
+"""Event vocabularies for synthetic workloads.
+
+The paper's generator draws pattern events from a common vocabulary of
+20 propositional variables (Example 14 shows events ``p1``..``p20``).
+We reproduce that naming and let the size be a parameter — the scaled
+benchmark configurations use smaller vocabularies to keep pure-Python
+running times reasonable while preserving the experiment's shape.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+
+#: Size of the vocabulary in the paper's experiments (§7.2, Example 14).
+PAPER_VOCABULARY_SIZE = 20
+
+
+def numbered_vocabulary(size: int = PAPER_VOCABULARY_SIZE) -> tuple[str, ...]:
+    """The paper's ``p1 .. pN`` event vocabulary.
+
+    >>> numbered_vocabulary(3)
+    ('p1', 'p2', 'p3')
+    """
+    if size < 1:
+        raise WorkloadError(f"vocabulary size must be >= 1, got {size}")
+    return tuple(f"p{i}" for i in range(1, size + 1))

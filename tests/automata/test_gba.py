@@ -1,0 +1,93 @@
+"""Unit tests for generalized Büchi automata and degeneralization."""
+
+import pytest
+
+from repro.automata.buchi import BuchiAutomaton
+from repro.automata.gba import GeneralizedBuchi
+from repro.automata.labels import Label
+from repro.errors import AutomatonError
+from repro.ltl.runs import Run
+
+
+def label(text: str) -> Label:
+    return Label.parse(text)
+
+
+class TestValidation:
+    def test_initial_must_be_state(self):
+        with pytest.raises(AutomatonError):
+            GeneralizedBuchi(frozenset({0}), 1, (), ())
+
+    def test_transitions_use_known_states(self):
+        with pytest.raises(AutomatonError):
+            GeneralizedBuchi(
+                frozenset({0}), 0, ((0, label("a"), 9),), ()
+            )
+
+    def test_acceptance_subset(self):
+        with pytest.raises(AutomatonError):
+            GeneralizedBuchi(
+                frozenset({0}), 0, (), (frozenset({7}),)
+            )
+
+
+class TestDegeneralize:
+    def test_zero_sets_all_states_final(self):
+        gba = GeneralizedBuchi(
+            frozenset({0, 1}),
+            0,
+            ((0, label("a"), 1), (1, label("true"), 1)),
+            (),
+        )
+        ba = gba.degeneralize()
+        assert ba.final == ba.states
+        assert ba.accepts(Run.from_events([["a"]], [[]]))
+
+    def test_trivial_sets_are_dropped(self):
+        gba = GeneralizedBuchi(
+            frozenset({0}),
+            0,
+            ((0, label("true"), 0),),
+            (frozenset({0}),),  # equals all states: no constraint
+        )
+        assert gba.nontrivial_acceptance_sets() == ()
+        ba = gba.degeneralize()
+        assert ba.accepts(Run.from_events([], [[]]))
+
+    def test_two_sets_require_both_infinitely_often(self):
+        # 0 --a--> 1 --b--> 0 ; F1 = {0}, F2 = {1}
+        gba = GeneralizedBuchi(
+            frozenset({0, 1}),
+            0,
+            ((0, label("a"), 1), (1, label("b"), 0), (0, label("c"), 0)),
+            (frozenset({0}), frozenset({1})),
+        )
+        ba = gba.degeneralize()
+        # alternating a/b visits both sets forever: accepted
+        assert ba.accepts(Run.from_events([], [["a"], ["b"]]))
+        # looping on c stays in F1 but never visits F2: rejected
+        assert not ba.accepts(Run.from_events([], [["c"]]))
+
+    def test_single_set_reduces_to_plain_buchi(self):
+        gba = GeneralizedBuchi(
+            frozenset({0, 1}),
+            0,
+            ((0, label("a"), 1), (1, label("true"), 1), (0, label("b"), 0)),
+            (frozenset({1}),),
+        )
+        ba = gba.degeneralize()
+        assert ba.accepts(Run.from_events([["a"]], [[]]))
+        assert not ba.accepts(Run.from_events([], [["b"]]))
+
+    def test_counts(self):
+        gba = GeneralizedBuchi(
+            frozenset({0, 1}),
+            0,
+            ((0, label("a"), 1),),
+            (frozenset({0}), frozenset({1})),
+        )
+        assert gba.num_states == 2
+        assert gba.num_transitions == 1
+        ba = gba.degeneralize()
+        # counter construction: |states| x |sets|
+        assert ba.num_states == 4

@@ -1,0 +1,97 @@
+"""Tests for HOA import/export."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.hoa import from_hoa, to_hoa
+from repro.automata.ltl2ba import translate
+from repro.errors import AutomatonError
+from repro.ltl.parser import parse
+from repro.ltl.runs import Run
+
+from ..strategies import formulas, runs
+
+
+class TestExport:
+    def test_headers(self):
+        hoa = to_hoa(translate(parse("F p")), name="eventually-p")
+        assert hoa.startswith("HOA: v1")
+        assert 'name: "eventually-p"' in hoa
+        assert "Acceptance: 1 Inf(0)" in hoa
+        assert 'AP: 1 "p"' in hoa
+        assert hoa.rstrip().endswith("--END--")
+
+    def test_true_labels_use_t(self):
+        hoa = to_hoa(translate(parse("F p")))
+        assert "[t]" in hoa
+
+    def test_negative_literals_encoded(self):
+        hoa = to_hoa(translate(parse("G !p")))
+        assert "[!0]" in hoa
+
+    def test_no_propositions(self):
+        hoa = to_hoa(translate(parse("true")))
+        assert "AP: 0" in hoa
+
+
+class TestRoundTrip:
+    @given(formulas(max_depth=3), runs())
+    @settings(max_examples=100, deadline=None)
+    def test_language_preserved(self, formula, run):
+        ba = translate(formula)
+        rebuilt = from_hoa(to_hoa(ba))
+        assert rebuilt.accepts(run) == ba.accepts(run)
+
+    def test_structure_preserved(self):
+        ba = translate(parse("F(a && F b)"))
+        rebuilt = from_hoa(to_hoa(ba))
+        assert rebuilt.num_states == ba.canonical().num_states
+        assert rebuilt.final == ba.canonical().final
+
+
+class TestImportValidation:
+    def test_rejects_wrong_version(self):
+        with pytest.raises(AutomatonError):
+            from_hoa("HOA: v2\nStates: 1\nStart: 0\n"
+                      "Acceptance: 1 Inf(0)\n--BODY--\n--END--")
+
+    def test_rejects_non_buchi_acceptance(self):
+        with pytest.raises(AutomatonError):
+            from_hoa("HOA: v1\nStates: 1\nStart: 0\nAP: 0\n"
+                      "Acceptance: 2 Inf(0)&Inf(1)\n--BODY--\n--END--")
+
+    def test_rejects_disjunctive_labels(self):
+        text = (
+            'HOA: v1\nStates: 1\nStart: 0\nAP: 2 "a" "b"\n'
+            "Acceptance: 1 Inf(0)\n--BODY--\n"
+            "State: 0 {0}\n[0 | 1] 0\n--END--"
+        )
+        with pytest.raises(AutomatonError):
+            from_hoa(text)
+
+    def test_rejects_bad_ap_reference(self):
+        text = (
+            'HOA: v1\nStates: 1\nStart: 0\nAP: 1 "a"\n'
+            "Acceptance: 1 Inf(0)\n--BODY--\n"
+            "State: 0 {0}\n[7] 0\n--END--"
+        )
+        with pytest.raises(AutomatonError):
+            from_hoa(text)
+
+    def test_rejects_edge_before_state(self):
+        text = (
+            'HOA: v1\nStates: 1\nStart: 0\nAP: 1 "a"\n'
+            "Acceptance: 1 Inf(0)\n--BODY--\n[0] 0\n--END--"
+        )
+        with pytest.raises(AutomatonError):
+            from_hoa(text)
+
+    def test_parses_hand_written(self):
+        text = (
+            'HOA: v1\nStates: 2\nStart: 0\nAP: 1 "refund"\n'
+            "Acceptance: 1 Inf(0)\n--BODY--\n"
+            "State: 0\n[t] 0\n[0] 1\nState: 1 {0}\n[t] 1\n--END--"
+        )
+        ba = from_hoa(text)
+        assert ba.accepts(Run.from_events([["refund"]], [[]]))
+        assert not ba.accepts(Run.from_events([], [[]]))

@@ -1,0 +1,113 @@
+"""White-box tests of the translator's cover machinery."""
+
+from repro.automata.labels import TRUE_LABEL, Label
+from repro.automata.ltl2ba import (
+    _Cover,
+    _Translator,
+    _configurations,
+    _prune,
+)
+from repro.ltl import ast as A
+from repro.ltl.parser import parse
+from repro.ltl.rewrite import nnf
+
+
+def cover(label_text: str, obligations=(), fulfilled=()) -> _Cover:
+    return _Cover(
+        Label.parse(label_text),
+        frozenset(obligations),
+        frozenset(fulfilled),
+    )
+
+
+class TestConfigurations:
+    def test_atom_is_single_obligation(self):
+        p = A.Prop("p")
+        assert _configurations(p) == (frozenset({p}),)
+
+    def test_true_is_empty_obligation(self):
+        assert _configurations(A.TRUE) == (frozenset(),)
+
+    def test_false_has_no_configuration(self):
+        assert _configurations(A.FALSE) == ()
+
+    def test_disjunction_offers_alternatives(self):
+        f = parse("p || q")
+        configs = _configurations(f)
+        assert len(configs) == 2
+
+    def test_conjunction_merges(self):
+        f = parse("p && q")
+        configs = _configurations(f)
+        assert configs == (frozenset({A.Prop("p"), A.Prop("q")}),)
+
+    def test_nested(self):
+        f = parse("(p || q) && r")
+        configs = set(_configurations(f))
+        assert configs == {
+            frozenset({A.Prop("p"), A.Prop("r")}),
+            frozenset({A.Prop("q"), A.Prop("r")}),
+        }
+
+
+class TestPrune:
+    def test_exact_duplicates_merged(self):
+        covers = [cover("a"), cover("a")]
+        assert len(_prune(covers)) == 1
+
+    def test_weaker_label_dominates(self):
+        covers = [cover("a"), cover("a & b")]
+        pruned = _prune(covers)
+        assert pruned == (cover("a"),)
+
+    def test_fewer_obligations_dominate(self):
+        g = nnf(parse("G x"))
+        covers = [cover("a", obligations=[g]), cover("a")]
+        assert _prune(covers) == (cover("a"),)
+
+    def test_more_fulfilled_dominates(self):
+        u = nnf(parse("p U q"))
+        covers = [cover("a", fulfilled=[u]), cover("a")]
+        assert _prune(covers) == (cover("a", fulfilled=[u]),)
+
+    def test_incomparable_covers_kept(self):
+        covers = [cover("a"), cover("b")]
+        assert set(_prune(covers)) == set(covers)
+
+    def test_combine_conflict_is_none(self):
+        assert cover("a").combine(cover("!a")) is None
+
+    def test_combine_unions_everything(self):
+        u = nnf(parse("p U q"))
+        g = nnf(parse("G x"))
+        combined = cover("a", obligations=[g]).combine(
+            cover("b", fulfilled=[u])
+        )
+        assert combined.label == Label.parse("a & b")
+        assert combined.obligations == frozenset({g})
+        assert combined.fulfilled == frozenset({u})
+
+
+class TestTranslatorMemo:
+    def test_covers_memoized(self):
+        translator = _Translator(budget=1000)
+        f = nnf(parse("G(a -> F b)"))
+        first = translator.covers(f)
+        second = translator.covers(f)
+        assert first is second
+
+    def test_state_covers_memoized(self):
+        translator = _Translator(budget=1000)
+        f = nnf(parse("G(a -> F b)"))
+        state = frozenset({f})
+        assert translator.state_covers(state) is translator.state_covers(state)
+
+    def test_empty_state_is_true_selfloop(self):
+        translator = _Translator(budget=1000)
+        covers = translator.state_covers(frozenset())
+        assert covers == (_Cover(TRUE_LABEL, frozenset(), frozenset()),)
+
+    def test_contradictory_state_has_no_covers(self):
+        translator = _Translator(budget=1000)
+        state = frozenset({nnf(parse("a")), nnf(parse("!a"))})
+        assert translator.state_covers(state) == ()

@@ -1,0 +1,168 @@
+"""The Büchi automata of the paper's Figure 2, built verbatim, with
+their described behaviors checked.
+
+Figure 1a/1b are covered in test_buchi.py and the permission tests;
+here we pin down Figure 2a (Ticket C), 2b (a round-trip ticket), 2c and
+2d (two queries), including the cross-checks the paper makes between
+them (e.g. "the contract in Figure 2a has such transitions but does not
+permit the stated query", §4.1 Example 8).
+"""
+
+import pytest
+
+from repro.automata.buchi import BuchiAutomaton
+from repro.core.permission import permits
+from repro.ltl.runs import Run
+
+# Figure 1a/2a convention: every label implicitly carries the negative
+# literal of every other contract event.  We expand that convention
+# explicitly here.
+
+EVENTS_2A = ("purchase", "use", "missedFlight", "refund", "dateChange")
+
+
+def _full(positive: str | None, events=EVENTS_2A) -> str:
+    literals = []
+    for event in events:
+        if event == positive:
+            literals.append(event)
+        else:
+            literals.append(f"!{event}")
+    return " & ".join(literals)
+
+
+def figure_2a() -> BuchiAutomaton:
+    """Ticket C: no refunds, date changes only before departure."""
+    return BuchiAutomaton.make(
+        initial="init",
+        transitions=[
+            ("init", _full("purchase"), "s1"),
+            ("s1", _full("dateChange"), "s2"),
+            ("s1", _full("use"), "s3"),
+            ("s1", _full("missedFlight"), "s3"),
+            ("s2", _full("use"), "s3"),
+            ("s2", _full("missedFlight"), "s3"),
+            ("s3", _full(None), "s3"),
+        ],
+        final=["s3"],
+    )
+
+
+def figure_2c() -> BuchiAutomaton:
+    """Query: two date changes."""
+    return BuchiAutomaton.make(
+        initial="init",
+        transitions=[
+            ("init", "true", "init"),
+            ("init", "dateChange", "s1"),
+            ("s1", "true", "s1"),
+            ("s1", "dateChange", "s2"),
+            ("s2", "true", "s2"),
+        ],
+        final=["s2"],
+    )
+
+
+def figure_2d() -> BuchiAutomaton:
+    """Query: still changeable after a cancel, or after a miss plus one
+    approved change."""
+    return BuchiAutomaton.make(
+        initial="init",
+        transitions=[
+            ("init", "true", "init"),
+            ("init", "flightCanceled", "s2"),
+            ("init", "miss", "s1"),
+            ("s1", "true", "s1"),
+            ("s1", "changeApproved", "s2"),
+            ("s2", "true", "s3"),
+            ("s3", "requestChange", "s4"),
+            ("s4", "changeApproved", "s2"),
+        ],
+        final=["s2"],
+    )
+
+
+class TestFigure2a:
+    def test_allows_single_change_then_use(self):
+        ba = figure_2a()
+        run = Run.from_events(
+            [["purchase"], ["dateChange"], ["use"]], [[]]
+        )
+        assert ba.accepts(run)
+
+    def test_rejects_two_changes(self):
+        ba = figure_2a()
+        run = Run.from_events(
+            [["purchase"], ["dateChange"], ["dateChange"]], [[]]
+        )
+        assert not ba.accepts(run)
+
+    def test_rejects_refund(self):
+        ba = figure_2a()
+        run = Run.from_events([["purchase"], ["refund"]], [[]])
+        assert not ba.accepts(run)
+
+    def test_rejects_change_after_miss(self):
+        ba = figure_2a()
+        run = Run.from_events(
+            [["purchase"], ["missedFlight"], ["dateChange"]], [[]]
+        )
+        assert not ba.accepts(run)
+
+
+class TestExample8:
+    """§4.1: Figure 2a has transitions compatible with both labels of the
+    Figure 2c query, yet does not permit it — pruning conditions are
+    necessary, not sufficient."""
+
+    def test_compatible_labels_exist(self):
+        contract = figure_2a()
+        vocabulary = frozenset(EVENTS_2A)
+        from repro.automata.labels import Label, compatible
+
+        has_change = any(
+            compatible(label, Label.parse("dateChange"), vocabulary)
+            for label in contract.labels()
+        )
+        has_use = any(
+            compatible(label, Label.parse("use"), vocabulary)
+            for label in contract.labels()
+        )
+        assert has_change and has_use
+
+    def test_but_permission_fails(self):
+        assert not permits(
+            figure_2a(), figure_2c(), frozenset(EVENTS_2A)
+        )
+
+    def test_prefilter_keeps_it_as_false_positive(self):
+        """The index must (correctly) keep Figure 2a as a candidate for
+        the 2c query even though permission fails."""
+        from repro.index.prefilter import PrefilterIndex
+
+        index = PrefilterIndex(depth=2)
+        index.add_contract(0, figure_2a(), frozenset(EVENTS_2A))
+        assert 0 in index.candidates(figure_2c())
+
+
+class TestFigure2d:
+    def test_accepts_cancel_then_changes_forever(self):
+        ba = figure_2d()
+        run = Run.from_events(
+            [["flightCanceled"]],
+            [[], ["requestChange"], ["changeApproved"]],
+        )
+        assert ba.accepts(run)
+
+    def test_accepts_miss_then_approved_change_loop(self):
+        ba = figure_2d()
+        run = Run.from_events(
+            [["miss"], ["changeApproved"]],
+            [[], ["requestChange"], ["changeApproved"]],
+        )
+        assert ba.accepts(run)
+
+    def test_rejects_without_cycle_events(self):
+        ba = figure_2d()
+        run = Run.from_events([["flightCanceled"]], [[]])
+        assert not ba.accepts(run)

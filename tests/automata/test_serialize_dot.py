@@ -1,0 +1,33 @@
+"""Tests for Graphviz DOT export."""
+
+from repro.automata.ltl2ba import translate
+from repro.automata.serialize import to_dot
+from repro.ltl.parser import parse
+
+
+class TestToDot:
+    def test_structure(self):
+        dot = to_dot(translate(parse("F p")))
+        assert dot.startswith("digraph buchi {")
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot  # a final state
+        assert "__start ->" in dot   # the entry arrow
+        assert '[label="p"]' in dot
+
+    def test_custom_name(self):
+        dot = to_dot(translate(parse("G p")), name="ticket_a")
+        assert "digraph ticket_a" in dot
+
+    def test_deterministic(self):
+        ba = translate(parse("F(a && F b)"))
+        assert to_dot(ba) == to_dot(ba)
+
+    def test_every_state_rendered(self):
+        ba = translate(parse("F(a && F b)"))
+        dot = to_dot(ba)
+        for state in ba.canonical().states:
+            assert f"s{state} [shape=" in dot
+
+    def test_negative_literals_rendered(self):
+        dot = to_dot(translate(parse("G !p")))
+        assert "!p" in dot

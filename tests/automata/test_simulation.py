@@ -1,0 +1,117 @@
+"""Tests for direct-simulation reduction."""
+
+from hypothesis import given, settings
+
+from repro.automata.buchi import BuchiAutomaton
+from repro.automata.ltl2ba import translate
+from repro.automata.simulation import (
+    direct_simulation,
+    prune_dominated_transitions,
+    quotient_by_simulation,
+    reduce_with_simulation,
+)
+from repro.ltl.parser import parse
+
+from ..strategies import buchi_automata, formulas, runs
+
+
+class TestDirectSimulation:
+    def test_reflexive(self):
+        ba = translate(parse("F a"))
+        relation = direct_simulation(ba)
+        for state in ba.states:
+            assert (state, state) in relation
+
+    def test_final_only_simulated_by_final(self):
+        ba = BuchiAutomaton.make(
+            0, [(0, "a", 1), (1, "t", 1), (0, "a", 2), (2, "t", 2)],
+            final=[1],
+        )
+        relation = direct_simulation(ba)
+        assert (1, 2) not in relation  # final cannot be covered by non-final
+
+    def test_weaker_guard_simulates(self):
+        # from 0: [a&b] -> 1 and [a] -> 2, with identical sinks
+        ba = BuchiAutomaton.make(
+            0,
+            [(0, "a & b", 1), (0, "a", 2), (1, "true", 1),
+             (2, "true", 2)],
+            final=[1, 2],
+        )
+        relation = direct_simulation(ba)
+        assert (1, 2) in relation and (2, 1) in relation
+
+    def test_dead_end_simulated_by_anything(self):
+        ba = BuchiAutomaton.make(
+            0, [(0, "a", 1), (0, "a", 2), (2, "t", 2)], final=[2],
+        )
+        relation = direct_simulation(ba)
+        # 1 has no obligations at all, so every non-... state covers it
+        assert (1, 2) in relation
+
+
+class TestQuotientAndPruning:
+    def test_quotient_merges_twins(self):
+        ba = BuchiAutomaton.make(
+            0,
+            [(0, "a", 1), (0, "a", 2), (1, "b", 3), (2, "b", 3),
+             (3, "true", 3)],
+            final=[3],
+        )
+        merged = quotient_by_simulation(ba)
+        assert merged.num_states == 3
+
+    def test_prune_drops_stronger_parallel_edge(self):
+        ba = BuchiAutomaton.make(
+            0, [(0, "a & b", 1), (0, "a", 1), (1, "true", 1)], final=[1],
+        )
+        pruned = prune_dominated_transitions(ba)
+        labels = {str(l) for l, _ in pruned.successors(0)}
+        assert labels == {"a"}
+
+    def test_prune_keeps_incomparable_edges(self):
+        ba = BuchiAutomaton.make(
+            0, [(0, "a", 1), (0, "b", 1), (1, "true", 1)], final=[1],
+        )
+        pruned = prune_dominated_transitions(ba)
+        assert pruned.num_transitions == 3
+
+    def test_identical_twins_keep_exactly_one(self):
+        from repro.automata.buchi import Transition
+        from repro.automata.labels import Label
+
+        duplicate = Transition(0, Label.parse("a"), 1)
+        ba = BuchiAutomaton(
+            [0, 1], 0,
+            [duplicate, duplicate,
+             Transition(1, Label.parse("true"), 1)],
+            [1],
+        )
+        pruned = prune_dominated_transitions(ba)
+        assert pruned.num_transitions == 2
+
+
+class TestLanguagePreservation:
+    @given(formulas(max_depth=3), runs())
+    @settings(max_examples=150, deadline=None)
+    def test_on_translated_automata(self, formula, run):
+        ba = translate(formula, reduce=False)
+        reduced = reduce_with_simulation(ba)
+        assert reduced.accepts(run) == ba.accepts(run)
+        assert reduced.num_states <= ba.num_states
+
+    @given(buchi_automata(), runs())
+    @settings(max_examples=200, deadline=None)
+    def test_on_random_automata(self, ba, run):
+        reduced = reduce_with_simulation(ba)
+        assert reduced.accepts(run) == ba.accepts(run)
+
+    @given(buchi_automata(), runs())
+    @settings(max_examples=150, deadline=None)
+    def test_quotient_alone(self, ba, run):
+        assert quotient_by_simulation(ba).accepts(run) == ba.accepts(run)
+
+    @given(buchi_automata(), runs())
+    @settings(max_examples=150, deadline=None)
+    def test_pruning_alone(self, ba, run):
+        assert prune_dominated_transitions(ba).accepts(run) == ba.accepts(run)

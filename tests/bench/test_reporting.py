@@ -1,0 +1,47 @@
+"""Tests for the plain-text report renderer."""
+
+from repro.bench.reporting import format_bar_chart, format_table, write_report
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [("a", 1), ("longer", 22.5)],
+            title="t",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert lines[1] == "="
+        header, rule, row1, row2 = lines[2:]
+        assert header.startswith("name")
+        assert set(rule.replace(" ", "")) == {"-"}
+        assert len(row1) <= len(header) + 10
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [(1.23456,)])
+        assert "1.23" in table and "1.2345" not in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = format_bar_chart(["x", "y"], [1.0, 2.0], title="c")
+        lines = chart.splitlines()[2:]
+        assert lines[0].count("#") * 2 == lines[1].count("#")
+
+    def test_units(self):
+        chart = format_bar_chart(["x"], [3.0], unit="ms")
+        assert "3.0ms" in chart
+
+    def test_empty(self):
+        assert format_bar_chart([], []) == ""
+
+
+class TestWriteReport:
+    def test_creates_parents(self, tmp_path):
+        path = write_report(tmp_path / "nested" / "r.txt", "hello")
+        assert path.read_text() == "hello\n"

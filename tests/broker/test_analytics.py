@@ -1,0 +1,92 @@
+"""Tests for behavioral contract comparison."""
+
+from repro.automata.ltl2ba import translate
+from repro.broker.analytics import (
+    Comparison,
+    Relation,
+    behavioral_relation,
+    compare,
+    distinguishing_run,
+)
+from repro.ltl.parser import parse
+
+
+def ba(text: str):
+    return translate(parse(text))
+
+
+class TestDistinguishingRun:
+    def test_finds_difference(self):
+        wants_a = ba("F a")
+        forbids_a = ba("G !a")
+        run = distinguishing_run(wants_a, forbids_a)
+        assert run is not None
+        assert wants_a.accepts(run)
+        assert not forbids_a.accepts(run)
+
+    def test_none_when_contained(self):
+        strict = ba("G !a")
+        permissive = ba("true")
+        assert distinguishing_run(strict, permissive) is None
+
+    def test_uncited_events_never_exhibited(self):
+        """Witnesses follow the projection discipline of Definition 1: a
+        contract that never cites 'a' cannot exhibit behavior over it,
+        so 'true' is indistinguishable from 'G !a' from its own side."""
+        assert distinguishing_run(ba("true"), ba("G !a")) is None
+
+    def test_none_for_equal_languages(self):
+        left = ba("F p")
+        right = ba("true U p")
+        assert distinguishing_run(left, right) is None
+        assert distinguishing_run(right, left) is None
+
+
+class TestBehavioralRelation:
+    def test_equivalent_formulations(self):
+        result = behavioral_relation(ba("p W q"), ba("G p || (p U q)"))
+        assert result.relation == Relation.INDISTINGUISHABLE
+        assert result.left_only is None and result.right_only is None
+
+    def test_strict_containment(self):
+        result = behavioral_relation(ba("p W q"), ba("p U q"))
+        assert result.relation == Relation.LEFT_MORE_PERMISSIVE
+        assert result.left_only is not None
+        assert result.right_only is None
+
+    def test_symmetric_containment(self):
+        result = behavioral_relation(ba("p U q"), ba("p W q"))
+        assert result.relation == Relation.RIGHT_MORE_PERMISSIVE
+
+    def test_incomparable(self):
+        result = behavioral_relation(ba("G a"), ba("G !a"))
+        assert result.relation == Relation.INCOMPARABLE
+        assert result.left_only is not None
+        assert result.right_only is not None
+
+    def test_str_mentions_witness(self):
+        result = behavioral_relation(ba("F a"), ba("G !a"))
+        assert "left-only" in str(result)
+
+
+class TestContractComparison:
+    def test_ticket_a_vs_c(self, airfare_contracts):
+        """Ticket A allows refunds and unlimited changes; Ticket C allows
+        neither — A must be strictly more permissive or incomparable with
+        a left-only witness involving a refund or second change."""
+        result = compare(
+            airfare_contracts["Ticket A"], airfare_contracts["Ticket C"],
+            limit=200,
+        )
+        assert result.left_only is not None
+        events = set()
+        for snap in result.left_only.prefix + result.left_only.loop:
+            events |= snap
+        # the difference is about refunds or repeat changes
+        assert events & {"refund", "dateChange"}
+
+    def test_contract_vs_itself(self, airfare_contracts):
+        result = compare(
+            airfare_contracts["Ticket B"], airfare_contracts["Ticket B"]
+        )
+        assert result.relation == Relation.INDISTINGUISHABLE

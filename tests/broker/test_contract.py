@@ -1,0 +1,41 @@
+"""Unit tests for contract specifications."""
+
+from repro.broker.contract import ContractSpec
+from repro.ltl.ast import And
+from repro.ltl.parser import parse
+
+
+class TestContractSpec:
+    def test_formula_is_conjunction(self):
+        spec = ContractSpec(
+            "t", (parse("G a"), parse("F b")), {}
+        )
+        assert spec.formula == And(parse("G a"), parse("F b"))
+
+    def test_single_clause_formula(self):
+        spec = ContractSpec("t", (parse("G a"),), {})
+        assert spec.formula == parse("G a")
+
+    def test_vocabulary_from_all_clauses(self):
+        spec = ContractSpec(
+            "t", (parse("G a"), parse("F(b && !c)")), {}
+        )
+        assert spec.vocabulary == frozenset({"a", "b", "c"})
+
+    def test_attributes_default_empty(self):
+        spec = ContractSpec("t", (parse("G a"),))
+        assert dict(spec.attributes) == {}
+
+
+class TestContractObject:
+    def test_accessors(self, airfare_contracts):
+        c = airfare_contracts["Ticket A"]
+        assert c.name == "Ticket A"
+        assert c.vocabulary == frozenset(
+            {"purchase", "use", "missedFlight", "refund", "dateChange"}
+        )
+        assert c.attributes["airline"] == "United"
+
+    def test_str(self, airfare_contracts):
+        text = str(airfare_contracts["Ticket A"])
+        assert "Ticket A" in text and "states" in text

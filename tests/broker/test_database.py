@@ -1,0 +1,170 @@
+"""Unit tests for the contract database (registration + query pipeline)."""
+
+import pytest
+
+from repro.broker.database import BrokerConfig, ContractDatabase
+from repro.broker.relational import AttributeFilter, eq, le
+from repro.errors import BrokerError
+from repro.ltl.parser import parse
+from repro.workload.airfare import QUERIES, all_ticket_specs
+
+
+class TestRegistration:
+    def test_register_parses_strings(self):
+        db = ContractDatabase()
+        contract = db.register("t", ["G(a -> F b)"])
+        assert contract.vocabulary == frozenset({"a", "b"})
+        assert len(db) == 1
+
+    def test_register_accepts_single_clause(self):
+        db = ContractDatabase()
+        contract = db.register("t", "G a")
+        assert contract.spec.clauses == (parse("G a"),)
+
+    def test_register_accepts_formula_objects(self):
+        db = ContractDatabase()
+        contract = db.register("t", [parse("G a"), "F b"])
+        assert len(contract.spec.clauses) == 2
+
+    def test_ids_are_sequential(self):
+        db = ContractDatabase()
+        c0 = db.register("a", "G a")
+        c1 = db.register("b", "G b")
+        assert (c0.contract_id, c1.contract_id) == (0, 1)
+
+    def test_registration_stats_accumulate(self):
+        db = ContractDatabase()
+        db.register("a", "G(a -> F b)")
+        stats = db.registration_stats
+        assert stats.contracts == 1
+        assert stats.translation_seconds > 0
+        assert stats.total_seconds >= stats.translation_seconds
+
+    def test_projections_skipped_when_disabled(self):
+        db = ContractDatabase(BrokerConfig(use_projections=False))
+        contract = db.register("a", "G a")
+        assert contract.projections is None
+
+    def test_deregister(self):
+        db = ContractDatabase()
+        contract = db.register("a", "F a")
+        db.deregister(contract.contract_id)
+        assert len(db) == 0
+        assert db.query("F a").contract_ids == ()
+
+    def test_deregister_unknown_raises(self):
+        db = ContractDatabase()
+        with pytest.raises(BrokerError):
+            db.deregister(9)
+
+
+class TestQueryPipeline:
+    def test_paper_queries(self, airfare_db):
+        for name, info in QUERIES.items():
+            result = airfare_db.query(info["ltl"])
+            assert set(result.contract_names) == info["expected"], name
+
+    def test_optimizations_do_not_change_results(self, airfare_db):
+        for info in QUERIES.values():
+            baseline = set(
+                airfare_db.query(
+                    info["ltl"], use_prefilter=False, use_projections=False
+                ).contract_names
+            )
+            for pf in (False, True):
+                for pj in (False, True):
+                    got = set(
+                        airfare_db.query(
+                            info["ltl"], use_prefilter=pf, use_projections=pj
+                        ).contract_names
+                    )
+                    assert got == baseline
+
+    def test_attribute_filter_pre_selects(self, airfare_db):
+        result = airfare_db.query(
+            "F(missedFlight && F(refund || dateChange))",
+            AttributeFilter.where(le("price", 700)),
+        )
+        # Ticket A costs 980 and is filtered out relationally.
+        assert set(result.contract_names) == {"Ticket B"}
+        assert result.stats.relational_matches == 2
+
+    def test_attribute_filter_no_match(self, airfare_db):
+        result = airfare_db.query(
+            "F refund", AttributeFilter.where(eq("airline", "NoSuch"))
+        )
+        assert result.contract_ids == ()
+        assert result.stats.candidates == 0
+
+    def test_stats_phases(self, airfare_db):
+        result = airfare_db.query("F(missedFlight && F refund)")
+        s = result.stats
+        assert s.database_size == 3
+        assert s.translation_seconds > 0
+        assert s.total_seconds >= s.permission_seconds
+        assert s.checked == s.candidates
+        assert s.used_prefilter and s.used_projections
+        assert s.pruning_condition
+
+    def test_pruning_ratio(self, airfare_db):
+        # classUpgrade queries prune everything
+        result = airfare_db.query("F classUpgrade")
+        assert result.stats.candidates == 0
+        assert result.stats.pruning_ratio == 1.0
+
+    def test_query_accepts_formula(self, airfare_db):
+        result = airfare_db.query(parse("F refund"))
+        assert "Ticket B" in result.contract_names
+
+
+class TestDirectChecks:
+    def test_permits_contract(self, airfare_db, airfare_contracts):
+        a = airfare_contracts["Ticket A"].contract_id
+        assert airfare_db.permits_contract(a, "F dateChange")
+        assert not airfare_db.permits_contract(a, "F classUpgrade")
+
+    def test_explain_returns_witness(self, airfare_db, airfare_contracts):
+        a = airfare_contracts["Ticket A"].contract_id
+        witness = airfare_db.explain(a, "F(missedFlight && F dateChange)")
+        assert witness is not None
+        run = witness.to_run()
+        assert airfare_contracts["Ticket A"].ba.accepts(run)
+
+    def test_explain_none_when_not_permitted(self, airfare_db,
+                                             airfare_contracts):
+        c = airfare_contracts["Ticket C"].contract_id
+        assert airfare_db.explain(c, "F refund") is None
+
+    def test_get_unknown_raises(self, airfare_db):
+        with pytest.raises(BrokerError):
+            airfare_db.get(999)
+
+    def test_contains_and_iter(self, airfare_db):
+        ids = [c.contract_id for c in airfare_db.contracts()]
+        assert len(ids) == 3
+        assert ids[0] in airfare_db
+        assert 999 not in airfare_db
+
+
+class TestConfig:
+    def test_unoptimized_clone(self):
+        config = BrokerConfig().unoptimized()
+        assert not config.use_prefilter
+        assert not config.use_projections
+        assert config.use_seeds  # seeds are part of the base algorithm
+
+    def test_scc_algorithm_config(self):
+        db = ContractDatabase(BrokerConfig(permission_algorithm="scc"))
+        for spec in all_ticket_specs():
+            db.register_spec(spec)
+        result = db.query("F(missedFlight && F(refund || dateChange))")
+        assert set(result.contract_names) == {"Ticket A", "Ticket B"}
+
+    def test_database_stats(self, airfare_db):
+        stats = airfare_db.database_stats()
+        assert stats["contracts"] == 3
+        assert stats["states_avg"] > 0
+        assert stats["index_nodes"] > 0
+
+    def test_empty_database_stats(self):
+        assert ContractDatabase().database_stats() == {"contracts": 0}

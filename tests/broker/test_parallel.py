@@ -1,0 +1,64 @@
+"""Tests for parallel registration."""
+
+import pytest
+
+from repro.broker.database import BrokerConfig, ContractDatabase
+from repro.broker.parallel import register_many
+from repro.workload.airfare import QUERIES, all_ticket_specs
+from repro.workload.generator import WorkloadGenerator
+
+
+def _specs():
+    from repro.broker.contract import ContractSpec
+
+    generator = WorkloadGenerator(vocabulary_size=6, seed=77)
+    return [
+        ContractSpec(name=f"c{i}", clauses=spec.clauses)
+        for i, spec in enumerate(generator.generate_specs(6, 2))
+    ]
+
+
+class TestRegisterMany:
+    def test_serial_path(self):
+        db = ContractDatabase()
+        contracts = register_many(db, _specs(), workers=1)
+        assert len(contracts) == 6
+        assert len(db) == 6
+
+    def test_parallel_matches_serial(self):
+        specs = _specs()
+        serial = ContractDatabase(BrokerConfig())
+        register_many(serial, specs, workers=1)
+        parallel = ContractDatabase(BrokerConfig())
+        try:
+            register_many(parallel, specs, workers=2)
+        except Exception as exc:  # pragma: no cover - restricted sandboxes
+            pytest.skip(f"no process pool available: {exc}")
+        assert len(parallel) == len(serial)
+        # identical automata => identical answers
+        generator = WorkloadGenerator(vocabulary_size=6, seed=78)
+        for spec in generator.generate_specs(4, 1):
+            from repro.ltl.ast import conj
+
+            query = conj(spec.clauses)
+            assert (
+                parallel.query(query).contract_ids
+                == serial.query(query).contract_ids
+            )
+
+    def test_parallel_airfare_outcomes(self):
+        db = ContractDatabase()
+        try:
+            register_many(db, all_ticket_specs(), workers=2)
+        except Exception as exc:  # pragma: no cover
+            pytest.skip(f"no process pool available: {exc}")
+        for info in QUERIES.values():
+            assert set(db.query(info["ltl"]).contract_names) == info[
+                "expected"
+            ]
+
+    def test_ids_in_input_order(self):
+        db = ContractDatabase()
+        contracts = register_many(db, _specs(), workers=1)
+        assert [c.contract_id for c in contracts] == list(range(6))
+        assert [c.name for c in contracts] == [f"c{i}" for i in range(6)]

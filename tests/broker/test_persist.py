@@ -1,0 +1,107 @@
+"""Tests for database persistence."""
+
+import json
+
+import pytest
+
+from repro.broker.database import BrokerConfig, ContractDatabase
+from repro.broker.persist import load_database, save_database
+from repro.errors import BrokerError
+from repro.workload.airfare import QUERIES, all_ticket_specs
+
+
+@pytest.fixture
+def saved_airfare(tmp_path, airfare_db):
+    return save_database(airfare_db, tmp_path / "db")
+
+
+class TestRoundTrip:
+    def test_files_written(self, saved_airfare):
+        assert (saved_airfare / "contracts.json").exists()
+        assert (saved_airfare / "automata.json").exists()
+
+    def test_reload_preserves_contracts(self, saved_airfare, airfare_db):
+        reloaded = load_database(saved_airfare)
+        assert len(reloaded) == len(airfare_db)
+        assert {c.name for c in reloaded.contracts()} == {
+            c.name for c in airfare_db.contracts()
+        }
+
+    def test_reload_preserves_attributes(self, saved_airfare):
+        reloaded = load_database(saved_airfare)
+        ticket_a = next(
+            c for c in reloaded.contracts() if c.name == "Ticket A"
+        )
+        assert ticket_a.attributes["price"] == 980
+
+    def test_reload_preserves_query_results(self, saved_airfare, airfare_db):
+        reloaded = load_database(saved_airfare)
+        for info in QUERIES.values():
+            assert set(reloaded.query(info["ltl"]).contract_names) == set(
+                airfare_db.query(info["ltl"]).contract_names
+            )
+
+    def test_reload_skips_translation(self, saved_airfare):
+        reloaded = load_database(saved_airfare)
+        # prebuilt automata short-circuit the translator, so translation
+        # time is (near) zero compared to fresh registration
+        assert reloaded.registration_stats.translation_seconds < 0.05
+
+    def test_config_restored(self, tmp_path):
+        db = ContractDatabase(BrokerConfig(prefilter_depth=3,
+                                           permission_algorithm="scc"))
+        db.register("t", "G a")
+        directory = save_database(db, tmp_path / "cfg")
+        reloaded = load_database(directory)
+        assert reloaded.config.prefilter_depth == 3
+        assert reloaded.config.permission_algorithm == "scc"
+
+    def test_config_override(self, saved_airfare):
+        reloaded = load_database(
+            saved_airfare, BrokerConfig(use_projections=False)
+        )
+        assert next(reloaded.contracts()).projections is None
+
+
+class TestRobustness:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(BrokerError):
+            load_database(tmp_path / "nope")
+
+    def test_malformed_manifest(self, tmp_path):
+        directory = tmp_path / "bad"
+        directory.mkdir()
+        (directory / "contracts.json").write_text("{not json")
+        with pytest.raises(BrokerError):
+            load_database(directory)
+
+    def test_wrong_format_version(self, tmp_path):
+        directory = tmp_path / "v99"
+        directory.mkdir()
+        (directory / "contracts.json").write_text(
+            json.dumps({"format_version": 99, "contracts": []})
+        )
+        with pytest.raises(BrokerError):
+            load_database(directory)
+
+    def test_stale_automaton_retranslated(self, tmp_path, airfare_db):
+        directory = save_database(airfare_db, tmp_path / "stale")
+        # corrupt the stored automata: give them an alien event
+        automata = json.loads((directory / "automata.json").read_text())
+        for doc in automata:
+            for transition in doc["transitions"]:
+                transition[1] = "alienEvent"
+        (directory / "automata.json").write_text(json.dumps(automata))
+        reloaded = load_database(directory)
+        # results still correct because the loader fell back to
+        # re-translating from the clauses
+        info = QUERIES["refund_or_change_after_miss"]
+        assert set(reloaded.query(info["ltl"]).contract_names) == info[
+            "expected"
+        ]
+
+    def test_missing_automata_file_is_fine(self, tmp_path, airfare_db):
+        directory = save_database(airfare_db, tmp_path / "noba")
+        (directory / "automata.json").unlink()
+        reloaded = load_database(directory)
+        assert len(reloaded) == len(airfare_db)

@@ -1,0 +1,61 @@
+"""Tests for the per-query optimization planner."""
+
+from hypothesis import given, settings
+
+from repro.automata.ltl2ba import translate
+from repro.broker.planner import QueryPlan, QueryPlanner
+from repro.ltl.parser import parse
+
+from ..strategies import formulas
+
+
+class TestPlanChoices:
+    def test_selective_simple_query_uses_both(self):
+        plan = QueryPlanner().plan(translate(parse("F refund")))
+        assert plan.use_prefilter
+        assert plan.use_projections
+
+    def test_unprunable_query_skips_prefilter(self):
+        # a query satisfied by unconstrained behavior cannot prune
+        plan = QueryPlanner().plan(translate(parse("true")))
+        assert not plan.use_prefilter
+
+    def test_literal_heavy_query_skips_projections(self):
+        query = translate(parse(
+            "F(a && F(b && F(c && F(d && F e))))"
+        ))
+        plan = QueryPlanner(projection_literal_budget=3).plan(query)
+        assert not plan.use_projections
+        assert plan.use_prefilter
+
+    def test_reason_is_informative(self):
+        plan = QueryPlanner().plan(translate(parse("F refund")))
+        assert "literal" in plan.reason or "condition" in plan.reason
+        assert "prefilter" in str(plan)
+
+    def test_plan_is_value_object(self):
+        assert QueryPlan(True, False, "x") == QueryPlan(True, False, "x")
+
+
+class TestPlannedQueries:
+    def test_planned_results_match_default(self, airfare_db):
+        from repro.workload.airfare import QUERIES
+
+        for info in QUERIES.values():
+            planned = airfare_db.query_planned(info["ltl"])
+            default = airfare_db.query(info["ltl"])
+            assert planned.contract_ids == default.contract_ids
+
+    @given(query_formula=formulas(max_depth=3))
+    @settings(max_examples=40, deadline=None)
+    def test_plans_never_change_answers(self, airfare_db, query_formula):
+        planned = airfare_db.query_planned(query_formula)
+        scan = airfare_db.query(
+            query_formula, use_prefilter=False, use_projections=False
+        )
+        assert planned.contract_ids == scan.contract_ids
+
+    def test_custom_planner_respected(self, airfare_db):
+        eager = QueryPlanner(projection_literal_budget=0)
+        result = airfare_db.query_planned("F refund", planner=eager)
+        assert not result.stats.used_projections

@@ -1,0 +1,41 @@
+"""Unit tests for query-result objects."""
+
+from repro.broker.query import QueryResult, QueryStats
+from repro.ltl.parser import parse
+
+
+def result(ids=(1, 3), names=("a", "b"), **stats_kwargs) -> QueryResult:
+    return QueryResult(
+        formula=parse("F p"),
+        contract_ids=tuple(ids),
+        contract_names=tuple(names),
+        stats=QueryStats(**stats_kwargs),
+    )
+
+
+class TestQueryResult:
+    def test_len_iter_contains(self):
+        r = result()
+        assert len(r) == 2
+        assert list(r) == [1, 3]
+        assert 3 in r
+        assert 2 not in r
+
+    def test_str_mentions_names(self):
+        assert "a, b" in str(result())
+
+    def test_str_empty(self):
+        assert "(none)" in str(result(ids=(), names=()))
+
+
+class TestQueryStats:
+    def test_pruning_ratio(self):
+        stats = QueryStats(relational_matches=10, candidates=2)
+        assert stats.pruning_ratio == 0.8
+
+    def test_pruning_ratio_empty_database(self):
+        assert QueryStats().pruning_ratio == 0.0
+
+    def test_no_pruning(self):
+        stats = QueryStats(relational_matches=5, candidates=5)
+        assert stats.pruning_ratio == 0.0

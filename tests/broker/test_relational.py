@@ -1,0 +1,78 @@
+"""Unit tests for the relational pre-selection substrate."""
+
+from repro.broker.relational import (
+    MATCH_ALL,
+    AttributeFilter,
+    contains,
+    eq,
+    ge,
+    gt,
+    is_in,
+    le,
+    lt,
+    ne,
+)
+
+ATTRS = {
+    "price": 420,
+    "airline": "United",
+    "stops": ["DEN"],
+    "refundable": True,
+}
+
+
+class TestConditions:
+    def test_eq(self):
+        assert eq("airline", "United").matches(ATTRS)
+        assert not eq("airline", "Delta").matches(ATTRS)
+
+    def test_ne(self):
+        assert ne("airline", "Delta").matches(ATTRS)
+        assert not ne("airline", "United").matches(ATTRS)
+
+    def test_ordering(self):
+        assert lt("price", 500).matches(ATTRS)
+        assert le("price", 420).matches(ATTRS)
+        assert gt("price", 400).matches(ATTRS)
+        assert ge("price", 420).matches(ATTRS)
+        assert not lt("price", 420).matches(ATTRS)
+        assert not gt("price", 420).matches(ATTRS)
+
+    def test_is_in(self):
+        assert is_in("airline", ["United", "AA"]).matches(ATTRS)
+        assert not is_in("airline", ["Delta"]).matches(ATTRS)
+
+    def test_contains(self):
+        assert contains("stops", "DEN").matches(ATTRS)
+        assert not contains("stops", "ORD").matches(ATTRS)
+
+    def test_missing_attribute_never_matches(self):
+        assert not eq("cabin", "economy").matches(ATTRS)
+        assert not lt("weight", 5).matches(ATTRS)
+
+    def test_type_error_is_no_match(self):
+        assert not lt("airline", 5).matches(ATTRS)
+
+    def test_str(self):
+        assert "price" in str(le("price", 500))
+
+
+class TestFilter:
+    def test_match_all(self):
+        assert MATCH_ALL.matches(ATTRS)
+        assert MATCH_ALL.matches({})
+
+    def test_conjunction(self):
+        f = AttributeFilter.where(le("price", 500), eq("airline", "United"))
+        assert f.matches(ATTRS)
+
+    def test_conjunction_fails_on_any(self):
+        f = AttributeFilter.where(le("price", 100), eq("airline", "United"))
+        assert not f.matches(ATTRS)
+
+    def test_str(self):
+        assert str(MATCH_ALL) == "TRUE"
+        f = AttributeFilter.where(le("price", 500))
+        assert "AND" not in str(f)
+        f2 = AttributeFilter.where(le("price", 500), eq("airline", "U"))
+        assert "AND" in str(f2)

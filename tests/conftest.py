@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite.
+
+The airfare database (the paper's running example) is expensive enough
+to build that it is shared at session scope; tests must not mutate it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.database import BrokerConfig, ContractDatabase
+from repro.workload.airfare import all_ticket_specs
+
+
+@pytest.fixture(scope="session")
+def airfare_db() -> ContractDatabase:
+    """Tickets A, B, C registered with all optimizations enabled."""
+    db = ContractDatabase(BrokerConfig())
+    for spec in all_ticket_specs():
+        db.register_spec(spec)
+    return db
+
+
+@pytest.fixture(scope="session")
+def airfare_contracts(airfare_db):
+    """Name -> Contract mapping for the airfare database."""
+    return {c.name: c for c in airfare_db.contracts()}

@@ -1,0 +1,46 @@
+"""Tests for the §6.2.4 seed precomputation."""
+
+from repro.automata.buchi import BuchiAutomaton
+from repro.automata.ltl2ba import translate
+from repro.core.seeds import compute_seeds
+from repro.ltl.parser import parse
+
+
+class TestComputeSeeds:
+    def test_states_on_final_cycle(self):
+        # 0 -> 1 <-> 2(final); 3 reachable, no cycle
+        ba = BuchiAutomaton.make(
+            0,
+            [(0, "a", 1), (1, "b", 2), (2, "c", 1), (0, "d", 3)],
+            final=[2],
+        )
+        assert compute_seeds(ba) == {1, 2}
+
+    def test_self_loop_final(self):
+        ba = BuchiAutomaton.make(0, [(0, "a", 1), (1, "t", 1)], final=[1])
+        assert compute_seeds(ba) == {1}
+
+    def test_cycle_without_final_not_seeded(self):
+        ba = BuchiAutomaton.make(
+            0, [(0, "a", 1), (1, "b", 0), (0, "c", 2), (2, "t", 2)],
+            final=[2],
+        )
+        assert compute_seeds(ba) == {2}
+
+    def test_unreachable_cycles_ignored(self):
+        ba = BuchiAutomaton.make(
+            0,
+            [(0, "t", 0), (5, "a", 6), (6, "a", 5)],
+            final=[0, 5],
+        )
+        assert compute_seeds(ba) == {0}
+
+    def test_empty_language_has_no_seeds(self):
+        ba = BuchiAutomaton.make(0, [(0, "a", 1)], final=[1])
+        assert compute_seeds(ba) == frozenset()
+
+    def test_translator_output_seeds_subset_of_states(self):
+        ba = translate(parse("G(a -> F b)"))
+        seeds = compute_seeds(ba)
+        assert seeds <= ba.states
+        assert seeds  # a satisfiable liveness formula has accepting cycles

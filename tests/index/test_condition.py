@@ -1,0 +1,139 @@
+"""Unit tests for pruning-condition ASTs."""
+
+from repro.automata.labels import Label
+from repro.index.condition import (
+    FALSE_CONDITION,
+    TRUE_CONDITION,
+    CondAnd,
+    CondLabel,
+    CondOr,
+    make_and,
+    make_or,
+    to_dnf,
+)
+
+A = CondLabel(Label.parse("a"))
+B = CondLabel(Label.parse("b"))
+C = CondLabel(Label.parse("c"))
+
+UNIVERSE = frozenset({1, 2, 3, 4})
+SETS = {
+    Label.parse("a"): frozenset({1, 2}),
+    Label.parse("b"): frozenset({2, 3}),
+    Label.parse("c"): frozenset({4}),
+}
+
+
+def lookup(label):
+    return SETS.get(label, frozenset())
+
+
+class TestEvaluation:
+    def test_true_selects_universe(self):
+        assert TRUE_CONDITION.evaluate(lookup, UNIVERSE) == UNIVERSE
+
+    def test_false_selects_nothing(self):
+        assert FALSE_CONDITION.evaluate(lookup, UNIVERSE) == frozenset()
+
+    def test_label_lookup(self):
+        assert A.evaluate(lookup, UNIVERSE) == frozenset({1, 2})
+
+    def test_unknown_label_is_empty(self):
+        unknown = CondLabel(Label.parse("zzz"))
+        assert unknown.evaluate(lookup, UNIVERSE) == frozenset()
+
+    def test_and_intersects(self):
+        assert make_and([A, B]).evaluate(lookup, UNIVERSE) == frozenset({2})
+
+    def test_or_unions(self):
+        assert make_or([A, C]).evaluate(lookup, UNIVERSE) == frozenset(
+            {1, 2, 4}
+        )
+
+    def test_nested(self):
+        cond = make_or([make_and([A, B]), C])
+        assert cond.evaluate(lookup, UNIVERSE) == frozenset({2, 4})
+
+    def test_example_9_shape(self):
+        """(S(fc) | (S(m) & S(ca))) & (S(rc) & S(ca)) evaluates correctly."""
+        sets = {
+            Label.parse("fc"): frozenset({1, 2}),
+            Label.parse("m"): frozenset({3}),
+            Label.parse("ca"): frozenset({1, 3}),
+            Label.parse("rc"): frozenset({1, 3}),
+        }
+        cond = make_and([
+            make_or([
+                CondLabel(Label.parse("fc")),
+                make_and([CondLabel(Label.parse("m")),
+                          CondLabel(Label.parse("ca"))]),
+            ]),
+            make_and([CondLabel(Label.parse("rc")),
+                      CondLabel(Label.parse("ca"))]),
+        ])
+        assert cond.evaluate(sets.get, UNIVERSE) == frozenset({1, 3})
+
+
+class TestConstruction:
+    def test_and_identity(self):
+        assert make_and([TRUE_CONDITION, A]) == A
+
+    def test_and_absorbing(self):
+        assert make_and([A, FALSE_CONDITION]) == FALSE_CONDITION
+
+    def test_and_empty_is_true(self):
+        assert make_and([]) == TRUE_CONDITION
+
+    def test_and_dedup_and_flatten(self):
+        cond = make_and([A, CondAnd((A, B))])
+        assert cond == CondAnd((A, B))
+
+    def test_or_identity(self):
+        assert make_or([FALSE_CONDITION, A]) == A
+
+    def test_or_absorbing(self):
+        assert make_or([A, TRUE_CONDITION]) == TRUE_CONDITION
+
+    def test_or_empty_is_false(self):
+        assert make_or([]) == FALSE_CONDITION
+
+    def test_operators(self):
+        assert (A & B) == CondAnd((A, B))
+        assert (A | B) == CondOr((A, B))
+
+    def test_labels_collects_leaves(self):
+        cond = make_or([make_and([A, B]), C])
+        assert cond.labels() == {
+            Label.parse("a"), Label.parse("b"), Label.parse("c")
+        }
+
+    def test_str(self):
+        assert str(A) == "S(a)"
+        assert str(make_and([A, B])) == "(S(a) & S(b))"
+        assert str(TRUE_CONDITION) == "TRUE"
+
+
+class TestDNF:
+    def test_true_false(self):
+        assert to_dnf(TRUE_CONDITION) == [[]]
+        assert to_dnf(FALSE_CONDITION) == []
+
+    def test_leaf(self):
+        assert to_dnf(A) == [[A]]
+
+    def test_distributes(self):
+        cond = make_and([make_or([A, B]), C])
+        dnf = to_dnf(cond)
+        assert [set(term) for term in dnf] == [{A, C}, {B, C}]
+
+    def test_monotone_equivalence(self):
+        """DNF evaluation equals tree evaluation."""
+        cond = make_and([make_or([A, B]), make_or([C, A])])
+        direct = cond.evaluate(lookup, UNIVERSE)
+        via_dnf = frozenset()
+        for term in to_dnf(cond):
+            result = UNIVERSE
+            for leaf in term:
+                result &= leaf.evaluate(lookup, UNIVERSE)
+            via_dnf |= result
+        assert direct == via_dnf

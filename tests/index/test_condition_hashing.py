@@ -1,0 +1,67 @@
+"""Tests for the condition nodes' cached hashing and the index's
+per-evaluation lookup memoization."""
+
+from repro.automata.labels import Label
+from repro.index.condition import (
+    CondAnd,
+    CondLabel,
+    CondOr,
+    make_and,
+    make_or,
+)
+from repro.index.prefilter import PrefilterIndex
+
+
+def leaf(name: str) -> CondLabel:
+    return CondLabel(Label.parse(name))
+
+
+class TestCachedHash:
+    def test_equal_trees_equal_hash(self):
+        a = make_and([leaf("a"), make_or([leaf("b"), leaf("c")])])
+        b = make_and([leaf("a"), make_or([leaf("b"), leaf("c")])])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_trees_differ(self):
+        a = make_and([leaf("a"), leaf("b")])
+        b = make_or([leaf("a"), leaf("b")])
+        assert a != b
+
+    def test_and_or_distinguished_by_hash_tag(self):
+        children = (leaf("a"), leaf("b"))
+        assert hash(CondAnd(children)) != hash(CondOr(children))
+
+    def test_deep_tree_hashing_is_fast(self):
+        """Building a deep chain must stay well under a second — the
+        regression this guards took tens of milliseconds per query."""
+        import time
+
+        start = time.perf_counter()
+        condition = leaf("x0")
+        for i in range(1, 300):
+            condition = make_and([condition, make_or([leaf(f"x{i}"),
+                                                      leaf(f"y{i}")])])
+        # deduplication requires hashing the whole tree repeatedly
+        _ = {condition, condition}
+        assert time.perf_counter() - start < 1.0
+
+
+class TestEvaluationMemo:
+    def test_lookup_called_once_per_label(self):
+        index = PrefilterIndex(depth=2)
+        calls = []
+        original = index.lookup
+
+        def counting_lookup(label):
+            calls.append(label)
+            return original(label)
+
+        index.lookup = counting_lookup  # type: ignore[method-assign]
+        condition = make_or([
+            make_and([leaf("a"), leaf("b")]),
+            make_and([leaf("a"), leaf("c")]),
+            leaf("a"),
+        ])
+        index.evaluate(condition)
+        assert calls.count(Label.parse("a")) == 1

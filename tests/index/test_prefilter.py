@@ -1,0 +1,128 @@
+"""Tests for the prefilter index, including the §4 soundness property:
+the candidate set always contains every permitting contract."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.labels import Label
+from repro.automata.ltl2ba import translate
+from repro.core.permission import permits
+from repro.errors import IndexError_
+from repro.index.prefilter import PrefilterIndex
+from repro.ltl.parser import parse
+
+from ..strategies import formulas
+
+
+class TestExample10:
+    """Example 10: indexing Tickets A and C, querying Figure 1b."""
+
+    @pytest.fixture
+    def index(self, airfare_contracts):
+        index = PrefilterIndex(depth=2)
+        for name in ("Ticket A", "Ticket C"):
+            c = airfare_contracts[name]
+            index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        return index
+
+    def test_single_literal_lookups(self, index, airfare_contracts):
+        a = airfare_contracts["Ticket A"].contract_id
+        c = airfare_contracts["Ticket C"].contract_id
+        # S(m): both tickets have missedFlight transitions
+        assert index.lookup(Label.parse("missedFlight")) == {a, c}
+        # S(r): only Ticket A can ever refund
+        assert index.lookup(Label.parse("refund")) == {a}
+
+    def test_prefiltering_avoids_ticket_c(self, index, airfare_contracts):
+        a = airfare_contracts["Ticket A"].contract_id
+        q = translate(parse("F(missedFlight && F refund)"))
+        assert index.candidates(q) == {a}
+
+
+class TestLookupSemantics:
+    def test_true_label_selects_universe(self, airfare_contracts):
+        index = PrefilterIndex(depth=2)
+        for c in airfare_contracts.values():
+            index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        assert index.lookup(Label.parse("true")) == index.universe
+
+    def test_long_label_returns_superset(self, airfare_contracts):
+        index = PrefilterIndex(depth=1)
+        for c in airfare_contracts.values():
+            index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        long_label = Label.parse("!refund & !use & !dateChange")
+        exact_like = Label.parse("!refund")
+        assert index.lookup(long_label) <= index.lookup(exact_like)
+
+    def test_unknown_event_excluded(self, airfare_contracts):
+        index = PrefilterIndex(depth=2)
+        c = airfare_contracts["Ticket A"]
+        index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        assert index.lookup(Label.parse("classUpgrade")) == frozenset()
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self, airfare_contracts):
+        index = PrefilterIndex()
+        c = airfare_contracts["Ticket A"]
+        index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        with pytest.raises(IndexError_):
+            index.add_contract(c.contract_id, c.ba, c.vocabulary)
+
+    def test_remove(self, airfare_contracts):
+        index = PrefilterIndex()
+        c = airfare_contracts["Ticket A"]
+        index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        index.remove_contract(c.contract_id)
+        assert index.universe == frozenset()
+        assert index.lookup(Label.parse("refund")) == frozenset()
+
+    def test_remove_unknown_rejected(self):
+        index = PrefilterIndex()
+        with pytest.raises(IndexError_):
+            index.remove_contract(42)
+
+    def test_stats_populated(self, airfare_contracts):
+        index = PrefilterIndex()
+        c = airfare_contracts["Ticket A"]
+        index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        assert index.stats.contracts == 1
+        assert index.stats.labels_indexed > 0
+        assert index.stats.node_insertions > 0
+
+
+class TestSoundness:
+    """§4.2: pruning must never lose a permitting contract, for any index
+    depth, including labels longer than the cap."""
+
+    @given(formulas(max_depth=3), formulas(max_depth=3),
+           formulas(max_depth=3))
+    @settings(max_examples=80, deadline=None)
+    def test_candidates_superset_of_permitted(
+        self, contract1, contract2, query_formula
+    ):
+        index = PrefilterIndex(depth=2)
+        contracts = {}
+        for cid, formula in enumerate((contract1, contract2)):
+            ba = translate(formula)
+            contracts[cid] = (ba, formula.variables())
+            index.add_contract(cid, ba, formula.variables())
+        query_ba = translate(query_formula)
+        candidates = index.candidates(query_ba)
+        permitted = {
+            cid
+            for cid, (ba, vocab) in contracts.items()
+            if permits(ba, query_ba, vocab)
+        }
+        assert permitted <= candidates
+
+    @given(formulas(max_depth=3), formulas(max_depth=3))
+    @settings(max_examples=50, deadline=None)
+    def test_depth_one_still_sound(self, contract_formula, query_formula):
+        index = PrefilterIndex(depth=1)
+        ba = translate(contract_formula)
+        vocab = contract_formula.variables()
+        index.add_contract(0, ba, vocab)
+        query_ba = translate(query_formula)
+        if permits(ba, query_ba, vocab):
+            assert 0 in index.candidates(query_ba)

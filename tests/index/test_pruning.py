@@ -1,0 +1,134 @@
+"""Tests for pruning-condition extraction (Algorithm 1).
+
+Includes a hand-built version of the Figure 2d query from Example 9, the
+paper's worked pruning-condition example.
+"""
+
+from repro.automata.buchi import BuchiAutomaton
+from repro.automata.labels import Label
+from repro.automata.ltl2ba import translate
+from repro.index.condition import (
+    CondFalse,
+    CondLabel,
+    CondTrue,
+    to_dnf,
+)
+from repro.index.pruning import pruning_condition
+from repro.ltl.parser import parse
+
+
+def figure_2d() -> BuchiAutomaton:
+    """Figure 2d: tickets changeable indefinitely even after a cancel or
+    a miss-plus-reschedule.  Final state: s2."""
+    return BuchiAutomaton.make(
+        initial="init",
+        transitions=[
+            ("init", "true", "init"),
+            ("init", "flightCanceled", "s2"),
+            ("init", "miss", "s1"),
+            ("s1", "true", "s1"),
+            ("s1", "changeApproved", "s2"),
+            ("s2", "true", "s3"),
+            ("s3", "requestChange", "s4"),
+            ("s4", "changeApproved", "s2"),
+        ],
+        final=["s2"],
+    )
+
+
+class TestExample9:
+    def test_condition_structure(self):
+        cond = pruning_condition(figure_2d())
+        dnf = to_dnf(cond)
+        # Expected (Example 9, with the implementation's cycle
+        # approximation): prefixes (fc | (m & ca)) AND cycle entry (ca),
+        # i.e. DNF {fc, ca} | {m, ca}.
+        term_sets = {
+            frozenset(str(leaf.label) for leaf in term) for term in dnf
+        }
+        assert term_sets == {
+            frozenset({"flightCanceled", "changeApproved"}),
+            frozenset({"miss", "changeApproved"}),
+        }
+
+    def test_candidates_require_cycle_label(self):
+        cond = pruning_condition(figure_2d())
+        sets = {
+            Label.parse("flightCanceled"): frozenset({1}),
+            Label.parse("miss"): frozenset({2}),
+            Label.parse("requestChange"): frozenset({1, 2}),
+            # changeApproved missing: nobody can close the cycle
+        }
+        result = cond.evaluate(
+            lambda l: sets.get(l, frozenset()), frozenset({1, 2, 3})
+        )
+        assert result == frozenset()
+
+
+class TestDegenerateShapes:
+    def test_true_label_cycle_gives_unprunable_condition(self):
+        ba = BuchiAutomaton.make(
+            "i", [("i", "a", "f"), ("f", "true", "f")], final=["f"]
+        )
+        cond = pruning_condition(ba)
+        # prefix needs S(a); the cycle is unconstrained
+        assert to_dnf(cond) == [[CondLabel(Label.parse("a"))]]
+
+    def test_fully_unconstrained_query_is_true(self):
+        ba = BuchiAutomaton.make(
+            "i", [("i", "true", "i")], final=["i"]
+        )
+        assert isinstance(pruning_condition(ba), CondTrue)
+
+    def test_final_without_cycle_contributes_nothing(self):
+        ba = BuchiAutomaton.make("i", [("i", "a", "f")], final=["f"])
+        assert isinstance(pruning_condition(ba), CondFalse)
+
+    def test_unreachable_final_ignored(self):
+        ba = BuchiAutomaton.make(
+            "i",
+            [("i", "a", "i"), ("x", "b", "x")],
+            final=["x"],
+        )
+        assert isinstance(pruning_condition(ba), CondFalse)
+
+    def test_multiple_final_states_union(self):
+        ba = BuchiAutomaton.make(
+            "i",
+            [
+                ("i", "a", "f1"), ("f1", "c1", "f1"),
+                ("i", "b", "f2"), ("f2", "c2", "f2"),
+            ],
+            final=["f1", "f2"],
+        )
+        dnf = to_dnf(pruning_condition(ba))
+        term_sets = {
+            frozenset(str(leaf.label) for leaf in term) for term in dnf
+        }
+        assert term_sets == {
+            frozenset({"a", "c1"}), frozenset({"b", "c2"})
+        }
+
+
+class TestOnTranslatedQueries:
+    def test_figure_1b_condition(self):
+        """The Example 10 condition: S(m) & S(r) (modulo label combos)."""
+        q = translate(parse("F(missedFlight && F refund)"))
+        cond = pruning_condition(q)
+        labels = {str(l) for l in cond.labels()}
+        assert any("missedFlight" in l for l in labels)
+        assert any("refund" in l for l in labels)
+
+    def test_simple_eventuality(self):
+        q = translate(parse("F p"))
+        dnf = to_dnf(pruning_condition(q))
+        assert [
+            {str(leaf.label) for leaf in term} for term in dnf
+        ] == [{"p"}]
+
+    def test_globally_query(self):
+        q = translate(parse("G p"))
+        dnf = to_dnf(pruning_condition(q))
+        assert [
+            {str(leaf.label) for leaf in term} for term in dnf
+        ] == [{"p"}]

@@ -1,0 +1,99 @@
+"""Unit tests for the set-trie DAG."""
+
+import pytest
+
+from repro.automata.labels import neg, pos
+from repro.errors import IndexError_
+from repro.index.trie import SetTrie
+
+
+class TestInsertion:
+    def test_insert_indexes_all_consistent_subsets(self):
+        trie = SetTrie(depth=2)
+        expansion = frozenset([pos("a"), pos("b"), neg("c")])
+        trie.insert_expansion(expansion, 7)
+        assert trie.get([pos("a")]) == {7}
+        assert trie.get([pos("a"), neg("c")]) == {7}
+        assert trie.get([]) == {7}
+
+    def test_contradictory_subsets_skipped(self):
+        trie = SetTrie(depth=2)
+        # expansions of unconstrained events contain both polarities
+        expansion = frozenset([pos("a"), pos("m"), neg("m")])
+        trie.insert_expansion(expansion, 1)
+        assert trie.get([pos("m")]) == {1}
+        assert trie.get([neg("m")]) == {1}
+        assert trie.get([pos("m"), neg("m")]) == set()
+
+    def test_depth_cap_respected(self):
+        trie = SetTrie(depth=1)
+        trie.insert_expansion(frozenset([pos("a"), pos("b")]), 1)
+        assert trie.get([pos("a")]) == {1}
+        with pytest.raises(IndexError_):
+            trie.get([pos("a"), pos("b")])
+
+    def test_multiple_contracts_share_nodes(self):
+        trie = SetTrie(depth=1)
+        trie.insert_expansion(frozenset([pos("a")]), 1)
+        trie.insert_expansion(frozenset([pos("a")]), 2)
+        assert trie.get([pos("a")]) == {1, 2}
+
+    def test_insert_returns_touched_count(self):
+        trie = SetTrie(depth=1)
+        touched = trie.insert_expansion(frozenset([pos("a"), pos("b")]), 1)
+        assert touched == 3  # root + {a} + {b}
+
+    def test_reinsert_is_idempotent(self):
+        trie = SetTrie(depth=1)
+        expansion = frozenset([pos("a")])
+        trie.insert_expansion(expansion, 1)
+        assert trie.insert_expansion(expansion, 1) == 0
+
+
+class TestLookup:
+    def test_missing_node_is_empty(self):
+        trie = SetTrie(depth=2)
+        assert trie.get([pos("nope")]) == set()
+
+    def test_root_lookup(self):
+        trie = SetTrie(depth=2)
+        assert trie.get([]) == set()
+        trie.insert_expansion(frozenset([pos("a")]), 3)
+        assert trie.get([]) == {3}
+
+    def test_navigation_is_order_insensitive(self):
+        trie = SetTrie(depth=2)
+        trie.insert_expansion(frozenset([pos("a"), neg("b")]), 1)
+        assert trie.get([neg("b"), pos("a")]) == {1}
+        assert trie.get([pos("a"), neg("b")]) == {1}
+
+
+class TestRemoval:
+    def test_remove_contract(self):
+        trie = SetTrie(depth=2)
+        trie.insert_expansion(frozenset([pos("a"), pos("b")]), 1)
+        trie.insert_expansion(frozenset([pos("a")]), 2)
+        trie.remove_contract(1)
+        assert trie.get([pos("a")]) == {2}
+        assert trie.get([pos("b")]) == set()
+
+
+class TestShape:
+    def test_invalid_depth(self):
+        with pytest.raises(IndexError_):
+            SetTrie(depth=0)
+
+    def test_node_and_size_accounting(self):
+        trie = SetTrie(depth=2)
+        trie.insert_expansion(frozenset([pos("a"), pos("b")]), 1)
+        # nodes: root, {a}, {b}, {a,b}
+        assert trie.num_nodes == 4
+        assert trie.size_estimate() > 0
+
+    def test_dag_sharing(self):
+        """{a,b} is reachable through both {a} and {b} conceptually; the
+        node exists once."""
+        trie = SetTrie(depth=2)
+        trie.insert_expansion(frozenset([pos("a"), pos("b"), pos("c")]), 1)
+        keys = [node.key for node in trie.nodes()]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "specs.json"
+    docs = [
+        {"name": "refund-friendly", "clauses": ["F refund"],
+         "attributes": {"price": 100}},
+        {"name": "no-refunds", "clauses": ["G !refund"],
+         "attributes": {"price": 50}},
+    ]
+    path.write_text(json.dumps(docs))
+    return path
+
+
+class TestGenerate:
+    def test_writes_spec_file(self, tmp_path, capsys):
+        out = tmp_path / "generated.json"
+        code = main([
+            "generate", "--count", "4", "--patterns", "2",
+            "--vocabulary", "6", "--seed", "3", "--out", str(out),
+        ])
+        assert code == 0
+        docs = json.loads(out.read_text())
+        assert len(docs) == 4
+        assert all(len(d["clauses"]) == 2 for d in docs)
+
+    def test_generated_specs_parse_back(self, tmp_path):
+        from repro.ltl.parser import parse
+
+        out = tmp_path / "generated.json"
+        main(["generate", "--count", "2", "--out", str(out)])
+        for doc in json.loads(out.read_text()):
+            for clause in doc["clauses"]:
+                parse(clause)
+
+
+class TestQuery:
+    def test_query_reports_matches(self, spec_file, capsys):
+        code = main(["query", str(spec_file), "--query", "F refund"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refund-friendly" in out
+        assert "no-refunds" not in out.split("matched")[1].splitlines()[0]
+
+    def test_multiple_queries(self, spec_file, capsys):
+        code = main([
+            "query", str(spec_file),
+            "--query", "F refund", "--query", "G !refund",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.count("query:") == 2
+
+    def test_optimizations_can_be_disabled(self, spec_file, capsys):
+        code = main([
+            "query", str(spec_file), "--query", "F refund",
+            "--no-prefilter", "--no-projections",
+        ])
+        assert code == 0
+        assert "prefilter off" in capsys.readouterr().out
+
+    def test_malformed_spec_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "a list"}))
+        code = main(["query", str(bad), "--query", "F a"])
+        assert code == 1
+
+
+class TestBuildAndLoad:
+    def test_build_then_query_directory(self, spec_file, tmp_path, capsys):
+        db_dir = tmp_path / "built"
+        assert main(["build", str(spec_file), "--out", str(db_dir)]) == 0
+        assert (db_dir / "contracts.json").exists()
+        capsys.readouterr()
+        assert main(["query", str(db_dir), "--query", "F refund"]) == 0
+        out = capsys.readouterr().out
+        assert "loaded 2 contracts" in out
+        assert "refund-friendly" in out
+
+
+class TestTranslate:
+    def test_pretty(self, capsys):
+        assert main(["translate", "F p"]) == 0
+        assert "BuchiAutomaton" in capsys.readouterr().out
+
+    def test_json(self, capsys):
+        assert main(["translate", "F p", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {"states", "initial", "final", "transitions"} <= set(doc)
+
+
+class TestStats:
+    def test_stats_table(self, spec_file, capsys):
+        assert main(["stats", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "states_avg" in out
+
+
+class TestCompare:
+    def test_compare_reports_difference(self, spec_file, capsys):
+        code = main([
+            "compare", str(spec_file), "refund-friendly", "no-refunds",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refund-friendly vs no-refunds" in out
+        assert "allows" in out
+
+    def test_unknown_contract_name(self, spec_file, capsys):
+        code = main(["compare", str(spec_file), "nope", "no-refunds"])
+        assert code == 1
+        assert "unknown contract" in capsys.readouterr().err
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Ticket A" in out and "Ticket C" in out

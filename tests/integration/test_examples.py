@@ -1,0 +1,30 @@
+"""Every example script must run to completion (their internal asserts
+double as integration checks)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "airfare_broker",
+        "insurance_policies",
+        "synthetic_workload",
+        "lifecycle_monitoring",
+    } <= names

@@ -1,0 +1,154 @@
+"""Unit tests for the LTL AST module."""
+
+import pytest
+
+from repro.ltl import ast as A
+from repro.ltl.ast import (
+    FALSE,
+    TRUE,
+    And,
+    Before,
+    Finally,
+    Globally,
+    Next,
+    Not,
+    Or,
+    Prop,
+    Release,
+    Until,
+    WeakUntil,
+    conj,
+    disj,
+    is_literal,
+    is_temporal,
+)
+
+
+class TestConstruction:
+    def test_prop_name(self):
+        assert Prop("purchase").name == "purchase"
+
+    def test_prop_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Prop("")
+
+    def test_prop_rejects_leading_digit(self):
+        with pytest.raises(ValueError):
+            Prop("1abc")
+
+    def test_prop_allows_underscore_prefix(self):
+        assert Prop("_internal").name == "_internal"
+
+    def test_unary_requires_formula(self):
+        with pytest.raises(TypeError):
+            Not("p")  # type: ignore[arg-type]
+
+    def test_binary_requires_formulas(self):
+        with pytest.raises(TypeError):
+            And(Prop("p"), "q")  # type: ignore[arg-type]
+
+    def test_immutability(self):
+        p = Prop("p")
+        with pytest.raises(AttributeError):
+            p.name = "q"  # type: ignore[misc]
+
+    def test_operator_overloads(self):
+        p, q = Prop("p"), Prop("q")
+        assert (p & q) == And(p, q)
+        assert (p | q) == Or(p, q)
+        assert (~p) == Not(p)
+        assert p.implies(q) == A.Implies(p, q)
+        assert p.iff(q) == A.Iff(p, q)
+        assert p.until(q) == Until(p, q)
+        assert p.weak_until(q) == WeakUntil(p, q)
+        assert p.before(q) == Before(p, q)
+        assert p.release(q) == Release(p, q)
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        assert And(Prop("p"), Prop("q")) == And(Prop("p"), Prop("q"))
+
+    def test_inequality_across_types(self):
+        assert Until(Prop("p"), Prop("q")) != Release(Prop("p"), Prop("q"))
+
+    def test_inequality_on_operands(self):
+        assert Not(Prop("p")) != Not(Prop("q"))
+
+    def test_hash_consistency(self):
+        f1 = Globally(A.Implies(Prop("p"), Finally(Prop("q"))))
+        f2 = Globally(A.Implies(Prop("p"), Finally(Prop("q"))))
+        assert hash(f1) == hash(f2)
+        assert len({f1, f2}) == 1
+
+    def test_constants_are_singletons_by_value(self):
+        assert TRUE == A.TrueConst()
+        assert FALSE == A.FalseConst()
+        assert TRUE != FALSE
+
+
+class TestStructure:
+    def test_children_and_rebuild(self):
+        f = Until(Prop("p"), Prop("q"))
+        assert f.children() == (Prop("p"), Prop("q"))
+        rebuilt = f.with_children((Prop("x"), Prop("y")))
+        assert rebuilt == Until(Prop("x"), Prop("y"))
+
+    def test_walk_visits_every_node(self):
+        f = And(Not(Prop("p")), Next(Prop("q")))
+        kinds = [type(n).__name__ for n in f.walk()]
+        assert kinds == ["And", "Not", "Prop", "Next", "Prop"]
+
+    def test_variables(self):
+        f = Globally(A.Implies(Prop("p"), Until(Prop("q"), Prop("p"))))
+        assert f.variables() == frozenset({"p", "q"})
+
+    def test_variables_of_constants(self):
+        assert TRUE.variables() == frozenset()
+
+    def test_size(self):
+        assert Prop("p").size() == 1
+        assert And(Prop("p"), Not(Prop("q"))).size() == 4
+
+    def test_temporal_depth(self):
+        assert Prop("p").temporal_depth() == 0
+        assert Next(Prop("p")).temporal_depth() == 1
+        assert Globally(Finally(Prop("p"))).temporal_depth() == 2
+        assert And(Next(Prop("p")), Prop("q")).temporal_depth() == 1
+
+
+class TestHelpers:
+    def test_conj_empty_is_true(self):
+        assert conj([]) == TRUE
+
+    def test_conj_folds_true(self):
+        assert conj([TRUE, Prop("p"), TRUE]) == Prop("p")
+
+    def test_conj_absorbs_false(self):
+        assert conj([Prop("p"), FALSE]) == FALSE
+
+    def test_conj_multiple(self):
+        p, q, r = Prop("p"), Prop("q"), Prop("r")
+        assert conj([p, q, r]) == And(p, And(q, r))
+
+    def test_disj_empty_is_false(self):
+        assert disj([]) == FALSE
+
+    def test_disj_folds_false(self):
+        assert disj([FALSE, Prop("p")]) == Prop("p")
+
+    def test_disj_absorbs_true(self):
+        assert disj([Prop("p"), TRUE]) == TRUE
+
+    def test_is_literal(self):
+        assert is_literal(Prop("p"))
+        assert is_literal(Not(Prop("p")))
+        assert not is_literal(Not(Not(Prop("p"))))
+        assert not is_literal(TRUE)
+        assert not is_literal(And(Prop("p"), Prop("q")))
+
+    def test_is_temporal(self):
+        assert is_temporal(Next(Prop("p")))
+        assert is_temporal(Until(Prop("p"), Prop("q")))
+        assert not is_temporal(And(Prop("p"), Prop("q")))
+        assert not is_temporal(Prop("p"))

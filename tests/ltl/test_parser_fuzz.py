@@ -1,0 +1,49 @@
+"""Fuzz tests: the parser must never crash with anything but
+:class:`LTLSyntaxError` on arbitrary input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LTLSyntaxError
+from repro.ltl.ast import Formula
+from repro.ltl.parser import parse
+
+_TOKENS = st.sampled_from([
+    "p", "q", "X", "F", "G", "U", "W", "B", "R", "true", "false",
+    "&&", "||", "!", "->", "<->", "(", ")", " ",
+])
+
+
+class TestParserRobustness:
+    @given(st.text(max_size=40))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text(self, text):
+        try:
+            result = parse(text)
+        except LTLSyntaxError:
+            return
+        assert isinstance(result, Formula)
+
+    @given(st.lists(_TOKENS, max_size=15))
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup(self, tokens):
+        text = " ".join(tokens)
+        try:
+            result = parse(text)
+        except LTLSyntaxError:
+            return
+        assert isinstance(result, Formula)
+
+    @given(st.lists(_TOKENS, min_size=1, max_size=12))
+    @settings(max_examples=200, deadline=None)
+    def test_successful_parse_round_trips(self, tokens):
+        """Anything the parser accepts must print back to something the
+        parser accepts with the same structure."""
+        from repro.ltl.printer import format_formula
+
+        text = " ".join(tokens)
+        try:
+            formula = parse(text)
+        except LTLSyntaxError:
+            return
+        assert parse(format_formula(formula)) == formula

@@ -1,0 +1,154 @@
+"""Unit tests for the Dwyer pattern library (Tables 1 & 3 of the paper)."""
+
+import pytest
+
+from repro.ltl.parser import parse
+from repro.ltl.patterns import (
+    BEHAVIOR_WEIGHTS,
+    SCOPE_WEIGHTS,
+    TEMPLATES,
+    Behavior,
+    Scope,
+    instantiate,
+    template,
+)
+from repro.ltl.printer import format_formula
+from repro.ltl.runs import Run
+from repro.ltl.semantics import satisfies
+
+
+class TestCatalog:
+    def test_twenty_templates(self):
+        assert len(TEMPLATES) == 20
+
+    def test_every_combination_present(self):
+        for behavior in Behavior:
+            for scope in Scope:
+                assert (behavior, scope) in TEMPLATES
+
+    def test_placeholder_layout(self):
+        assert template(Behavior.ABSENCE, Scope.GLOBAL).placeholders == ("p",)
+        assert template(Behavior.RESPONSE, Scope.BETWEEN).placeholders == (
+            "p", "s", "q", "r",
+        )
+
+    def test_weights_cover_all(self):
+        assert set(BEHAVIOR_WEIGHTS) == set(Behavior)
+        assert set(SCOPE_WEIGHTS) == set(Scope)
+        # Response dominates the survey; global dominates the scopes.
+        assert max(BEHAVIOR_WEIGHTS, key=BEHAVIOR_WEIGHTS.get) == Behavior.RESPONSE
+        assert max(SCOPE_WEIGHTS, key=SCOPE_WEIGHTS.get) == Scope.GLOBAL
+
+    def test_descriptions_nonempty(self):
+        for tpl in TEMPLATES.values():
+            assert tpl.description
+
+
+class TestInstantiation:
+    def test_missing_placeholder_raises(self):
+        with pytest.raises(KeyError):
+            instantiate(Behavior.ABSENCE, Scope.BEFORE, p="a")
+
+    def test_extra_arguments_ignored(self):
+        f = instantiate(Behavior.ABSENCE, Scope.GLOBAL, p="a", unused="b")
+        assert f == parse("G !a")
+
+    def test_variables_are_substituted(self):
+        f = instantiate(Behavior.RESPONSE, Scope.GLOBAL, p="req", s="ack")
+        assert f.variables() == frozenset({"req", "ack"})
+
+
+class TestTableFormulas:
+    """The LTL of Table 3 (Table 1 for precedence), verbatim."""
+
+    @pytest.mark.parametrize(
+        "behavior,scope,events,expected",
+        [
+            (Behavior.ABSENCE, Scope.GLOBAL, {"p": "p"}, "G(!p)"),
+            (Behavior.ABSENCE, Scope.BEFORE, {"p": "p", "r": "r"},
+             "F r -> (!p U r)"),
+            (Behavior.ABSENCE, Scope.AFTER, {"p": "p", "q": "q"},
+             "G(q -> G(!p))"),
+            (Behavior.ABSENCE, Scope.BETWEEN,
+             {"p": "p", "q": "q", "r": "r"},
+             "G((q && (!r && F r)) -> (!p U r))"),
+            (Behavior.EXISTENCE, Scope.GLOBAL, {"p": "p"}, "F p"),
+            (Behavior.EXISTENCE, Scope.BEFORE, {"p": "p", "r": "r"},
+             "!r W (p && !r)"),
+            (Behavior.EXISTENCE, Scope.AFTER, {"p": "p", "q": "q"},
+             "G(!q) || F(q && F p)"),
+            (Behavior.UNIVERSALITY, Scope.GLOBAL, {"p": "p"}, "G p"),
+            (Behavior.UNIVERSALITY, Scope.BEFORE, {"p": "p", "r": "r"},
+             "F r -> (p U r)"),
+            (Behavior.UNIVERSALITY, Scope.AFTER, {"p": "p", "q": "q"},
+             "G(q -> G p)"),
+            (Behavior.PRECEDENCE, Scope.GLOBAL, {"p": "p", "s": "s"},
+             "F p -> (!p U (s || G(!p)))"),
+            (Behavior.PRECEDENCE, Scope.BEFORE,
+             {"p": "p", "s": "s", "r": "r"},
+             "F r -> (!p U (s || r))"),
+            (Behavior.RESPONSE, Scope.GLOBAL, {"p": "p", "s": "s"},
+             "G(p -> F s)"),
+            (Behavior.RESPONSE, Scope.AFTER,
+             {"p": "p", "s": "s", "q": "q"},
+             "G(q -> G(p -> F s))"),
+        ],
+    )
+    def test_formula_matches_table(self, behavior, scope, events, expected):
+        assert instantiate(behavior, scope, **events) == parse(expected)
+
+
+class TestPatternSemantics:
+    """Spot checks that each behavior means what Table 3 says."""
+
+    def test_absence_global(self):
+        f = instantiate(Behavior.ABSENCE, Scope.GLOBAL, p="p")
+        assert satisfies(Run.from_events([], [[]]), f)
+        assert not satisfies(Run.from_events([["p"]], [[]]), f)
+
+    def test_absence_after(self):
+        f = instantiate(Behavior.ABSENCE, Scope.AFTER, p="p", q="q")
+        assert satisfies(Run.from_events([["p"], ["q"]], [[]]), f)
+        assert not satisfies(Run.from_events([["q"], ["p"]], [[]]), f)
+
+    def test_existence_between(self):
+        f = instantiate(Behavior.EXISTENCE, Scope.BETWEEN, p="p", q="q", r="r")
+        good = Run.from_events([["q"], ["p"], ["r"]], [[]])
+        bad = Run.from_events([["q"], [], ["r"]], [[]])
+        assert satisfies(good, f)
+        assert not satisfies(bad, f)
+
+    def test_universality_before(self):
+        f = instantiate(Behavior.UNIVERSALITY, Scope.BEFORE, p="p", r="r")
+        good = Run.from_events([["p"], ["p"], ["r"]], [[]])
+        bad = Run.from_events([["p"], [], ["r"]], [[]])
+        assert satisfies(good, f)
+        assert not satisfies(bad, f)
+        # vacuous when r never occurs
+        assert satisfies(Run.from_events([], [[]]), f)
+
+    def test_precedence_global(self):
+        f = instantiate(Behavior.PRECEDENCE, Scope.GLOBAL, p="p", s="s")
+        assert satisfies(Run.from_events([["s"], ["p"]], [[]]), f)
+        assert not satisfies(Run.from_events([["p"], ["s"]], [[]]), f)
+        # vacuous when p never occurs
+        assert satisfies(Run.from_events([], [[]]), f)
+
+    def test_response_global(self):
+        f = instantiate(Behavior.RESPONSE, Scope.GLOBAL, p="p", s="s")
+        assert satisfies(Run.from_events([["p"], ["s"]], [[]]), f)
+        assert not satisfies(Run.from_events([["p"]], [[]]), f)
+
+    def test_response_between(self):
+        f = instantiate(Behavior.RESPONSE, Scope.BETWEEN,
+                        p="p", s="s", q="q", r="r")
+        good = Run.from_events([["q"], ["p"], ["s"], ["r"]], [[]])
+        bad = Run.from_events([["q"], ["p"], ["r"]], [[]])
+        assert satisfies(good, f)
+        assert not satisfies(bad, f)
+
+    def test_all_templates_round_trip_through_parser(self):
+        names = {"p": "e1", "s": "e2", "q": "e3", "r": "e4"}
+        for tpl in TEMPLATES.values():
+            f = tpl.instantiate(**{k: names[k] for k in tpl.placeholders})
+            assert parse(format_formula(f)) == f

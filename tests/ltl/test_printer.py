@@ -1,0 +1,77 @@
+"""Unit tests for the LTL pretty-printer."""
+
+import pytest
+
+from repro.ltl import ast as A
+from repro.ltl.parser import parse
+from repro.ltl.printer import format_formula
+
+
+class TestAtoms:
+    def test_constants(self):
+        assert format_formula(A.TRUE) == "true"
+        assert format_formula(A.FALSE) == "false"
+
+    def test_proposition(self):
+        assert format_formula(A.Prop("purchase")) == "purchase"
+
+
+class TestOperators:
+    def test_not_no_space(self):
+        assert format_formula(A.Not(A.Prop("p"))) == "!p"
+
+    def test_unary_temporal_spaced(self):
+        assert format_formula(A.Next(A.Prop("p"))) == "X p"
+        assert format_formula(A.Finally(A.Prop("p"))) == "F p"
+        assert format_formula(A.Globally(A.Prop("p"))) == "G p"
+
+    def test_binary(self):
+        p, q = A.Prop("p"), A.Prop("q")
+        assert format_formula(A.And(p, q)) == "p && q"
+        assert format_formula(A.Or(p, q)) == "p || q"
+        assert format_formula(A.Implies(p, q)) == "p -> q"
+        assert format_formula(A.Iff(p, q)) == "p <-> q"
+        assert format_formula(A.Until(p, q)) == "p U q"
+        assert format_formula(A.WeakUntil(p, q)) == "p W q"
+        assert format_formula(A.Before(p, q)) == "p B q"
+        assert format_formula(A.Release(p, q)) == "p R q"
+
+
+class TestParenthesization:
+    def test_tighter_child_needs_no_parens(self):
+        f = A.Or(A.And(A.Prop("a"), A.Prop("b")), A.Prop("c"))
+        assert format_formula(f) == "a && b || c"
+
+    def test_looser_child_gets_parens(self):
+        f = A.And(A.Or(A.Prop("a"), A.Prop("b")), A.Prop("c"))
+        assert format_formula(f) == "(a || b) && c"
+
+    def test_nested_same_level_binary_gets_parens(self):
+        f = A.Until(A.Until(A.Prop("a"), A.Prop("b")), A.Prop("c"))
+        assert format_formula(f) == "(a U b) U c"
+
+    def test_unary_over_binary(self):
+        f = A.Not(A.And(A.Prop("a"), A.Prop("b")))
+        assert format_formula(f) == "!(a && b)"
+
+    def test_paper_style_clause(self):
+        f = parse("G(missedFlight -> !F dateChange)")
+        assert format_formula(f) == "G (missedFlight -> !F dateChange)"
+
+    def test_str_dunder_delegates(self):
+        f = parse("p U q")
+        assert str(f) == "p U q"
+
+    def test_repr_contains_text(self):
+        assert "p U q" in repr(parse("p U q"))
+
+    def test_unknown_node_rejected(self):
+        class Weird(A.Formula):
+            def children(self):
+                return ()
+
+            def _key(self):
+                return ()
+
+        with pytest.raises(TypeError):
+            format_formula(Weird())

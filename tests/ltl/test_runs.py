@@ -1,0 +1,96 @@
+"""Unit tests for ultimately-periodic runs."""
+
+import pytest
+
+from repro.ltl.runs import EMPTY_SNAPSHOT, Run, snapshot
+
+
+class TestConstruction:
+    def test_loop_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Run((), ())
+
+    def test_from_events(self):
+        run = Run.from_events([["a"], ["a", "b"]], [[]])
+        assert run.prefix == (frozenset({"a"}), frozenset({"a", "b"}))
+        assert run.loop == (frozenset(),)
+
+    def test_default_loop_is_empty_snapshot(self):
+        run = Run.from_events([["a"]])
+        assert run.loop == (EMPTY_SNAPSHOT,)
+
+    def test_finite_encoding(self):
+        run = Run.finite([["purchase"], ["use"]])
+        assert run.instant(5) == EMPTY_SNAPSHOT
+
+    def test_snapshot_helper(self):
+        assert snapshot("a", "b") == frozenset({"a", "b"})
+
+
+class TestPositions:
+    @pytest.fixture
+    def run(self):
+        return Run.from_events([["a"], ["b"]], [["c"], ["d"]])
+
+    def test_counts(self, run):
+        assert run.period_start == 2
+        assert run.num_positions == 4
+
+    def test_successor_within_prefix(self, run):
+        assert run.successor(0) == 1
+        assert run.successor(1) == 2
+
+    def test_successor_wraps(self, run):
+        assert run.successor(3) == 2
+
+    def test_successor_bounds(self, run):
+        with pytest.raises(IndexError):
+            run.successor(4)
+        with pytest.raises(IndexError):
+            run.successor(-1)
+
+    def test_at(self, run):
+        assert run.at(0) == frozenset({"a"})
+        assert run.at(3) == frozenset({"d"})
+
+    def test_instant_unrolls_loop(self, run):
+        assert run.instant(2) == frozenset({"c"})
+        assert run.instant(3) == frozenset({"d"})
+        assert run.instant(4) == frozenset({"c"})
+        assert run.instant(100) == frozenset({"c"})
+
+    def test_instant_rejects_negative(self, run):
+        with pytest.raises(IndexError):
+            run.instant(-1)
+
+    def test_positions_iterator(self, run):
+        assert list(run.positions()) == [0, 1, 2, 3]
+
+    def test_unroll(self, run):
+        assert run.unroll(5) == [
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"c"}),
+            frozenset({"d"}),
+            frozenset({"c"}),
+        ]
+
+
+class TestTransformations:
+    def test_project(self):
+        run = Run.from_events([["a", "b"]], [["b", "c"]])
+        projected = run.project({"b"})
+        assert projected.prefix == (frozenset({"b"}),)
+        assert projected.loop == (frozenset({"b"}),)
+
+    def test_project_matches_definition_3(self):
+        run = Run.from_events([["a"]], [["c"]])
+        assert run.project({"a", "c"}) == run
+
+    def test_variables(self):
+        run = Run.from_events([["a"]], [["b", "c"]])
+        assert run.variables() == frozenset({"a", "b", "c"})
+
+    def test_str_rendering(self):
+        run = Run.from_events([["a"]], [["b"]])
+        assert str(run) == "{a} ({b})^w"

@@ -1,0 +1,146 @@
+"""Unit tests for the ground-truth LTL evaluator.
+
+Each operator's inductive clause (§6.1) is exercised on hand-built runs,
+including the fixpoint-sensitive cases that distinguish least from
+greatest fixpoints on loops.
+"""
+
+from repro.ltl.parser import parse
+from repro.ltl.runs import Run
+from repro.ltl.semantics import evaluate_positions, satisfies
+
+
+def run(prefix, loop=((),)):
+    return Run.from_events(prefix, loop)
+
+
+class TestPropositional:
+    def test_prop_now(self):
+        assert satisfies(run([["p"]]), parse("p"))
+        assert not satisfies(run([["q"]]), parse("p"))
+
+    def test_constants(self):
+        empty = run([])
+        assert satisfies(empty, parse("true"))
+        assert not satisfies(empty, parse("false"))
+
+    def test_boolean_connectives(self):
+        r = run([["p", "q"]])
+        assert satisfies(r, parse("p && q"))
+        assert satisfies(r, parse("p || r"))
+        assert not satisfies(r, parse("!p"))
+        assert satisfies(r, parse("p -> q"))
+        assert satisfies(r, parse("p <-> q"))
+        assert not satisfies(r, parse("p <-> r"))
+
+
+class TestNext:
+    def test_next_looks_one_step(self):
+        assert satisfies(run([["p"], ["q"]]), parse("X q"))
+        assert not satisfies(run([["p"], ["p"]]), parse("X q"))
+
+    def test_next_wraps_into_loop(self):
+        r = Run.from_events([], [["p"], ["q"]])
+        assert satisfies(r, parse("X q"))
+
+
+class TestUntil:
+    def test_until_basic(self):
+        assert satisfies(run([["p"], ["p"], ["q"]]), parse("p U q"))
+
+    def test_until_requires_left_to_hold(self):
+        assert not satisfies(run([["p"], [], ["q"]], [["q"]]), parse("p U q"))
+
+    def test_until_immediate(self):
+        # k = 0: the right side holding now suffices.
+        assert satisfies(run([["q"]]), parse("p U q"))
+
+    def test_until_is_least_fixpoint(self):
+        # p forever but q never: must be FALSE despite the loop.
+        r = Run.from_events([], [["p"]])
+        assert not satisfies(r, parse("p U q"))
+
+    def test_finally(self):
+        assert satisfies(run([[], [], ["p"]]), parse("F p"))
+        assert not satisfies(Run.from_events([], [[]]), parse("F p"))
+
+
+class TestRelease:
+    def test_release_is_greatest_fixpoint(self):
+        # q forever satisfies p R q even though p never happens.
+        r = Run.from_events([], [["q"]])
+        assert satisfies(r, parse("p R q"))
+
+    def test_release_discharged(self):
+        r = run([["q"], ["p", "q"], []], [[]])
+        assert satisfies(r, parse("p R q"))
+
+    def test_release_violated(self):
+        r = run([["q"], []], [[]])
+        assert not satisfies(r, parse("p R q"))
+
+    def test_globally(self):
+        assert satisfies(Run.from_events([], [["p"]]), parse("G p"))
+        assert not satisfies(run([["p"], []], [["p"]]), parse("G p"))
+
+
+class TestDerivedOperators:
+    def test_weak_until_holds_forever(self):
+        r = Run.from_events([], [["p"]])
+        assert satisfies(r, parse("p W q"))
+        assert not satisfies(r, parse("p U q"))
+
+    def test_weak_until_with_release_event(self):
+        r = run([["p"], ["q"]])
+        assert satisfies(r, parse("p W q"))
+
+    def test_before(self):
+        # p B q: every future q is strictly preceded by a p.
+        assert satisfies(run([["p"], ["q"]]), parse("p B q"))
+        assert not satisfies(run([["q"]]), parse("p B q"))
+        # vacuous: q never happens.
+        assert satisfies(Run.from_events([], [[]]), parse("p B q"))
+
+    def test_nested_modalities(self):
+        # GF p: p infinitely often.
+        infinitely = Run.from_events([], [["p"], []])
+        finitely = Run.from_events([["p"]], [[]])
+        assert satisfies(infinitely, parse("G F p"))
+        assert not satisfies(finitely, parse("G F p"))
+
+    def test_fg_stabilization(self):
+        r = Run.from_events([[], ["p"]], [["p"]])
+        assert satisfies(r, parse("F G p"))
+
+
+class TestEvaluatePositions:
+    def test_per_position_table(self):
+        r = run([["p"], []], [["p"]])
+        table = evaluate_positions(r, parse("p"))
+        assert table == [True, False, True]
+
+    def test_suffix_semantics(self):
+        r = run([[], ["p"]], [[]])
+        table = evaluate_positions(r, parse("F p"))
+        # F p holds at positions 0 and 1, fails inside the empty loop.
+        assert table == [True, True, False]
+
+
+class TestPaperExamples:
+    def test_ticket_a_clause(self):
+        clause = parse("G(dateChange -> !F refund)")
+        ok = run([["purchase"], ["dateChange"], ["use"]])
+        bad = run([["purchase"], ["dateChange"], ["refund"]])
+        assert satisfies(ok, clause)
+        assert not satisfies(bad, clause)
+
+    def test_ticket_c_single_change(self):
+        clause = parse("G(dateChange -> X(!F dateChange))")
+        one = run([["dateChange"], ["use"]])
+        two = run([["dateChange"], ["dateChange"]])
+        assert satisfies(one, clause)
+        assert not satisfies(two, clause)
+
+    def test_example_3_sequences(self):
+        spec = parse("purchase && X(dateChange && X use)")
+        assert satisfies(run([["purchase"], ["dateChange"], ["use"]]), spec)

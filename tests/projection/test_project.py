@@ -1,0 +1,83 @@
+"""Unit tests for label projections (Definition 8 / Theorem 7 setup)."""
+
+from repro.automata.buchi import BuchiAutomaton
+from repro.automata.labels import TRUE_LABEL, neg, pos
+from repro.projection.project import project, required_literals
+
+
+class TestProject:
+    def test_keeps_only_given_literals(self):
+        ba = BuchiAutomaton.make(
+            0, [(0, "a & !d", 1), (1, "!d & c", 1)], final=[1]
+        )
+        projected = project(ba, [neg("d")])
+        labels = {str(label) for label in projected.labels()}
+        assert labels == {"!d"}
+
+    def test_projection_on_everything_is_identity(self):
+        ba = BuchiAutomaton.make(
+            0, [(0, "a & !d", 1), (1, "true", 1)], final=[1]
+        )
+        assert project(ba, ba.literals()) == ba
+
+    def test_projection_on_nothing_blanks_labels(self):
+        ba = BuchiAutomaton.make(0, [(0, "a", 1), (1, "b", 1)], final=[1])
+        projected = project(ba, [])
+        assert all(label == TRUE_LABEL for label in projected.labels())
+
+    def test_merges_newly_equal_transitions(self):
+        ba = BuchiAutomaton.make(
+            0, [(0, "a & x", 1), (0, "a & y", 1)], final=[1]
+        )
+        projected = project(ba, [pos("a")])
+        assert projected.num_transitions == 1
+
+    def test_states_and_finals_untouched(self):
+        ba = BuchiAutomaton.make(
+            0, [(0, "a", 1), (1, "b", 2), (2, "true", 2)], final=[2]
+        )
+        projected = project(ba, [pos("a")])
+        assert projected.states == ba.states
+        assert projected.final == ba.final
+        assert projected.initial == ba.initial
+
+    def test_figure_4a_shape(self):
+        """Projecting Figure 2b's round-trip ticket onto !dateChange makes
+        previously distinct labels collapse to !d / true."""
+        ba = BuchiAutomaton.make(
+            "init",
+            [
+                ("init", "purchase & !dateChange", "s2"),
+                ("s2", "dateChange", "s2b"),
+                ("s2b", "useFirst & !dateChange", "s4"),
+                ("s2", "useFirst & !dateChange", "s4"),
+                ("s4", "useSecond & !dateChange", "s6"),
+                ("s4", "askRefund & !dateChange", "s5"),
+                ("s5", "refund & !dateChange", "s6"),
+                ("s6", "!dateChange", "s6"),
+            ],
+            final=["s6"],
+        )
+        projected = project(ba, [neg("dateChange")])
+        labels = {str(label) for label in projected.labels()}
+        assert labels == {"!dateChange", "true"}
+
+
+class TestRequiredLiterals:
+    def test_negations_intersected_with_contract(self):
+        contract_literals = frozenset([neg("a"), pos("b"), neg("c")])
+        query_literals = [pos("a"), pos("c"), pos("z")]
+        assert required_literals(query_literals, contract_literals) == {
+            neg("a"), neg("c")
+        }
+
+    def test_uncited_negations_dropped(self):
+        contract_literals = frozenset([pos("b")])
+        assert required_literals([pos("a")], contract_literals) == frozenset()
+
+    def test_polarity_matters(self):
+        contract_literals = frozenset([pos("a")])
+        # query literal !a needs contract literal a
+        assert required_literals([neg("a")], contract_literals) == {pos("a")}
+        # query literal a needs contract literal !a, which is not cited
+        assert required_literals([pos("a")], contract_literals) == frozenset()

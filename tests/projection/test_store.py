@@ -1,0 +1,150 @@
+"""Tests for the projection store, centered on the Theorem 9 property:
+checking permission on the selected simplified automaton gives the same
+verdict as on the full contract BA."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.ltl2ba import translate
+from repro.core.permission import permits
+from repro.errors import ProjectionError
+from repro.projection.project import project
+from repro.projection.store import ProjectionStore
+from repro.ltl.parser import parse
+
+from ..strategies import formulas
+
+
+class TestBuild:
+    def test_subset_count_with_cap(self):
+        ba = translate(parse("G(a -> !b)"))
+        store = ProjectionStore(ba, max_subset_size=1)
+        literals = ba.literals()
+        assert store.num_subsets == 1 + len(literals)
+
+    def test_all_subsets_without_cap(self):
+        ba = translate(parse("G a"))
+        store = ProjectionStore(ba, max_subset_size=None)
+        assert store.num_subsets == 2 ** len(ba.literals())
+
+    def test_partitions_deduplicated(self):
+        ba = translate(parse("G(a -> F b)"))
+        store = ProjectionStore(ba, max_subset_size=2)
+        assert store.num_distinct_partitions <= store.num_subsets
+
+    def test_stats_populated(self):
+        ba = translate(parse("G(a -> F b)"))
+        store = ProjectionStore(ba, max_subset_size=2)
+        assert store.stats.subsets_considered == store.num_subsets
+        assert store.stats.partitions_computed == store.num_subsets
+        assert store.stats.distinct_partitions == store.num_distinct_partitions
+        assert store.stats.build_seconds >= 0.0
+
+    def test_partition_for_known_subset(self):
+        ba = translate(parse("G a"))
+        store = ProjectionStore(ba, max_subset_size=None)
+        blocks = store.partition_for(frozenset())
+        assert sum(len(b) for b in blocks) == ba.num_states
+
+    def test_partition_for_unknown_subset_raises(self):
+        ba = translate(parse("G a"))
+        store = ProjectionStore(ba, max_subset_size=0)
+        from repro.automata.labels import pos
+
+        with pytest.raises(ProjectionError):
+            store.partition_for(frozenset([pos("zzz")]))
+
+    def test_storage_estimate_positive(self):
+        ba = translate(parse("G(a -> F b)"))
+        store = ProjectionStore(ba, max_subset_size=2)
+        assert store.storage_estimate() > 0
+
+
+class TestSelect:
+    def test_full_ba_when_requirements_exceed_cap(self):
+        ba = translate(parse("G(a -> !b) && G(c -> !d)"))
+        store = ProjectionStore(ba, max_subset_size=0)
+        query = translate(parse("F(a && F(b && F(c && F d)))"))
+        assert store.select(query.literals()) is ba
+
+    def test_simplified_smaller_or_equal(self):
+        ba = translate(parse("G(a -> !b) && F c"))
+        store = ProjectionStore(ba, max_subset_size=2)
+        query = translate(parse("F b"))
+        selected = store.select(query.literals())
+        assert selected.num_states <= ba.num_states
+
+    def test_select_caches_materializations(self):
+        ba = translate(parse("G(a -> !b) && F c"))
+        store = ProjectionStore(ba, max_subset_size=2)
+        query = translate(parse("F b"))
+        first = store.select(query.literals())
+        second = store.select(query.literals())
+        assert first is second or first == second
+
+
+class TestTheorem9:
+    """Permission on the selected projection == permission on the full BA."""
+
+    def test_airfare_queries(self, airfare_contracts):
+        queries = [
+            "F(missedFlight && F refund)",
+            "F(dateChange && X F dateChange)",
+            "F refund",
+            "G !dateChange",
+        ]
+        for contract in airfare_contracts.values():
+            store = ProjectionStore(contract.ba, max_subset_size=2)
+            for text in queries:
+                q = translate(parse(text))
+                selected = store.select(q.literals())
+                assert permits(selected, q, contract.vocabulary) == permits(
+                    contract.ba, q, contract.vocabulary
+                ), (contract.name, text)
+
+    @given(formulas(max_depth=3), formulas(max_depth=3))
+    @settings(max_examples=60, deadline=None)
+    def test_random_contracts_and_queries(self, contract_formula, query_formula):
+        ba = translate(contract_formula)
+        vocabulary = contract_formula.variables()
+        store = ProjectionStore(ba, max_subset_size=2)
+        q = translate(query_formula)
+        selected = store.select(q.literals())
+        assert permits(selected, q, vocabulary) == permits(
+            ba, q, vocabulary
+        )
+
+    @given(formulas(max_depth=3), formulas(max_depth=3))
+    @settings(max_examples=40, deadline=None)
+    def test_uncapped_store_agrees(self, contract_formula, query_formula):
+        ba = translate(contract_formula)
+        if len(ba.literals()) > 6:
+            return  # keep the uncapped lattice small
+        vocabulary = contract_formula.variables()
+        store = ProjectionStore(ba, max_subset_size=None)
+        q = translate(query_formula)
+        selected = store.select(q.literals())
+        assert permits(selected, q, vocabulary) == permits(
+            ba, q, vocabulary
+        )
+
+
+class TestTheorem3Consistency:
+    """Seeded lattice traversal must give the same partitions as direct
+    computation for every subset."""
+
+    def test_against_direct_bisimulation(self):
+        from repro.automata.bisim import (
+            bisimulation_partition,
+            partition_signature,
+        )
+
+        ba = translate(parse("G(a -> F b) && G(c -> !a)"))
+        store = ProjectionStore(ba, max_subset_size=2)
+        from itertools import combinations
+
+        for size in range(0, 3):
+            for subset in combinations(sorted(ba.literals()), size):
+                direct = bisimulation_partition(project(ba, subset))
+                stored_blocks = store.partition_for(frozenset(subset))
+                assert frozenset(stored_blocks) == partition_signature(direct)

@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AutomatonError,
+    BrokerError,
+    IndexError_,
+    LTLSyntaxError,
+    ProjectionError,
+    ReproError,
+    TranslationError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", [
+        LTLSyntaxError, AutomatonError, TranslationError, IndexError_,
+        ProjectionError, BrokerError, WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_single_guard_catches_everything(self):
+        """A downstream application can wrap broker calls in one handler."""
+        from repro.broker.database import ContractDatabase
+
+        db = ContractDatabase()
+        with pytest.raises(ReproError):
+            db.get(123)
+        with pytest.raises(ReproError):
+            db.register("bad", "p &&")
+
+
+class TestSyntaxErrorDetails:
+    def test_position_carried(self):
+        err = LTLSyntaxError("boom", text="p @", position=2)
+        assert err.position == 2
+        assert "offset 2" in str(err)
+
+    def test_position_optional(self):
+        err = LTLSyntaxError("boom")
+        assert "offset" not in str(err)

@@ -1,0 +1,42 @@
+"""Unit tests for the airfare fixture module."""
+
+from repro.workload.airfare import (
+    EVENTS,
+    QUERIES,
+    TICKET_CLAUSES,
+    all_ticket_specs,
+    common_clauses,
+    one_event_per_instant,
+    ticket_spec,
+)
+
+
+class TestFixtureShapes:
+    def test_vocabulary_matches_example_3(self):
+        assert set(EVENTS) == {
+            "purchase", "use", "missedFlight", "refund", "dateChange"
+        }
+
+    def test_c0_is_pairwise_exclusion(self):
+        clauses = one_event_per_instant()
+        assert len(clauses) == 5 * 4
+
+    def test_common_clauses_include_domain_axioms(self):
+        clauses = common_clauses()
+        assert len(clauses) == 20 + 5
+
+    def test_three_tickets(self):
+        assert set(TICKET_CLAUSES) == {"Ticket A", "Ticket B", "Ticket C"}
+        assert len(TICKET_CLAUSES["Ticket C"]) == 3
+
+    def test_spec_vocabulary(self):
+        spec = ticket_spec("Ticket A")
+        assert spec.vocabulary == frozenset(EVENTS)
+
+    def test_specs_have_attributes(self):
+        for spec in all_ticket_specs():
+            assert "price" in spec.attributes
+
+    def test_queries_have_expectations(self):
+        for info in QUERIES.values():
+            assert "ltl" in info and "expected" in info

@@ -1,0 +1,55 @@
+"""Unit tests for dataset configurations and Table 2 statistics."""
+
+from repro.workload.datasets import (
+    PAPER_DATASETS,
+    SCALED_DATASETS,
+    dataset_statistics,
+)
+
+
+class TestCatalog:
+    def test_paper_parameters_match_table2(self):
+        simple = PAPER_DATASETS["simple_contracts"]
+        assert (simple.size, simple.patterns) == (3000, 5)
+        medium = PAPER_DATASETS["medium_contracts"]
+        assert (medium.size, medium.patterns) == (1000, 6)
+        complex_ = PAPER_DATASETS["complex_contracts"]
+        assert (complex_.size, complex_.patterns) == (1000, 7)
+        for key in ("simple_queries", "medium_queries", "complex_queries"):
+            assert PAPER_DATASETS[key].size == 100
+        assert PAPER_DATASETS["simple_queries"].patterns == 1
+        assert PAPER_DATASETS["complex_queries"].patterns == 3
+
+    def test_scaled_preserves_complexity_ordering(self):
+        assert (
+            SCALED_DATASETS["simple_contracts"].patterns
+            < SCALED_DATASETS["medium_contracts"].patterns
+            < SCALED_DATASETS["complex_contracts"].patterns
+        )
+
+    def test_generate_respects_size_override(self):
+        specs = SCALED_DATASETS["simple_queries"].generate(3)
+        assert len(specs) == 3
+
+
+class TestStatistics:
+    def test_statistics_row(self):
+        stats = dataset_statistics(
+            SCALED_DATASETS["simple_contracts"], sample_size=5
+        )
+        assert stats.size == 5
+        assert stats.patterns == 3
+        assert stats.states_avg > 0
+        assert stats.transitions_avg > 0
+        row = stats.row()
+        assert row[0] == "Simple contracts"
+        assert len(row) == 7
+
+    def test_complexity_grows_with_patterns(self):
+        simple = dataset_statistics(
+            SCALED_DATASETS["simple_queries"], sample_size=8
+        )
+        complex_ = dataset_statistics(
+            SCALED_DATASETS["complex_queries"], sample_size=8
+        )
+        assert complex_.states_avg >= simple.states_avg

@@ -1,0 +1,21 @@
+"""Unit tests for vocabulary helpers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.vocabulary import (
+    PAPER_VOCABULARY_SIZE,
+    numbered_vocabulary,
+)
+
+
+class TestNumberedVocabulary:
+    def test_default_is_paper_size(self):
+        assert len(numbered_vocabulary()) == PAPER_VOCABULARY_SIZE == 20
+
+    def test_naming(self):
+        assert numbered_vocabulary(3) == ("p1", "p2", "p3")
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(WorkloadError):
+            numbered_vocabulary(0)
