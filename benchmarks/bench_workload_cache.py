@@ -1,0 +1,109 @@
+"""Warm-cache workload serving: repeated queries + batched evaluation.
+
+Not a paper figure — the serving-stack counterpart of §7.1's runtime
+module.  Every ``bench_*.py`` sweep (and any production query mix with
+popular queries) re-issues the same query texts; the compilation cache
+turns those repeats from recompile-per-call into warm-cache serving.
+This benchmark measures exactly that regime and writes the broker's
+aggregate metrics (cache hit rate, per-stage latency histograms,
+pruning distributions) to ``results/workload_cache.txt``.
+
+Shape assertions:
+
+* after the first round every repeat is a cache hit;
+* warm per-call translation + prefilter time collapses versus cold
+  (the compiled record already holds the BA and pruning condition);
+* ``query_many`` (threaded permission checks) returns results identical
+  to serial evaluation.
+"""
+
+import statistics
+
+from repro.bench.harness import (
+    build_database,
+    specs_to_formulas,
+    workload_metrics_table,
+)
+from repro.bench.reporting import format_table, write_report
+from repro.broker.database import BrokerConfig, ContractDatabase
+
+
+ROUNDS = 20
+
+
+def _workload(datasets, bench_sizes):
+    contracts = datasets["simple_contracts"].generate(
+        bench_sizes["figure5_db_sizes"][0]
+    )
+    queries = specs_to_formulas(
+        datasets["medium_queries"].generate(
+            bench_sizes["queries_per_workload"]
+        )
+    )
+    return contracts, queries
+
+
+def test_warm_cache_workload(benchmark, datasets, bench_sizes, results_dir):
+    contracts, queries = _workload(datasets, bench_sizes)
+    db = build_database(contracts, BrokerConfig())
+
+    def serve():
+        results = []
+        for _ in range(ROUNDS):
+            results.append([db.query(q) for q in queries])
+        return results
+
+    rounds = benchmark.pedantic(serve, rounds=1, iterations=1)
+
+    cold, warm_rounds = rounds[0], rounds[1:]
+    stats = db.cache_stats()
+    # every query text after round one is a compilation-cache hit
+    assert stats.misses == len(queries)
+    assert stats.hits == (ROUNDS - 1) * len(queries)
+    assert all(
+        r.stats.cache_hit for round_ in warm_rounds for r in round_
+    )
+
+    # warm compilation cost (cache lookup) collapses vs the cold compile
+    cold_compile = [
+        r.stats.translation_seconds + r.stats.prefilter_seconds
+        for r in cold
+    ]
+    warm_compile = [
+        statistics.median(
+            round_[i].stats.translation_seconds
+            + round_[i].stats.prefilter_seconds
+            for round_ in warm_rounds
+        )
+        for i in range(len(queries))
+    ]
+    assert sum(warm_compile) < sum(cold_compile)
+
+    per_query = format_table(
+        ["query", "cold compile (ms)", "warm compile (ms)", "collapse"],
+        [
+            (i, round(c * 1000, 3), round(w * 1000, 3),
+             f"{c / max(w, 1e-9):.0f}x")
+            for i, (c, w) in enumerate(zip(cold_compile, warm_compile))
+        ],
+        title=f"Repeated workload ({len(queries)} queries x {ROUNDS} "
+              "rounds) - compilation cost per call",
+    )
+    metrics = workload_metrics_table(db)
+    write_report(results_dir / "workload_cache.txt",
+                 per_query + "\n\n" + metrics)
+
+
+def test_benchmark_query_many_parity(benchmark, datasets, bench_sizes):
+    """Batched parallel evaluation is bit-identical to serial and is the
+    timed entry (thread pool over permission checks)."""
+    contracts, queries = _workload(datasets, bench_sizes)
+    db = build_database(contracts, BrokerConfig())
+    serial = [db.query(q).contract_ids for q in queries]
+
+    results = benchmark(lambda: db.query_many(queries, workers=4))
+
+    assert [r.contract_ids for r in results] == serial
+    assert [r.stats.permitted for r in results] == [
+        len(ids) for ids in serial
+    ]

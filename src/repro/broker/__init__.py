@@ -18,11 +18,12 @@ Quick tour::
 """
 
 from .analytics import Comparison, Relation, compare
+from .cache import CacheStats, CompiledQuery, QueryCompilationCache
 from .contract import Contract, ContractSpec
 from .monitor import ContractMonitor, MonitorStatus
 from .vocabulary import EventVocabulary
 from .persist import load_database, save_database
-from .parallel import register_many
+from .parallel import query_many, register_many
 from .planner import QueryPlan, QueryPlanner
 from .database import BrokerConfig, ContractDatabase, RegistrationStats
 from .query import QueryResult, QueryStats
@@ -44,6 +45,10 @@ __all__ = [
     "Comparison",
     "Relation",
     "compare",
+    "CacheStats",
+    "CompiledQuery",
+    "QueryCompilationCache",
+    "query_many",
     "Contract",
     "ContractSpec",
     "ContractMonitor",

@@ -8,14 +8,21 @@ Architecture (mirroring the prototype's four modules):
   the prefilter index (§4) is updated and the projection store (§5) and
   seed set (§6.2.4) are precomputed;
 * **query evaluation** (:meth:`ContractDatabase.query`) — the query is
-  translated, the relational attribute filter narrows the database, the
-  pruning condition selects candidates from the index, and the
-  permission algorithm (Algorithm 2) runs on each candidate using the
-  smallest applicable precomputed projection.
+  compiled (translated + pruning condition, served from the LRU
+  compilation cache of :mod:`repro.broker.cache` on repeats), the
+  relational attribute filter narrows the database, the pruning
+  condition selects candidates from the index, and the permission
+  algorithm (Algorithm 2) runs on each candidate using the smallest
+  applicable precomputed projection.
 
 Every optimization can be toggled per database (:class:`BrokerConfig`)
 or per query, which is how the benchmark harness measures the paper's
 unoptimized-versus-optimized comparisons.
+
+Serving-side aggregation: every query's :class:`QueryStats` is fed into
+the database's :class:`~repro.obs.metrics.MetricsRegistry`
+(``db.metrics``), and batched workloads can be evaluated concurrently
+through :meth:`ContractDatabase.query_many`.
 """
 
 from __future__ import annotations
@@ -35,10 +42,16 @@ from ..core.permission import (
 from ..core.seeds import compute_seeds
 from ..errors import BrokerError
 from ..index.prefilter import PrefilterIndex
-from ..index.pruning import pruning_condition
 from ..ltl.ast import Formula
 from ..ltl.parser import parse
+from ..obs.metrics import COUNT_BUCKETS, RATIO_BUCKETS, MetricsRegistry
 from ..projection.store import ProjectionStore
+from .cache import (
+    DEFAULT_CACHE_CAPACITY,
+    CacheStats,
+    CompiledQuery,
+    QueryCompilationCache,
+)
 from .contract import Contract, ContractSpec
 from .query import QueryResult, QueryStats
 from .relational import MATCH_ALL, AttributeFilter
@@ -57,6 +70,8 @@ class BrokerConfig:
             (``None`` = all subsets).
         permission_algorithm: ``"ndfs"`` (Algorithm 2) or ``"scc"``.
         state_budget: translation state cap per formula.
+        query_cache_capacity: distinct compiled queries kept in the LRU
+            compilation cache (``0`` disables caching).
     """
 
     use_prefilter: bool = True
@@ -66,6 +81,7 @@ class BrokerConfig:
     projection_subset_cap: int | None = 2
     permission_algorithm: str = "ndfs"
     state_budget: int = DEFAULT_STATE_BUDGET
+    query_cache_capacity: int = DEFAULT_CACHE_CAPACITY
 
     def unoptimized(self) -> "BrokerConfig":
         """A copy with both indexing optimizations off (the paper's
@@ -113,6 +129,11 @@ class ContractDatabase:
         self._next_id = 0
         self._index = PrefilterIndex(depth=self.config.prefilter_depth)
         self.registration_stats = RegistrationStats()
+        self._query_cache = QueryCompilationCache(
+            capacity=self.config.query_cache_capacity,
+            state_budget=self.config.state_budget,
+        )
+        self.metrics = MetricsRegistry()
 
     # -- registration ---------------------------------------------------------------
 
@@ -196,6 +217,22 @@ class ContractDatabase:
             raise BrokerError(f"no contract with id {contract_id}")
         del self._contracts[contract_id]
         self._index.remove_contract(contract_id)
+        self.registration_stats.contracts -= 1
+
+    # -- query compilation -------------------------------------------------------------
+
+    @property
+    def query_cache(self) -> QueryCompilationCache:
+        return self._query_cache
+
+    def cache_stats(self) -> CacheStats:
+        """Counters of the query compilation cache."""
+        return self._query_cache.stats()
+
+    def _compile(self, query: str | Formula) -> tuple[CompiledQuery, bool]:
+        """Parse (if needed) and compile through the LRU cache."""
+        formula = parse(query) if isinstance(query, str) else query
+        return self._query_cache.compile(formula)
 
     # -- query evaluation --------------------------------------------------------------
 
@@ -217,6 +254,95 @@ class ContractDatabase:
         also carries a witness run per returned contract (extracted from
         the full contract BA, so it is meaningful to show to a user).
         """
+        return self._evaluate(
+            query,
+            attribute_filter,
+            use_prefilter=use_prefilter,
+            use_projections=use_projections,
+            explain=explain,
+            executor=None,
+        )
+
+    def query_many(
+        self,
+        queries: Sequence[str | Formula],
+        attribute_filter: AttributeFilter = MATCH_ALL,
+        *,
+        workers: int = 1,
+        use_prefilter: bool | None = None,
+        use_projections: bool | None = None,
+        explain: bool = False,
+    ) -> list[QueryResult]:
+        """Evaluate a whole query workload, optionally in parallel.
+
+        With ``workers > 1`` the per-contract permission checks run on a
+        thread pool (the §7.4 "completely parallel workload" observation
+        applied to the query side); results are returned in input order
+        and are identical to evaluating each query serially.  Falls back
+        to serial evaluation when no pool can be created, exactly like
+        :func:`repro.broker.parallel.register_many`.
+        """
+        from .parallel import query_many
+
+        return query_many(
+            self,
+            queries,
+            attribute_filter,
+            workers=workers,
+            use_prefilter=use_prefilter,
+            use_projections=use_projections,
+            explain=explain,
+        )
+
+    def _evaluate(
+        self,
+        query: str | Formula,
+        attribute_filter: AttributeFilter = MATCH_ALL,
+        *,
+        use_prefilter: bool | None = None,
+        use_projections: bool | None = None,
+        explain: bool = False,
+        executor=None,
+    ) -> QueryResult:
+        """Compile (through the cache) and evaluate one query."""
+        start = time.perf_counter()
+        formula = parse(query) if isinstance(query, str) else query
+        compiled, cache_hit = self._query_cache.compile(formula)
+        translation_seconds = time.perf_counter() - start
+        return self._query_compiled(
+            compiled,
+            attribute_filter,
+            use_prefilter=use_prefilter,
+            use_projections=use_projections,
+            explain=explain,
+            formula=formula,
+            translation_seconds=translation_seconds,
+            cache_hit=cache_hit,
+            executor=executor,
+        )
+
+    def _query_compiled(
+        self,
+        compiled: CompiledQuery,
+        attribute_filter: AttributeFilter = MATCH_ALL,
+        *,
+        use_prefilter: bool | None = None,
+        use_projections: bool | None = None,
+        explain: bool = False,
+        formula: Formula | None = None,
+        translation_seconds: float = 0.0,
+        cache_hit: bool = False,
+        executor=None,
+    ) -> QueryResult:
+        """Evaluate an already-compiled query (the internal entry every
+        public query path funnels through).
+
+        ``executor``, when given, must provide a ``map`` method (a
+        :class:`~concurrent.futures.ThreadPoolExecutor`); the
+        per-candidate permission checks are then fanned out over it.
+        ``map`` preserves order, so results are bit-identical to the
+        serial loop.
+        """
         prefilter_on = (
             self.config.use_prefilter if use_prefilter is None else use_prefilter
         )
@@ -230,20 +356,10 @@ class ContractDatabase:
             database_size=len(self._contracts),
             used_prefilter=prefilter_on,
             used_projections=projections_on,
+            cache_hit=cache_hit,
         )
+        stats.translation_seconds = translation_seconds
         overall_start = time.perf_counter()
-
-        start = time.perf_counter()
-        if isinstance(query, tuple):
-            # internal fast path: (formula, prebuilt query BA) from
-            # query_planned, which already paid the translation
-            formula, query_ba = query
-        else:
-            formula = parse(query) if isinstance(query, str) else query
-            query_ba = translate(
-                formula, state_budget=self.config.state_budget
-            )
-        stats.translation_seconds = time.perf_counter() - start
 
         relational = [
             c for c in self._contracts.values()
@@ -254,7 +370,7 @@ class ContractDatabase:
 
         if prefilter_on:
             start = time.perf_counter()
-            condition = pruning_condition(query_ba)
+            condition = compiled.condition
             stats.pruning_condition = str(condition)
             candidate_ids = self._index.evaluate(condition) & relational_ids
             stats.prefilter_seconds = time.perf_counter() - start
@@ -262,32 +378,22 @@ class ContractDatabase:
             candidate_ids = relational_ids
         stats.candidates = len(candidate_ids)
 
-        query_literals = query_ba.literals()
-        matched: list[Contract] = []
-        for contract_id in sorted(candidate_ids):
-            contract = self._contracts[contract_id]
-            start = time.perf_counter()
-            if projections_on and contract.projections is not None:
-                checked_ba, seeds = contract.projections.select_with_seeds(
-                    query_literals
-                )
-            else:
-                checked_ba = contract.ba
-                seeds = None
-            stats.selection_seconds += time.perf_counter() - start
+        candidates = [self._contracts[cid] for cid in sorted(candidate_ids)]
 
-            start = time.perf_counter()
-            if seeds is None and checked_ba is contract.ba:
-                seeds = contract.seeds
-            outcome = permits(
-                checked_ba,
-                query_ba,
-                contract.vocabulary,
-                algorithm=self.config.permission_algorithm,
-                seeds=seeds,
-                use_seeds=self.config.use_seeds,
-            )
-            stats.permission_seconds += time.perf_counter() - start
+        def check(contract: Contract) -> tuple[bool, float, float]:
+            return self._check_candidate(contract, compiled, projections_on)
+
+        if executor is None:
+            checks = [check(contract) for contract in candidates]
+        else:
+            checks = list(executor.map(check, candidates))
+
+        matched: list[Contract] = []
+        for contract, (outcome, selection, permission) in zip(
+            candidates, checks
+        ):
+            stats.selection_seconds += selection
+            stats.permission_seconds += permission
             stats.checked += 1
             if outcome:
                 matched.append(contract)
@@ -296,20 +402,56 @@ class ContractDatabase:
         if explain:
             for contract in matched:
                 witness = find_witness(
-                    contract.ba, query_ba, contract.vocabulary
+                    contract.ba, compiled.query_ba, contract.vocabulary
                 )
                 if witness is not None:
                     witnesses[contract.contract_id] = witness
 
         stats.permitted = len(matched)
-        stats.total_seconds = time.perf_counter() - overall_start
+        stats.total_seconds = (
+            translation_seconds + time.perf_counter() - overall_start
+        )
+        self._record_query(stats)
         return QueryResult(
-            formula=formula,
+            formula=compiled.formula if formula is None else formula,
             contract_ids=tuple(c.contract_id for c in matched),
             contract_names=tuple(c.name for c in matched),
             stats=stats,
             witnesses=witnesses,
         )
+
+    def _check_candidate(
+        self,
+        contract: Contract,
+        compiled: CompiledQuery,
+        projections_on: bool,
+    ) -> tuple[bool, float, float]:
+        """One candidate's (selection, permission) check; returns the
+        outcome plus the two phase durations so callers can run this from
+        worker threads and still account stats in one place."""
+        start = time.perf_counter()
+        if projections_on and contract.projections is not None:
+            checked_ba, seeds = contract.projections.select_with_seeds(
+                compiled.literals
+            )
+        else:
+            checked_ba = contract.ba
+            seeds = None
+        selection_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if seeds is None and checked_ba is contract.ba:
+            seeds = contract.seeds
+        outcome = permits(
+            checked_ba,
+            compiled.query_ba,
+            contract.vocabulary,
+            algorithm=self.config.permission_algorithm,
+            seeds=seeds,
+            use_seeds=self.config.use_seeds,
+        )
+        permission_seconds = time.perf_counter() - start
+        return outcome, selection_seconds, permission_seconds
 
     def query_planned(
         self,
@@ -324,25 +466,29 @@ class ContractDatabase:
         from .planner import QueryPlanner
 
         planner = planner or QueryPlanner()
+        start = time.perf_counter()
         formula = parse(query) if isinstance(query, str) else query
-        query_ba = translate(formula, state_budget=self.config.state_budget)
-        plan = planner.plan(query_ba)
-        return self.query(
-            (formula, query_ba),  # reuse the translation
+        compiled, cache_hit = self._query_cache.compile(formula)
+        translation_seconds = time.perf_counter() - start
+        plan = planner.plan(compiled.query_ba, condition=compiled.condition)
+        return self._query_compiled(
+            compiled,
             attribute_filter,
             use_prefilter=plan.use_prefilter,
             use_projections=plan.use_projections,
+            formula=formula,
+            translation_seconds=translation_seconds,
+            cache_hit=cache_hit,
             **kwargs,
         )
 
     def permits_contract(self, contract_id: int, query: str | Formula) -> bool:
         """Direct single-contract permission check (full BA, no index)."""
         contract = self.get(contract_id)
-        formula = parse(query) if isinstance(query, str) else query
-        query_ba = translate(formula, state_budget=self.config.state_budget)
+        compiled, _ = self._compile(query)
         return permits(
             contract.ba,
-            query_ba,
+            compiled.query_ba,
             contract.vocabulary,
             algorithm=self.config.permission_algorithm,
             seeds=contract.seeds,
@@ -355,9 +501,10 @@ class ContractDatabase:
         """A simultaneous-lasso witness showing *why* the contract permits
         the query (``None`` when it does not)."""
         contract = self.get(contract_id)
-        formula = parse(query) if isinstance(query, str) else query
-        query_ba = translate(formula, state_budget=self.config.state_budget)
-        return find_witness(contract.ba, query_ba, contract.vocabulary)
+        compiled, _ = self._compile(query)
+        return find_witness(
+            contract.ba, compiled.query_ba, contract.vocabulary
+        )
 
     def precompute_for_workload(
         self, queries: Sequence[str | Formula]
@@ -367,15 +514,15 @@ class ContractDatabase:
         Given a sample of expected queries, compute for every contract
         exactly the projections those queries will request — even beyond
         the configured subset-size cap.  Returns the number of new
-        projections computed across the database.
+        projections computed across the database.  The queries go through
+        the compilation cache, so the subsequent workload runs warm.
         """
         from ..projection.project import workload_projection_subsets
 
         query_literal_sets = []
         for query in queries:
-            formula = parse(query) if isinstance(query, str) else query
-            query_ba = translate(formula, state_budget=self.config.state_budget)
-            query_literal_sets.append(query_ba.literals())
+            compiled, _ = self._compile(query)
+            query_literal_sets.append(compiled.literals)
 
         added = 0
         start = time.perf_counter()
@@ -390,6 +537,54 @@ class ContractDatabase:
             time.perf_counter() - start
         )
         return added
+
+    # -- metrics ----------------------------------------------------------------------
+
+    def _record_query(self, stats: QueryStats) -> None:
+        """Feed one query's stats into the aggregate metrics registry."""
+        metrics = self.metrics
+        metrics.inc("query.count")
+        metrics.inc("query.permission_checks", stats.checked)
+        metrics.inc("query.permitted", stats.permitted)
+        metrics.inc(
+            "query.cache.hits" if stats.cache_hit else "query.cache.misses"
+        )
+        metrics.observe("query.translation_seconds",
+                        stats.translation_seconds)
+        metrics.observe("query.prefilter_seconds", stats.prefilter_seconds)
+        metrics.observe("query.selection_seconds", stats.selection_seconds)
+        metrics.observe("query.permission_seconds", stats.permission_seconds)
+        metrics.observe("query.total_seconds", stats.total_seconds)
+        metrics.observe("query.candidates", stats.candidates,
+                        buckets=COUNT_BUCKETS)
+        if stats.used_prefilter:
+            metrics.observe("query.pruning_ratio", stats.pruning_ratio,
+                            buckets=RATIO_BUCKETS)
+
+    def metrics_snapshot(self) -> dict:
+        """The metrics registry snapshot plus the compilation-cache view."""
+        snapshot = self.metrics.snapshot()
+        cache = self._query_cache.stats()
+        snapshot["cache"] = {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "size": cache.size,
+            "capacity": cache.capacity,
+            "hit_rate": cache.hit_rate,
+        }
+        return snapshot
+
+    def metrics_report(self) -> str:
+        """Human-readable aggregate report (the ``metrics`` CLI output)."""
+        cache = self._query_cache.stats()
+        header = (
+            f"query cache: {cache.size}/{cache.capacity} entries, "
+            f"{cache.hits} hits / {cache.misses} misses "
+            f"({cache.hit_rate:.0%} hit rate), "
+            f"{cache.evictions} evictions"
+        )
+        return header + "\n\n" + self.metrics.render_text()
 
     # -- access & introspection -----------------------------------------------------------
 

@@ -1,38 +1,45 @@
-"""Parallel contract registration.
+"""Parallel contract registration and batched query evaluation.
 
 §7.4 of the paper: "Since the workload is completely parallel (each
 contract is simplified independently), scaling the number of contracts
 can be tackled by adding resources" — the authors ran their 11-hour
 projection precomputation on three cores.  This module provides that
-scaling knob: the expensive, purely functional per-contract work
-(LTL→BA translation and projection-partition precomputation) runs in a
-process pool, and only the cheap, stateful steps (index insertion, id
-assignment) happen serially in the parent.
+scaling knob on both sides of the broker:
 
-Usage::
+* **registration** (:func:`register_many`) — the expensive, purely
+  functional per-contract work (LTL→BA translation) runs in a *process*
+  pool, and only the cheap, stateful steps (index insertion, id
+  assignment) happen serially in the parent;
+* **querying** (:func:`query_many`) — a workload of queries is evaluated
+  with the per-contract permission checks fanned out over a *thread*
+  pool (threads, not processes: the checks share the in-memory database
+  and its lazily materialized projection quotients, and each check is
+  independent — the query side of the same "completely parallel
+  workload" observation).
 
-    from repro.broker.parallel import register_many
-
-    contracts = register_many(db, specs, workers=4)
-
-Falls back to plain serial registration when ``workers <= 1`` or when a
-worker pool cannot be created (restricted environments), so callers can
-use it unconditionally.
+Both fall back to plain serial execution when ``workers <= 1`` or when a
+pool cannot be created or breaks (restricted environments, worker
+crashes), so callers can use them unconditionally; parallel results are
+identical to serial ones and are returned in input order.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Sequence
 
 from ..automata.buchi import BuchiAutomaton
 from ..automata.ltl2ba import translate
 from ..automata.serialize import automaton_from_dict, automaton_to_dict
-from .contract import ContractSpec
-from .database import ContractDatabase
+from ..ltl.ast import Formula
 from ..ltl.parser import parse
 from ..ltl.printer import format_formula
+from .contract import ContractSpec
+from .database import ContractDatabase
+from .query import QueryResult
+from .relational import MATCH_ALL, AttributeFilter
 
 
 def _translate_clauses(payload: tuple[list[str], int]) -> dict:
@@ -59,6 +66,14 @@ def register_many(
     Returns the registered :class:`Contract` objects, in input order.
     Results are identical to serial registration (contract ids are
     assigned in input order by the parent process).
+
+    A pool that cannot be created (``OSError``/``PermissionError`` in
+    sandboxed environments) or that breaks mid-batch
+    (:class:`~concurrent.futures.process.BrokenProcessPool` on worker
+    OOM/crash) triggers the serial fallback; the wall clock already
+    spent on the failed attempt is accounted to
+    ``registration_stats.translation_seconds`` so the stats stay
+    consistent either way.
     """
     if workers <= 1 or len(specs) <= 1:
         return [db.register_spec(spec) for spec in specs]
@@ -74,7 +89,10 @@ def register_many(
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             documents = list(pool.map(_translate_clauses, payloads))
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+    except (OSError, PermissionError, BrokenProcessPool):
+        db.registration_stats.translation_seconds += (
+            time.perf_counter() - start
+        )
         return [db.register_spec(spec) for spec in specs]
     translation_seconds = time.perf_counter() - start
 
@@ -86,3 +104,57 @@ def register_many(
     # wall-clock cost so registration stats stay meaningful.
     db.registration_stats.translation_seconds += translation_seconds
     return contracts
+
+
+def query_many(
+    db: ContractDatabase,
+    queries: Sequence[str | Formula],
+    attribute_filter: AttributeFilter = MATCH_ALL,
+    workers: int = 1,
+    *,
+    use_prefilter: bool | None = None,
+    use_projections: bool | None = None,
+    explain: bool = False,
+) -> list[QueryResult]:
+    """Evaluate a query workload, fanning permission checks over threads.
+
+    Queries are compiled through the database's LRU cache (so a workload
+    with repeats pays each distinct translation once) and evaluated in
+    input order; with ``workers > 1`` each query's per-candidate
+    permission checks run concurrently on one shared thread pool.  The
+    returned :class:`QueryResult` objects are identical to serial
+    :meth:`~repro.broker.database.ContractDatabase.query` calls — the
+    pool's ``map`` preserves candidate order and every check is a pure
+    function of (contract, query).
+    """
+
+    def serial() -> list[QueryResult]:
+        return [
+            db._evaluate(
+                query,
+                attribute_filter,
+                use_prefilter=use_prefilter,
+                use_projections=use_projections,
+                explain=explain,
+                executor=None,
+            )
+            for query in queries
+        ]
+
+    if workers <= 1 or not queries:
+        return serial()
+    try:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return [
+                db._evaluate(
+                    query,
+                    attribute_filter,
+                    use_prefilter=use_prefilter,
+                    use_projections=use_projections,
+                    explain=explain,
+                    executor=pool,
+                )
+                for query in queries
+            ]
+    except (OSError, RuntimeError):  # pragma: no cover - restricted envs
+        return serial()

@@ -64,9 +64,16 @@ class QueryPlanner:
 
     projection_literal_budget: int = 16
 
-    def plan(self, query_ba: BuchiAutomaton) -> QueryPlan:
-        """Choose a strategy from the query BA's shape."""
-        condition = pruning_condition(query_ba)
+    def plan(self, query_ba: BuchiAutomaton,
+             condition=None) -> QueryPlan:
+        """Choose a strategy from the query BA's shape.
+
+        ``condition`` lets callers that already hold the query's pruning
+        condition (a :class:`~repro.broker.cache.CompiledQuery`) avoid
+        recomputing it.
+        """
+        if condition is None:
+            condition = pruning_condition(query_ba)
         prunable = not isinstance(condition, CondTrue)
         num_literals = len(query_ba.literals())
         project = num_literals <= self.projection_literal_budget

@@ -24,7 +24,7 @@ class QueryStats:
     that role when both optimizations are disabled.
     """
 
-    translation_seconds: float = 0.0
+    translation_seconds: float = 0.0  # cache-lookup time on a cache hit
     prefilter_seconds: float = 0.0
     selection_seconds: float = 0.0
     permission_seconds: float = 0.0
@@ -36,6 +36,7 @@ class QueryStats:
     permitted: int = 0
     used_prefilter: bool = False
     used_projections: bool = False
+    cache_hit: bool = False
     pruning_condition: str = ""
 
     @property

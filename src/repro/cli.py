@@ -15,6 +15,10 @@ modules exchanging text files:
   per-phase statistics;
 * ``contract-broker compare``   — behavioral diff of two contracts,
   with witness sequences;
+* ``contract-broker metrics``   — run a query workload (optionally
+  repeated and in parallel) and print the broker's aggregate metrics:
+  compilation-cache hit rate, per-stage latency histograms, pruning
+  distributions;
 * ``contract-broker demo``      — the airfare running example end to end.
 
 Spec-file format: a JSON list of ``{"name": ..., "clauses": [LTL, ...],
@@ -101,6 +105,29 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--index-depth", type=int, default=2)
     query.add_argument("--projection-cap", type=int, default=2)
     query.set_defaults(handler=_cmd_query)
+
+    met = sub.add_parser(
+        "metrics",
+        help="run a query workload and print aggregate broker metrics",
+    )
+    met.add_argument("specs", type=Path,
+                     help="spec file or built database directory")
+    met.add_argument("--query", action="append", required=True,
+                     dest="queries", help="LTL query (repeatable)")
+    met.add_argument("--repeat", type=int, default=1,
+                     help="run the workload this many times "
+                          "(repeats hit the compilation cache)")
+    met.add_argument("--workers", type=int, default=1,
+                     help="thread-pool width for permission checks")
+    met.add_argument("--no-prefilter", action="store_true")
+    met.add_argument("--no-projections", action="store_true")
+    met.add_argument("--index-depth", type=int, default=2)
+    met.add_argument("--projection-cap", type=int, default=2)
+    met.add_argument("--cache-capacity", type=int, default=None,
+                     help="compilation-cache capacity (0 disables)")
+    met.add_argument("--json", action="store_true",
+                     help="emit the metrics snapshot as JSON")
+    met.set_defaults(handler=_cmd_metrics)
 
     comp = sub.add_parser(
         "compare",
@@ -198,25 +225,31 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _load_or_build_db(path: Path, config: BrokerConfig) -> ContractDatabase:
+    """A database from a built directory or a JSON spec file, with a
+    one-line progress report either way."""
     from .broker.persist import load_database
 
+    start = time.perf_counter()
+    if path.is_dir():
+        db = load_database(path, config)
+        print(f"loaded {len(db)} contracts in "
+              f"{time.perf_counter() - start:.1f}s")
+    else:
+        db = _build_db(_load_specs(path), config)
+        print(f"registered {len(db)} contracts in "
+              f"{time.perf_counter() - start:.1f}s")
+    return db
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
     config = BrokerConfig(
         use_prefilter=not args.no_prefilter,
         use_projections=not args.no_projections,
         prefilter_depth=args.index_depth,
         projection_subset_cap=args.projection_cap,
     )
-    start = time.perf_counter()
-    if args.specs.is_dir():
-        db = load_database(args.specs, config)
-        print(f"loaded {len(db)} contracts in "
-              f"{time.perf_counter() - start:.1f}s")
-    else:
-        docs = _load_specs(args.specs)
-        db = _build_db(docs, config)
-        print(f"registered {len(db)} contracts in "
-              f"{time.perf_counter() - start:.1f}s")
+    db = _load_or_build_db(args.specs, config)
     for text in args.queries:
         result = db.query(text)
         s = result.stats
@@ -228,6 +261,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
               f"permission {s.permission_seconds * 1000:.1f}ms")
         print(f"  checked : {s.checked} of {s.database_size} contracts "
               f"({s.pruning_ratio:.0%} pruned)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .broker.cache import DEFAULT_CACHE_CAPACITY
+
+    capacity = (DEFAULT_CACHE_CAPACITY if args.cache_capacity is None
+                else args.cache_capacity)
+    config = BrokerConfig(
+        use_prefilter=not args.no_prefilter,
+        use_projections=not args.no_projections,
+        prefilter_depth=args.index_depth,
+        projection_subset_cap=args.projection_cap,
+        query_cache_capacity=capacity,
+    )
+    db = _load_or_build_db(args.specs, config)
+    start = time.perf_counter()
+    for _ in range(max(args.repeat, 1)):
+        db.query_many(args.queries, workers=args.workers)
+    elapsed = time.perf_counter() - start
+    served = max(args.repeat, 1) * len(args.queries)
+    print(f"served {served} queries "
+          f"({len(args.queries)} distinct x {max(args.repeat, 1)} rounds, "
+          f"workers={args.workers}) in {elapsed:.2f}s\n")
+    if args.json:
+        print(json.dumps(db.metrics_snapshot(), indent=2, sort_keys=True))
+    else:
+        print(db.metrics_report())
     return 0
 
 

@@ -1,0 +1,10 @@
+"""Observability primitives (counters, histograms, registry)."""
+
+from .metrics import (  # noqa: F401
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)

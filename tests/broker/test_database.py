@@ -57,6 +57,27 @@ class TestRegistration:
         with pytest.raises(BrokerError):
             db.deregister(9)
 
+    def test_deregister_decrements_registration_stats(self):
+        # regression: register -> deregister used to leave the contracts
+        # counter at 1 while len(db) was 0
+        db = ContractDatabase()
+        contract = db.register("a", "F a")
+        assert db.registration_stats.contracts == 1
+        db.deregister(contract.contract_id)
+        assert db.registration_stats.contracts == 0
+        assert len(db) == 0
+
+    def test_deregister_reregister_query_lifecycle(self):
+        db = ContractDatabase()
+        first = db.register("a", "F a")
+        db.deregister(first.contract_id)
+        second = db.register("a", "F a")
+        assert db.registration_stats.contracts == 1
+        assert second.contract_id != first.contract_id
+        result = db.query("F a")
+        assert result.contract_ids == (second.contract_id,)
+        assert result.stats.database_size == 1
+
 
 class TestQueryPipeline:
     def test_paper_queries(self, airfare_db):

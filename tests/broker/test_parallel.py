@@ -62,3 +62,67 @@ class TestRegisterMany:
         contracts = register_many(db, _specs(), workers=1)
         assert [c.contract_id for c in contracts] == list(range(6))
         assert [c.name for c in contracts] == [f"c{i}" for i in range(6)]
+
+
+class TestBrokenPoolFallback:
+    def test_broken_process_pool_falls_back_serially(self, monkeypatch):
+        """Regression: a worker crash (BrokenProcessPool) escaped instead
+        of triggering the documented serial fallback."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.broker.parallel as parallel_module
+
+        class ExplodingPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def map(self, fn, iterable):
+                raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", ExplodingPool
+        )
+        db = ContractDatabase()
+        specs = _specs()
+        contracts = register_many(db, specs, workers=2)
+        assert len(contracts) == len(specs)
+        assert len(db) == len(specs)
+        assert db.registration_stats.contracts == len(specs)
+
+    def test_fallback_keeps_translation_accounting(self, monkeypatch):
+        """The wall clock burned before the pool broke must show up in
+        translation_seconds alongside the serial re-translation."""
+        import repro.broker.parallel as parallel_module
+
+        class SlowBrokenPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def map(self, fn, iterable):
+                import time as _time
+
+                from concurrent.futures.process import BrokenProcessPool
+
+                _time.sleep(0.01)
+                raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", SlowBrokenPool
+        )
+        db = ContractDatabase()
+        register_many(db, _specs(), workers=2)
+        # includes both the 10 ms burned in the broken pool and the
+        # serial translations
+        assert db.registration_stats.translation_seconds >= 0.01

@@ -103,6 +103,49 @@ class TestStats:
         assert "states_avg" in out
 
 
+class TestMetrics:
+    def test_metrics_renders_cache_and_histograms(self, spec_file, capsys):
+        code = main([
+            "metrics", str(spec_file),
+            "--query", "F refund", "--query", "G !refund",
+            "--repeat", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 10 queries" in out
+        # aggregate cache hit rate: 2 misses, 8 hits
+        assert "8 hits / 2 misses (80% hit rate)" in out
+        assert "query.cache.hits" in out
+        assert "query.total_seconds" in out
+        assert "histograms" in out
+
+    def test_metrics_parallel_workers(self, spec_file, capsys):
+        code = main([
+            "metrics", str(spec_file), "--query", "F refund",
+            "--repeat", "3", "--workers", "2",
+        ])
+        assert code == 0
+        assert "workers=2" in capsys.readouterr().out
+
+    def test_metrics_json_snapshot(self, spec_file, capsys):
+        code = main([
+            "metrics", str(spec_file), "--query", "F refund", "--json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["cache"]["misses"] == 1
+        assert payload["counters"]["query.count"] == 1
+
+    def test_metrics_cache_can_be_disabled(self, spec_file, capsys):
+        code = main([
+            "metrics", str(spec_file), "--query", "F refund",
+            "--repeat", "3", "--cache-capacity", "0",
+        ])
+        assert code == 0
+        assert "0 hits / 3 misses" in capsys.readouterr().out
+
+
 class TestCompare:
     def test_compare_reports_difference(self, spec_file, capsys):
         code = main([
