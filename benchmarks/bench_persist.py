@@ -1,0 +1,78 @@
+"""Cold-start persistence: snapshot load versus full rebuild.
+
+The §7.4 experiments show registration-side cost (LTL→BA translation,
+set-trie building, all-subsets partitioning) dominating query cost; the
+v2 snapshot format persists every derived artifact exactly so a broker
+restart pays O(read) instead of re-running that phase.  This benchmark
+measures the saving on a generated corpus and writes the comparison to
+``results/persist.txt``.
+
+Shape assertions:
+
+* the snapshot load restores every artifact (no retranslation, index
+  adopted wholesale) and beats the full rebuild;
+* the restored database answers a query workload identically to the
+  database it was saved from.
+"""
+
+import time
+
+from repro.bench.harness import (
+    build_database,
+    specs_to_formulas,
+)
+from repro.bench.reporting import format_table, write_report
+from repro.broker.database import BrokerConfig
+from repro.broker.persist import load_database, save_database
+
+
+def test_cold_start_load_vs_rebuild(
+    benchmark, datasets, bench_sizes, results_dir, tmp_path
+):
+    contracts = datasets["simple_contracts"].generate(
+        bench_sizes["persist_contracts"]
+    )
+    queries = specs_to_formulas(
+        datasets["simple_queries"].generate(
+            bench_sizes["queries_per_workload"]
+        )
+    )
+
+    rebuild_start = time.perf_counter()
+    db = build_database(contracts, BrokerConfig())
+    rebuild_seconds = time.perf_counter() - rebuild_start
+    baseline = [db.query(q).contract_names for q in queries]
+
+    directory = save_database(db, tmp_path / "snapshot")
+
+    loaded = benchmark.pedantic(
+        lambda: load_database(directory), rounds=1, iterations=1
+    )
+    report = loaded.load_report
+
+    table = format_table(
+        ["metric", "value"],
+        [
+            ("contracts", report.contracts),
+            ("rebuild (register from specs)", f"{rebuild_seconds:.2f}s"),
+            ("snapshot load", f"{report.load_seconds:.2f}s"),
+            ("speedup", f"{rebuild_seconds / max(report.load_seconds, 1e-9):.1f}x"),
+            ("automata restored", report.automata_restored),
+            ("seeds restored", report.seeds_restored),
+            ("projections restored", report.projections_restored),
+            ("index restored", report.index_restored),
+        ],
+        title="Cold start: v2 snapshot load vs full registration rebuild",
+    )
+    write_report(results_dir / "persist.txt", table)
+
+    # every derived artifact came back from the snapshot...
+    assert report.automata_restored == report.contracts
+    assert report.seeds_restored == report.contracts
+    assert report.projections_restored == report.contracts
+    assert report.index_restored
+    assert not report.retranslated
+    # ...restoring is faster than re-registering...
+    assert report.load_seconds < rebuild_seconds
+    # ...and the restored database serves the workload identically.
+    assert [loaded.query(q).contract_names for q in queries] == baseline

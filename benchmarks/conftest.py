@@ -65,6 +65,7 @@ def bench_sizes() -> dict:
             "queries_per_workload": 100,
             "table2_sample": None,
             "index_build_contracts": 3000,
+            "persist_contracts": 500,
         }
     return {
         "figure5_db_sizes": [scaled(25), scaled(50), scaled(100),
@@ -76,4 +77,7 @@ def bench_sizes() -> dict:
         "queries_per_workload": scaled(10, minimum=4),
         "table2_sample": scaled(40),
         "index_build_contracts": scaled(120),
+        # the persistence acceptance bar is a >=50-contract corpus, so
+        # the scale multiplier never shrinks below that
+        "persist_contracts": scaled(60, minimum=50),
     }

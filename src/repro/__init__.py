@@ -39,7 +39,7 @@ from .core import find_witness, permits
 from .errors import ReproError
 from .ltl import Formula, Run, parse, satisfies
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AttributeFilter",

@@ -279,10 +279,12 @@ class BuchiAutomaton:
             [mapped[s] for s in self.final],
         )
 
-    def canonical(self) -> "BuchiAutomaton":
-        """Renumber states 0..n-1 in BFS order from the initial state
-        (unreachable states are appended in sorted order); gives a stable
-        form for serialization and equality-by-structure tests."""
+    def canonical_numbering(self) -> dict[State, int]:
+        """The state -> 0..n-1 renumbering :meth:`canonical` applies: BFS
+        order from the initial state, unreachable states appended in
+        sorted order.  Exposed so persisted artifacts that reference
+        states (seed sets, bisimulation partitions) can be expressed in
+        the same numbering as the serialized automaton."""
         order: list[State] = [self.initial]
         seen = {self.initial}
         cursor = 0
@@ -295,7 +297,13 @@ class BuchiAutomaton:
                     order.append(dst)
         rest = sorted(self.states - seen, key=_state_key)
         order.extend(rest)
-        numbering = {state: i for i, state in enumerate(order)}
+        return {state: i for i, state in enumerate(order)}
+
+    def canonical(self) -> "BuchiAutomaton":
+        """Renumber states 0..n-1 in BFS order from the initial state
+        (unreachable states are appended in sorted order); gives a stable
+        form for serialization and equality-by-structure tests."""
+        numbering = self.canonical_numbering()
         return self.map_states(lambda s: numbering[s])
 
     # -- stats & display ---------------------------------------------------------------

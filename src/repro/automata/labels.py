@@ -65,6 +65,20 @@ def neg(event: str) -> Literal:
     return Literal(event, False)
 
 
+def parse_literal(text: str) -> Literal:
+    """Inverse of ``str(literal)``: ``"a"`` -> positive, ``"!a"`` ->
+    negative (``~`` also accepted, matching :meth:`Label.parse`)."""
+    text = text.strip()
+    if text.startswith(("!", "~")):
+        event = text[1:].strip()
+        if not event:
+            raise ValueError(f"malformed literal: {text!r}")
+        return Literal(event, False)
+    if not text:
+        raise ValueError("malformed literal: empty string")
+    return Literal(text, True)
+
+
 @dataclass(frozen=True)
 class Label:
     """A satisfiable conjunction of literals over distinct events.

@@ -27,9 +27,15 @@ from .buchi import BuchiAutomaton, Transition
 from .labels import Label
 
 
-def automaton_to_dict(ba: BuchiAutomaton) -> dict:
-    """A JSON-ready dictionary for ``ba`` (canonically renumbered)."""
-    canonical = ba.canonical()
+def automaton_to_dict(ba: BuchiAutomaton, *, canonicalize: bool = True) -> dict:
+    """A JSON-ready dictionary for ``ba`` (canonically renumbered).
+
+    ``canonicalize=False`` serializes the automaton's states as they are
+    (they must already be dense integers) — the persistence layer uses
+    this to keep a precomputed :meth:`~BuchiAutomaton.canonical_numbering`
+    in sync with the stored document.
+    """
+    canonical = ba.canonical() if canonicalize else ba
     transitions = sorted(
         ((t.src, str(t.label), t.dst) for t in canonical.transitions()),
         key=lambda item: (item[0], item[1], item[2]),

@@ -134,6 +134,10 @@ class ContractDatabase:
             state_budget=self.config.state_budget,
         )
         self.metrics = MetricsRegistry()
+        #: set by the persistence layer after a snapshot load
+        #: (:class:`repro.broker.persist.LoadReport`); ``None`` otherwise.
+        self.load_report = None
+        self._dirty = True
 
     # -- registration ---------------------------------------------------------------
 
@@ -162,12 +166,21 @@ class ContractDatabase:
         self,
         spec: ContractSpec,
         prebuilt_ba: BuchiAutomaton | None = None,
+        *,
+        prebuilt_seeds: frozenset | None = None,
+        prebuilt_projections: ProjectionStore | None = None,
+        update_index: bool = True,
     ) -> Contract:
         """Register a prebuilt :class:`ContractSpec`.
 
-        ``prebuilt_ba`` lets callers (the persistence layer) skip the
-        translation when an equivalent automaton is already at hand; the
-        caller is responsible for its correctness.
+        ``prebuilt_ba`` / ``prebuilt_seeds`` / ``prebuilt_projections``
+        let callers (the persistence layer) skip the translation, the
+        seed computation and the projection precomputation when the
+        equivalent artifacts are already at hand; the caller is
+        responsible for their correctness.  ``update_index=False``
+        additionally skips the prefilter insertion — only sensible when
+        the caller restores or rebuilds the whole index afterwards (see
+        :meth:`adopt_index`).
         """
         if self.vocabulary is not None:
             self.vocabulary.validate_contract(spec.name, spec.clauses)
@@ -183,22 +196,26 @@ class ContractDatabase:
         self.registration_stats.translation_seconds += time.perf_counter() - start
 
         start = time.perf_counter()
-        seeds = compute_seeds(ba)
+        seeds = prebuilt_seeds if prebuilt_seeds is not None else compute_seeds(ba)
         self.registration_stats.seeds_seconds += time.perf_counter() - start
 
-        start = time.perf_counter()
-        self._index.add_contract(contract_id, ba, spec.vocabulary)
-        self.registration_stats.prefilter_seconds += time.perf_counter() - start
+        if update_index:
+            start = time.perf_counter()
+            self._index.add_contract(contract_id, ba, spec.vocabulary)
+            self.registration_stats.prefilter_seconds += time.perf_counter() - start
 
         projections = None
         if self.config.use_projections:
-            start = time.perf_counter()
-            projections = ProjectionStore(
-                ba, max_subset_size=self.config.projection_subset_cap
-            )
-            self.registration_stats.projection_seconds += (
-                time.perf_counter() - start
-            )
+            if prebuilt_projections is not None:
+                projections = prebuilt_projections
+            else:
+                start = time.perf_counter()
+                projections = ProjectionStore(
+                    ba, max_subset_size=self.config.projection_subset_cap
+                )
+                self.registration_stats.projection_seconds += (
+                    time.perf_counter() - start
+                )
 
         contract = Contract(
             contract_id=contract_id,
@@ -209,6 +226,7 @@ class ContractDatabase:
         )
         self._contracts[contract_id] = contract
         self.registration_stats.contracts += 1
+        self._dirty = True
         return contract
 
     def deregister(self, contract_id: int) -> None:
@@ -218,6 +236,7 @@ class ContractDatabase:
         del self._contracts[contract_id]
         self._index.remove_contract(contract_id)
         self.registration_stats.contracts -= 1
+        self._dirty = True
 
     # -- query compilation -------------------------------------------------------------
 
@@ -536,7 +555,28 @@ class ContractDatabase:
         self.registration_stats.projection_seconds += (
             time.perf_counter() - start
         )
+        if added:
+            self._dirty = True
         return added
+
+    # -- persistence hooks -----------------------------------------------------------
+
+    @property
+    def dirty(self) -> bool:
+        """True when derived state has changed since the last snapshot
+        save/load (register, deregister, workload precomputation) — the
+        signal behind ``save_database(..., only_if_dirty=True)``."""
+        return self._dirty
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._dirty = bool(value)
+
+    def adopt_index(self, index: PrefilterIndex) -> None:
+        """Replace the prefilter index wholesale (the persistence layer's
+        snapshot-restore path).  The caller guarantees the index matches
+        the registered contracts."""
+        self._index = index
 
     # -- metrics ----------------------------------------------------------------------
 

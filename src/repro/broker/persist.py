@@ -1,76 +1,248 @@
-"""Persisting and reloading contract databases.
+"""Persisting and reloading contract databases (snapshot format v2).
 
 The paper's prototype modules exchange text files (§7.1); this module
 provides the library equivalent: a database directory holding
 
-* ``contracts.json`` — every contract's name, clause texts and
-  relational attributes (the authoritative specification), plus the
-  broker configuration it was registered under;
-* ``automata.json`` — the translated contract BAs, so reloading skips
-  the (dominant) LTL-to-BA translation cost.
+* ``contracts.json`` — the manifest: every contract's name, clause texts
+  and relational attributes (the authoritative specification), the full
+  broker configuration it was registered under, the format version, and
+  a SHA-256 checksum per derived-artifact file;
+* ``automata.json``    — the translated contract BAs, keyed by contract
+  name (duplicate names hold a list in registration order);
+* ``seeds.json``       — the §6.2.4 seed set per contract, as state ids
+  of the stored (canonically numbered) automaton;
+* ``projections.json`` — each contract's deduplicated bisimulation
+  partitions and subset -> partition map (§5.2);
+* ``index.json``       — the §4 prefilter set-trie with its contract
+  sets, contract ids renumbered to dense save-order positions.
 
-The prefilter index, seed sets and projection partitions are *rebuilt*
-on load: they are deterministic functions of the automata, and
-rebuilding them is both cheaper than the original translation and
-immune to format drift.  ``load_database`` verifies that every stored
-automaton still matches its specification's vocabulary before trusting
-it, and falls back to re-translation on any mismatch.
+The §7.4 experiments show registration-side cost (translation, index
+building, all-subsets partitioning) dominating query cost, so the v2
+snapshot persists *all* derived artifacts: ``load_database`` restores a
+fully indexed database in O(read) instead of O(rebuild).
+
+Robustness model:
+
+* every write goes through a temp file + atomic ``os.replace``, and the
+  manifest is written last — a crash mid-save never clobbers a loadable
+  snapshot (at worst the old manifest's checksums reject half-replaced
+  artifacts and the loader rebuilds);
+* every derived artifact is verified against its manifest checksum; a
+  missing, corrupt, or mismatching artifact is *ignored* and the
+  corresponding structures are rebuilt from the specifications —
+  correctness never depends on snapshot integrity, only cold-start time
+  does;
+* stored automata are trusted per contract only if they cite no event
+  outside the specification's vocabulary; any name miss or stale entry
+  falls back to re-translation, with a warning recorded in the
+  :class:`LoadReport` attached to the returned database
+  (``db.load_report``).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
+import os
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..automata.serialize import automaton_from_dict, automaton_to_dict
-from ..errors import BrokerError
+from ..errors import AutomatonError, BrokerError, IndexError_, ProjectionError
+from ..index.prefilter import PrefilterIndex
 from ..ltl.parser import parse
 from ..ltl.printer import format_formula
+from ..projection.store import ProjectionStore
 from .contract import ContractSpec
 from .database import BrokerConfig, ContractDatabase
 
 _CONTRACTS_FILE = "contracts.json"
 _AUTOMATA_FILE = "automata.json"
-_FORMAT_VERSION = 1
+_SEEDS_FILE = "seeds.json"
+_PROJECTIONS_FILE = "projections.json"
+_INDEX_FILE = "index.json"
+_FORMAT_VERSION = 2
 
 
-def save_database(db: ContractDatabase, directory: str | Path) -> Path:
-    """Write ``db`` to ``directory`` (created if missing)."""
+@dataclass
+class LoadReport:
+    """What :func:`load_database` restored versus rebuilt.
+
+    Attached to the returned database as ``db.load_report``.  A fully
+    successful snapshot restore has every ``*_restored`` counter equal to
+    ``contracts``, ``index_restored`` true, and no warnings.
+    """
+
+    contracts: int = 0
+    automata_restored: int = 0
+    seeds_restored: int = 0
+    projections_restored: int = 0
+    index_restored: bool = False
+    #: names of contracts whose stored automaton was missing or stale and
+    #: were re-translated from their clauses
+    retranslated: list = field(default_factory=list)
+    #: artifact files that failed SHA-256 verification (or were missing
+    #: from the manifest's checksum table)
+    checksum_failures: list = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+    load_seconds: float = 0.0
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write via a temp file in the same directory + atomic rename, so a
+    crash mid-write leaves the previous file intact."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def save_database(
+    db: ContractDatabase,
+    directory: str | Path,
+    *,
+    only_if_dirty: bool = False,
+) -> Path:
+    """Write ``db`` to ``directory`` (created if missing).
+
+    With ``only_if_dirty=True`` the save is skipped when the database has
+    not changed since its last save/load (``db.dirty`` is false) and the
+    target already holds a manifest — the incremental path for periodic
+    snapshotting.
+    """
     directory = Path(directory)
+    if (
+        only_if_dirty
+        and not db.dirty
+        and (directory / _CONTRACTS_FILE).exists()
+    ):
+        return directory
     directory.mkdir(parents=True, exist_ok=True)
 
-    config = db.config
+    contracts = sorted(db.contracts(), key=lambda c: c.contract_id)
+    # Contract ids restart from 0 on load, so every persisted id is the
+    # contract's dense position in save order.
+    id_map = {c.contract_id: i for i, c in enumerate(contracts)}
+
     contract_docs = []
-    automata_docs = []
-    for contract in sorted(db.contracts(), key=lambda c: c.contract_id):
+    automata_docs: dict[str, list] = {}
+    seed_docs: dict[str, list] = {}
+    projection_docs: dict[str, list] = {}
+    for contract in contracts:
         contract_docs.append({
             "name": contract.name,
             "clauses": [format_formula(c) for c in contract.spec.clauses],
             "attributes": dict(contract.attributes),
         })
-        automata_docs.append(automaton_to_dict(contract.ba))
+        # One numbering per contract keeps the stored automaton, its seed
+        # set and its partitions in the same dense-integer state space.
+        numbering = contract.ba.canonical_numbering()
+        canonical_ba = contract.ba.map_states(numbering.__getitem__)
+        automata_docs.setdefault(contract.name, []).append(
+            automaton_to_dict(canonical_ba, canonicalize=False)
+        )
+        seed_docs.setdefault(contract.name, []).append(
+            sorted(numbering[s] for s in contract.seeds)
+        )
+        projection_docs.setdefault(contract.name, []).append(
+            contract.projections.to_dict(numbering)
+            if contract.projections is not None
+            else None
+        )
+
+    artifacts = {}
+    payloads = [
+        (_AUTOMATA_FILE, automata_docs),
+        (_SEEDS_FILE, seed_docs),
+        (_PROJECTIONS_FILE, projection_docs),
+        (_INDEX_FILE, db.index.to_dict(id_map)),
+    ]
+    for filename, payload in payloads:
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        artifacts[filename] = _sha256(text.encode("utf-8"))
+        _atomic_write(directory / filename, text)
 
     manifest = {
         "format_version": _FORMAT_VERSION,
         "config": {
-            "use_prefilter": config.use_prefilter,
-            "use_projections": config.use_projections,
-            "use_seeds": config.use_seeds,
-            "prefilter_depth": config.prefilter_depth,
-            "projection_subset_cap": config.projection_subset_cap,
-            "permission_algorithm": config.permission_algorithm,
-            "state_budget": config.state_budget,
+            f.name: getattr(db.config, f.name)
+            for f in dataclasses.fields(BrokerConfig)
         },
         "contracts": contract_docs,
+        "artifacts": artifacts,
     }
-    (directory / _CONTRACTS_FILE).write_text(
-        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    # The manifest lands last: a snapshot is only as new as its manifest,
+    # and its checksums disown any artifact a crash left half-updated.
+    _atomic_write(
+        directory / _CONTRACTS_FILE, json.dumps(manifest, indent=2) + "\n"
     )
-    (directory / _AUTOMATA_FILE).write_text(
-        json.dumps(automata_docs, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    db.dirty = False
     return directory
+
+
+def _config_from_manifest(manifest: dict) -> BrokerConfig:
+    saved = manifest.get("config", {})
+    kwargs = {
+        f.name: saved[f.name]
+        for f in dataclasses.fields(BrokerConfig)
+        if f.name in saved
+    }
+    return BrokerConfig(**kwargs)
+
+
+def _read_artifact(
+    directory: Path, filename: str, checksums: dict, report: LoadReport
+):
+    """The parsed artifact, or ``None`` (with the reason recorded on the
+    report) when it is missing, unlisted, corrupt, or fails
+    verification."""
+    path = directory / filename
+    if not path.exists():
+        report.warnings.append(f"{filename}: missing; rebuilding")
+        return None
+    raw = path.read_bytes()
+    expected = checksums.get(filename)
+    if expected is None or _sha256(raw) != expected:
+        report.checksum_failures.append(filename)
+        report.warnings.append(
+            f"{filename}: checksum verification failed; rebuilding"
+        )
+        return None
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        report.warnings.append(f"{filename}: malformed ({exc}); rebuilding")
+        return None
+
+
+def _nth(docs, name: str, position: int):
+    """Entry ``position`` of the per-name list in an artifact dict
+    (duplicate contract names store one entry per registration, in
+    order); ``None`` on any shape mismatch."""
+    if not isinstance(docs, dict):
+        return None
+    entries = docs.get(name)
+    if not isinstance(entries, list) or position >= len(entries):
+        return None
+    return entries[position]
+
+
+def _rebuild_index(db: ContractDatabase) -> None:
+    """Discard the database's index and re-insert every contract (the
+    fallback when the index snapshot is unusable)."""
+    start = time.perf_counter()
+    index = PrefilterIndex(depth=db.config.prefilter_depth)
+    for contract in sorted(db.contracts(), key=lambda c: c.contract_id):
+        index.add_contract(
+            contract.contract_id, contract.ba, contract.vocabulary
+        )
+    db.adopt_index(index)
+    db.registration_stats.prefilter_seconds += time.perf_counter() - start
 
 
 def load_database(
@@ -79,14 +251,22 @@ def load_database(
 ) -> ContractDatabase:
     """Rebuild a database saved by :func:`save_database`.
 
+    Restores every verified artifact — automata, seed sets, projection
+    partitions, the prefilter index — and recomputes from the clause
+    specifications whatever is missing or fails verification.  The
+    returned database carries a :class:`LoadReport` as ``db.load_report``
+    describing what was restored versus rebuilt.
+
     Args:
         directory: the saved database directory.
         config: optional configuration override; defaults to the one the
-            database was saved with.
+            database was saved with.  Overriding knobs that shape an
+            artifact (``prefilter_depth``, ``projection_subset_cap``,
+            ``use_projections``) makes the loader rebuild that artifact.
     """
+    start = time.perf_counter()
     directory = Path(directory)
     contracts_path = directory / _CONTRACTS_FILE
-    automata_path = directory / _AUTOMATA_FILE
     if not contracts_path.exists():
         raise BrokerError(f"{contracts_path} does not exist")
 
@@ -100,34 +280,151 @@ def load_database(
         )
 
     if config is None:
-        saved = manifest.get("config", {})
-        config = BrokerConfig(
-            use_prefilter=saved.get("use_prefilter", True),
-            use_projections=saved.get("use_projections", True),
-            use_seeds=saved.get("use_seeds", True),
-            prefilter_depth=saved.get("prefilter_depth", 2),
-            projection_subset_cap=saved.get("projection_subset_cap", 2),
-            permission_algorithm=saved.get("permission_algorithm", "ndfs"),
-            state_budget=saved.get("state_budget", 60_000),
-        )
+        config = _config_from_manifest(manifest)
 
-    automata_docs = []
-    if automata_path.exists():
-        automata_docs = json.loads(automata_path.read_text(encoding="utf-8"))
+    report = LoadReport()
+    checksums = manifest.get("artifacts", {})
+    if not isinstance(checksums, dict):
+        checksums = {}
+    automata_docs = _read_artifact(
+        directory, _AUTOMATA_FILE, checksums, report
+    )
+    seeds_docs = _read_artifact(directory, _SEEDS_FILE, checksums, report)
+    projection_docs = None
+    if config.use_projections:
+        projection_docs = _read_artifact(
+            directory, _PROJECTIONS_FILE, checksums, report
+        )
+    index_doc = _read_artifact(directory, _INDEX_FILE, checksums, report)
+
+    # Adopt the index snapshot wholesale only when its depth matches the
+    # effective configuration; otherwise insert per contract as usual.
+    try:
+        restore_index = (
+            index_doc is not None
+            and int(index_doc["depth"]) == config.prefilter_depth
+        )
+    except (KeyError, TypeError, ValueError):
+        restore_index = False
 
     db = ContractDatabase(config)
-    for i, doc in enumerate(manifest.get("contracts", [])):
+    retranslated: list = []
+    positions: dict[str, int] = {}
+    for doc in manifest.get("contracts", []):
         spec = ContractSpec(
             name=doc["name"],
             clauses=tuple(parse(text) for text in doc["clauses"]),
             attributes=doc.get("attributes") or {},
         )
+        position = positions.get(spec.name, 0)
+        positions[spec.name] = position + 1
+
         ba = None
-        if i < len(automata_docs):
-            candidate = automaton_from_dict(automata_docs[i])
-            # Trust the stored automaton only if it cites no event the
-            # specification does not (a stale or edited file would).
-            if candidate.events() <= spec.vocabulary:
-                ba = candidate
-        db.register_spec(spec, prebuilt_ba=ba)
+        ba_doc = _nth(automata_docs, spec.name, position)
+        if ba_doc is not None:
+            try:
+                candidate = automaton_from_dict(ba_doc)
+            except (AutomatonError, TypeError, ValueError) as exc:
+                report.warnings.append(
+                    f"{spec.name!r}: stored automaton malformed ({exc}); "
+                    "retranslating"
+                )
+            else:
+                # Trust the stored automaton only if it cites no event the
+                # specification does not (a stale or edited file would).
+                if candidate.events() <= spec.vocabulary:
+                    ba = candidate
+                else:
+                    report.warnings.append(
+                        f"{spec.name!r}: stored automaton cites events "
+                        "outside the specification; retranslating"
+                    )
+        elif automata_docs is not None:
+            report.warnings.append(
+                f"{spec.name!r}: no stored automaton; retranslating"
+            )
+
+        seeds = None
+        projections = None
+        if ba is not None:
+            report.automata_restored += 1
+            seed_doc = _nth(seeds_docs, spec.name, position)
+            if seed_doc is not None:
+                try:
+                    candidate_seeds = frozenset(int(s) for s in seed_doc)
+                except (TypeError, ValueError):
+                    candidate_seeds = None
+                if (
+                    candidate_seeds is not None
+                    and candidate_seeds <= ba.states
+                ):
+                    seeds = candidate_seeds
+                    report.seeds_restored += 1
+                else:
+                    report.warnings.append(
+                        f"{spec.name!r}: stored seed set invalid; recomputing"
+                    )
+            proj_doc = _nth(projection_docs, spec.name, position)
+            if config.use_projections and isinstance(proj_doc, dict):
+                if proj_doc.get("max_subset_size") == config.projection_subset_cap:
+                    try:
+                        projections = ProjectionStore.from_dict(ba, proj_doc)
+                        report.projections_restored += 1
+                    except ProjectionError as exc:
+                        report.warnings.append(
+                            f"{spec.name!r}: stored projections invalid "
+                            f"({exc}); recomputing"
+                        )
+                else:
+                    report.warnings.append(
+                        f"{spec.name!r}: stored projection cap differs from "
+                        "the configured one; recomputing"
+                    )
+        else:
+            report.retranslated.append(spec.name)
+
+        contract = db.register_spec(
+            spec,
+            prebuilt_ba=ba,
+            prebuilt_seeds=seeds,
+            prebuilt_projections=projections,
+            update_index=not restore_index,
+        )
+        if restore_index and ba is None:
+            retranslated.append(contract)
+
+    if restore_index:
+        try:
+            index = PrefilterIndex.from_dict(index_doc)
+        except IndexError_ as exc:
+            report.warnings.append(
+                f"{_INDEX_FILE}: invalid ({exc}); rebuilding"
+            )
+            _rebuild_index(db)
+        else:
+            expected_ids = frozenset(
+                c.contract_id for c in db.contracts()
+            )
+            if index.universe != expected_ids:
+                report.warnings.append(
+                    f"{_INDEX_FILE}: contract ids do not match the "
+                    "manifest; rebuilding"
+                )
+                _rebuild_index(db)
+            else:
+                # A re-translated BA may label differently from the
+                # snapshot, so its index entries are refreshed in place.
+                for contract in retranslated:
+                    index.remove_contract(contract.contract_id)
+                    index.add_contract(
+                        contract.contract_id, contract.ba,
+                        contract.vocabulary,
+                    )
+                db.adopt_index(index)
+                report.index_restored = True
+
+    report.contracts = len(db)
+    report.load_seconds = time.perf_counter() - start
+    db.load_report = report
+    db.dirty = False
     return db

@@ -9,7 +9,11 @@ modules exchanging text files:
 * ``contract-broker translate`` — LTL → Büchi automaton, printed or
   saved as JSON (the registration step's conversion);
 * ``contract-broker build``     — register a spec file and persist the
-  database directory (contracts + automata);
+  database directory (contracts + derived artifacts);
+* ``contract-broker save``      — like ``build``, and also accepts an
+  existing database directory as input (re-snapshot);
+* ``contract-broker load``      — load a snapshot and report what was
+  restored versus rebuilt (the crash-recovery / cold-start check);
 * ``contract-broker query``     — the runtime module: loads a spec file
   or a built database and evaluates one or more queries, reporting
   per-phase statistics;
@@ -91,6 +95,29 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--index-depth", type=int, default=2)
     build.add_argument("--projection-cap", type=int, default=2)
     build.set_defaults(handler=_cmd_build)
+
+    save = sub.add_parser(
+        "save",
+        help="build (or reload) a database and write a v2 snapshot "
+             "with all derived artifacts",
+    )
+    save.add_argument("specs", type=Path,
+                      help="spec file or existing database directory")
+    save.add_argument("--out", type=Path, required=True,
+                      help="snapshot directory to write")
+    save.add_argument("--index-depth", type=int, default=2)
+    save.add_argument("--projection-cap", type=int, default=2)
+    save.set_defaults(handler=_cmd_save)
+
+    load = sub.add_parser(
+        "load",
+        help="load a snapshot directory and print the restore report "
+             "(what was restored vs rebuilt)",
+    )
+    load.add_argument("directory", type=Path)
+    load.add_argument("--stats", action="store_true",
+                      help="also print database statistics")
+    load.set_defaults(handler=_cmd_load)
 
     query = sub.add_parser(
         "query",
@@ -240,6 +267,42 @@ def _load_or_build_db(path: Path, config: BrokerConfig) -> ContractDatabase:
         print(f"registered {len(db)} contracts in "
               f"{time.perf_counter() - start:.1f}s")
     return db
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    from .broker.persist import save_database
+
+    config = BrokerConfig(
+        prefilter_depth=args.index_depth,
+        projection_subset_cap=args.projection_cap,
+    )
+    db = _load_or_build_db(args.specs, config)
+    start = time.perf_counter()
+    directory = save_database(db, args.out)
+    print(f"saved {len(db)} contracts (automata, seeds, projections, "
+          f"index) to {directory} in {time.perf_counter() - start:.1f}s")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from .broker.persist import load_database
+
+    db = load_database(args.directory)
+    report = db.load_report
+    print(f"loaded {report.contracts} contracts in "
+          f"{report.load_seconds:.2f}s")
+    print(f"  automata    : {report.automata_restored} restored, "
+          f"{len(report.retranslated)} retranslated")
+    print(f"  seeds       : {report.seeds_restored} restored")
+    print(f"  projections : {report.projections_restored} restored")
+    print(f"  index       : "
+          f"{'restored' if report.index_restored else 'rebuilt'}")
+    for warning in report.warnings:
+        print(f"  warning: {warning}")
+    if args.stats:
+        for key, value in db.database_stats().items():
+            print(f"  {key}: {value}")
+    return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:

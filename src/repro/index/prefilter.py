@@ -145,6 +145,50 @@ class PrefilterIndex:
 
         return condition.evaluate(cached_lookup, self.universe)
 
+    # -- serialization -----------------------------------------------------------------
+
+    def to_dict(self, id_map: dict[int, int] | None = None) -> dict:
+        """A JSON-ready snapshot of the whole index (trie + registered
+        contract ids + build stats); ``id_map`` remaps contract ids like
+        :meth:`SetTrie.to_dict`."""
+        remap = (lambda i: i) if id_map is None else id_map.__getitem__
+        return {
+            "depth": self.depth,
+            "contracts": sorted(remap(c) for c in self._contracts),
+            "stats": {
+                "contracts": self.stats.contracts,
+                "labels_indexed": self.stats.labels_indexed,
+                "node_insertions": self.stats.node_insertions,
+                "build_seconds": self.stats.build_seconds,
+            },
+            "trie": self._trie.to_dict(id_map),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PrefilterIndex":
+        """Inverse of :meth:`to_dict`; raises :class:`IndexError_` on a
+        malformed document."""
+        try:
+            declared_depth = int(data["depth"])
+            index = cls(depth=declared_depth)
+            index._trie = SetTrie.from_dict(data["trie"])
+            index._contracts = {int(c) for c in data["contracts"]}
+            stats = data.get("stats", {})
+            index.stats = PrefilterStats(
+                contracts=int(stats.get("contracts", len(index._contracts))),
+                labels_indexed=int(stats.get("labels_indexed", 0)),
+                node_insertions=int(stats.get("node_insertions", 0)),
+                build_seconds=float(stats.get("build_seconds", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexError_(f"malformed index document: {exc}") from exc
+        if index._trie.depth != declared_depth:
+            raise IndexError_(
+                f"trie depth {index._trie.depth} does not match index "
+                f"depth {declared_depth}"
+            )
+        return index
+
     # -- introspection ---------------------------------------------------------------
 
     @property

@@ -23,7 +23,7 @@ from itertools import combinations
 from typing import Iterable, Iterator
 
 from ..errors import IndexError_
-from ..automata.labels import Label, Literal
+from ..automata.labels import Label, Literal, parse_literal
 
 
 def _canonical(literals: Iterable[Literal]) -> tuple[Literal, ...]:
@@ -80,9 +80,28 @@ class SetTrie:
         return touched
 
     def remove_contract(self, contract_id: int) -> None:
-        """Remove a contract from every node (used on deregistration)."""
+        """Remove a contract from every node (used on deregistration),
+        then prune nodes whose subtree holds no contracts — without the
+        pruning, register/deregister churn would grow ``num_nodes`` and
+        ``size_estimate`` without bound."""
         for node in self._nodes.values():
             node.contracts.discard(contract_id)
+        self._prune_empty()
+
+    def _prune_empty(self) -> None:
+        """Drop every non-root node whose subtree contains no contract,
+        detaching it from its parent's ``children``.  Keys are visited
+        deepest-first so a parent emptied by a child's removal is pruned
+        in the same pass."""
+        for key in sorted(self._nodes, key=len, reverse=True):
+            if not key:
+                continue
+            node = self._nodes[key]
+            if node.contracts or node.children:
+                continue
+            del self._nodes[key]
+            parent = self._nodes[key[:-1]]
+            del parent.children[key[-1]]
 
     def _ensure_node(self, key: tuple[Literal, ...]) -> TrieNode:
         node = self._nodes.get(key)
@@ -121,6 +140,48 @@ class SetTrie:
                 return None
             node = self._nodes[child_key]
         return node
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self, id_map: dict[int, int] | None = None) -> dict:
+        """A JSON-ready snapshot of the trie (structure + contract sets).
+
+        ``id_map``, when given, remaps contract ids on the way out — the
+        persistence layer uses it to renumber ids to their dense
+        save-order positions.
+        """
+        remap = (lambda i: i) if id_map is None else id_map.__getitem__
+        nodes = []
+        for key in sorted(self._nodes):
+            node = self._nodes[key]
+            nodes.append({
+                "key": [str(lit) for lit in key],
+                "contracts": sorted(remap(c) for c in node.contracts),
+            })
+        return {"depth": self.depth, "nodes": nodes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SetTrie":
+        """Inverse of :meth:`to_dict`; raises :class:`IndexError_` on a
+        structurally invalid document (the persistence layer treats that
+        as a corrupt artifact and rebuilds)."""
+        try:
+            trie = cls(depth=int(data["depth"]))
+            docs = data["nodes"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexError_(f"malformed trie document: {exc}") from exc
+        for doc in docs:
+            try:
+                key = _canonical(parse_literal(s) for s in doc["key"])
+                contracts = [int(c) for c in doc["contracts"]]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise IndexError_(f"malformed trie node: {exc}") from exc
+            if len(key) > trie.depth:
+                raise IndexError_(
+                    f"trie node {doc['key']} exceeds depth {trie.depth}"
+                )
+            trie._ensure_node(key).contracts.update(contracts)
+        return trie
 
     # -- introspection ----------------------------------------------------------
 

@@ -39,7 +39,7 @@ from ..automata.bisim import (
     quotient,
 )
 from ..automata.buchi import BuchiAutomaton
-from ..automata.labels import Literal
+from ..automata.labels import Literal, parse_literal
 from ..core.seeds import compute_seeds
 from ..errors import ProjectionError
 from .project import project, required_literals
@@ -190,6 +190,114 @@ class ProjectionStore:
         ]
         self.stats.stored_blocks = sum(self._block_counts)
         return added
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self, state_numbering: dict | None = None) -> dict:
+        """A JSON-ready snapshot of the precomputed artifacts: the
+        deduplicated partitions and the subset -> partition map (§5.2's
+        'list of bisimilar states' is exactly this data).
+
+        ``state_numbering`` maps the BA's states to the dense integers of
+        its serialized form (:meth:`BuchiAutomaton.canonical_numbering`),
+        so a snapshot restored against the reloaded automaton lines up.
+        Lazily materialized quotients are *not* persisted — they are
+        query-time caches, rebuilt on demand.
+        """
+        remap = (
+            (lambda s: s) if state_numbering is None
+            else state_numbering.__getitem__
+        )
+        partitions = [
+            sorted([remap(state), block] for state, block in p.items())
+            for p in self._partitions
+        ]
+        subsets = [
+            {
+                "literals": [str(lit) for lit in sorted(subset)],
+                "partition": partition_id,
+            }
+            for subset, partition_id in sorted(
+                self._subset_to_partition.items(),
+                key=lambda item: (len(item[0]), sorted(map(str, item[0]))),
+            )
+        ]
+        return {
+            "max_subset_size": self.max_subset_size,
+            "partitions": partitions,
+            "subsets": subsets,
+            "stats": {
+                "subsets_considered": self.stats.subsets_considered,
+                "partitions_computed": self.stats.partitions_computed,
+                "build_seconds": self.stats.build_seconds,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, ba: BuchiAutomaton, data: dict) -> "ProjectionStore":
+        """Rebuild a store from :meth:`to_dict` output against ``ba`` (the
+        reloaded automaton, whose states must match the numbering the
+        snapshot was written with).  Raises :class:`ProjectionError` on
+        any structural mismatch — the persistence layer then falls back
+        to recomputing the store from scratch.
+        """
+        store = cls.__new__(cls)
+        store.ba = ba
+        store.literals = ba.literals()
+        store._extra_subsets = []
+        store._quotients = {}
+        store._quotient_seeds = {}
+        try:
+            cap = data["max_subset_size"]
+            store.max_subset_size = None if cap is None else int(cap)
+            store._partitions = [
+                {int(state): int(block) for state, block in pairs}
+                for pairs in data["partitions"]
+            ]
+            subset_docs = [
+                (
+                    frozenset(parse_literal(s) for s in doc["literals"]),
+                    int(doc["partition"]),
+                )
+                for doc in data["subsets"]
+            ]
+            stats = data.get("stats", {})
+            store.stats = ProjectionStats(
+                subsets_considered=int(stats.get("subsets_considered", 0)),
+                partitions_computed=int(stats.get("partitions_computed", 0)),
+                build_seconds=float(stats.get("build_seconds", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProjectionError(
+                f"malformed projection document: {exc}"
+            ) from exc
+        for partition in store._partitions:
+            if set(partition) != set(ba.states):
+                raise ProjectionError(
+                    "stored partition does not cover the automaton's states"
+                )
+        store._subset_to_partition = {}
+        for subset, partition_id in subset_docs:
+            if not subset <= store.literals:
+                raise ProjectionError(
+                    f"stored subset {sorted(map(str, subset))} cites "
+                    "literals the automaton does not"
+                )
+            if not 0 <= partition_id < len(store._partitions):
+                raise ProjectionError(
+                    f"partition id {partition_id} out of range"
+                )
+            store._subset_to_partition[subset] = partition_id
+        store._signature_to_id = {
+            partition_signature(p): i
+            for i, p in enumerate(store._partitions)
+        }
+        store._block_counts = [
+            len(set(p.values())) for p in store._partitions
+        ]
+        store.stats.distinct_partitions = len(store._partitions)
+        store.stats.stored_blocks = sum(store._block_counts)
+        return store
 
     # -- query-time use ------------------------------------------------------------
 

@@ -1,5 +1,7 @@
-"""Tests for database persistence."""
+"""Tests for database persistence (snapshot format v2)."""
 
+import dataclasses
+import hashlib
 import json
 
 import pytest
@@ -7,7 +9,12 @@ import pytest
 from repro.broker.database import BrokerConfig, ContractDatabase
 from repro.broker.persist import load_database, save_database
 from repro.errors import BrokerError
-from repro.workload.airfare import QUERIES, all_ticket_specs
+from repro.workload.airfare import QUERIES
+from repro.workload.generator import WorkloadGenerator
+
+ARTIFACT_FILES = [
+    "automata.json", "seeds.json", "projections.json", "index.json",
+]
 
 
 @pytest.fixture
@@ -15,10 +22,27 @@ def saved_airfare(tmp_path, airfare_db):
     return save_database(airfare_db, tmp_path / "db")
 
 
+def _rehash_artifact(directory, filename):
+    """Patch the manifest checksum after a deliberate artifact edit, so
+    tests can exercise content-level fallbacks past the checksum gate."""
+    manifest = json.loads((directory / "contracts.json").read_text())
+    manifest["artifacts"][filename] = hashlib.sha256(
+        (directory / filename).read_bytes()
+    ).hexdigest()
+    (directory / "contracts.json").write_text(json.dumps(manifest, indent=2))
+
+
 class TestRoundTrip:
     def test_files_written(self, saved_airfare):
         assert (saved_airfare / "contracts.json").exists()
-        assert (saved_airfare / "automata.json").exists()
+        for filename in ARTIFACT_FILES:
+            assert (saved_airfare / filename).exists()
+
+    def test_no_temp_files_left(self, saved_airfare):
+        leftovers = [
+            p.name for p in saved_airfare.iterdir() if ".tmp" in p.name
+        ]
+        assert leftovers == []
 
     def test_reload_preserves_contracts(self, saved_airfare, airfare_db):
         reloaded = load_database(saved_airfare)
@@ -62,6 +86,153 @@ class TestRoundTrip:
         )
         assert next(reloaded.contracts()).projections is None
 
+    def test_duplicate_contract_names_round_trip(self, tmp_path):
+        db = ContractDatabase(BrokerConfig())
+        db.register("twin", "G a")
+        db.register("twin", "F b")
+        directory = save_database(db, tmp_path / "twins")
+        reloaded = load_database(directory)
+        assert reloaded.load_report.automata_restored == 2
+        assert set(reloaded.query("F b").contract_ids) == set(
+            db.query("F b").contract_ids
+        )
+
+
+class TestSnapshotRestore:
+    """The v2 tentpole: derived artifacts come back without a rebuild."""
+
+    def test_full_restore_report(self, saved_airfare, airfare_db):
+        reloaded = load_database(saved_airfare)
+        report = reloaded.load_report
+        assert report.contracts == len(airfare_db)
+        assert report.automata_restored == report.contracts
+        assert report.seeds_restored == report.contracts
+        assert report.projections_restored == report.contracts
+        assert report.index_restored
+        assert report.retranslated == []
+        assert report.checksum_failures == []
+        assert report.warnings == []
+
+    def test_restored_index_matches_rebuilt(self, saved_airfare, airfare_db):
+        reloaded = load_database(saved_airfare)
+        assert reloaded.index.num_nodes == airfare_db.index.num_nodes
+        assert reloaded.index.size_estimate() == (
+            airfare_db.index.size_estimate()
+        )
+
+    def test_restored_seeds_match_computed(self, saved_airfare):
+        from repro.core.seeds import compute_seeds
+
+        reloaded = load_database(saved_airfare)
+        for contract in reloaded.contracts():
+            assert contract.seeds == compute_seeds(contract.ba)
+
+    def test_restored_projections_match_computed(self, saved_airfare,
+                                                 airfare_db):
+        reloaded = load_database(saved_airfare)
+        by_name = {c.name: c for c in airfare_db.contracts()}
+        for contract in reloaded.contracts():
+            original = by_name[contract.name].projections
+            restored = contract.projections
+            assert restored.num_subsets == original.num_subsets
+            assert restored.num_distinct_partitions == (
+                original.num_distinct_partitions
+            )
+
+    def test_manifest_checksums_cover_every_artifact(self, saved_airfare):
+        manifest = json.loads((saved_airfare / "contracts.json").read_text())
+        assert set(manifest["artifacts"]) == set(ARTIFACT_FILES)
+        for filename, expected in manifest["artifacts"].items():
+            actual = hashlib.sha256(
+                (saved_airfare / filename).read_bytes()
+            ).hexdigest()
+            assert actual == expected
+
+    def test_depth_override_rebuilds_index(self, saved_airfare, airfare_db):
+        reloaded = load_database(
+            saved_airfare, BrokerConfig(prefilter_depth=3)
+        )
+        assert not reloaded.load_report.index_restored
+        for info in QUERIES.values():
+            assert set(reloaded.query(info["ltl"]).contract_names) == set(
+                airfare_db.query(info["ltl"]).contract_names
+            )
+
+
+class TestConfigPersistence:
+    """Satellite: every BrokerConfig field must be persisted (a dropped
+    field silently reverts to its default on reload)."""
+
+    def test_manifest_persists_every_config_field(self, saved_airfare):
+        manifest = json.loads((saved_airfare / "contracts.json").read_text())
+        field_names = {f.name for f in dataclasses.fields(BrokerConfig)}
+        # fails when a future BrokerConfig field is not persisted (or a
+        # stale key lingers in the manifest)
+        assert set(manifest["config"]) == field_names
+
+    def test_query_cache_capacity_round_trips(self, tmp_path):
+        db = ContractDatabase(BrokerConfig(query_cache_capacity=7))
+        db.register("t", "G a")
+        directory = save_database(db, tmp_path / "cache")
+        reloaded = load_database(directory)
+        assert reloaded.config.query_cache_capacity == 7
+        assert reloaded.query_cache.stats().capacity == 7
+
+    def test_every_field_round_trips(self, tmp_path):
+        config = BrokerConfig(
+            use_prefilter=False,
+            use_projections=True,
+            use_seeds=False,
+            prefilter_depth=3,
+            projection_subset_cap=None,
+            permission_algorithm="scc",
+            state_budget=12_345,
+            query_cache_capacity=9,
+        )
+        db = ContractDatabase(config)
+        db.register("t", "G a")
+        directory = save_database(db, tmp_path / "full")
+        assert load_database(directory).config == config
+
+
+class TestDirtyFlag:
+    def test_fresh_database_is_dirty(self):
+        assert ContractDatabase(BrokerConfig()).dirty
+
+    def test_save_clears_and_mutations_set(self, tmp_path):
+        db = ContractDatabase(BrokerConfig())
+        contract = db.register("t", "G a")
+        save_database(db, tmp_path / "d")
+        assert not db.dirty
+        db.deregister(contract.contract_id)
+        assert db.dirty
+
+    def test_load_returns_clean_database(self, saved_airfare):
+        assert not load_database(saved_airfare).dirty
+
+    def test_only_if_dirty_skips_clean_save(self, tmp_path):
+        db = ContractDatabase(BrokerConfig())
+        db.register("t", "G a")
+        directory = save_database(db, tmp_path / "d")
+        before = (directory / "contracts.json").read_bytes()
+        (directory / "contracts.json").write_bytes(b"sentinel")
+        save_database(db, directory, only_if_dirty=True)
+        assert (directory / "contracts.json").read_bytes() == b"sentinel"
+        db.register("u", "F b")
+        save_database(db, directory, only_if_dirty=True)
+        assert (directory / "contracts.json").read_bytes() != b"sentinel"
+        assert (directory / "contracts.json").read_bytes() != before
+
+    def test_only_if_dirty_still_writes_missing_snapshot(self, tmp_path):
+        db = ContractDatabase(BrokerConfig())
+        db.register("t", "G a")
+        save_database(db, tmp_path / "first")
+        directory = save_database(
+            db, tmp_path / "second", only_if_dirty=True
+        )
+        # clean database, but the target has no manifest yet
+        assert (directory / "contracts.json").exists()
+
 
 class TestRobustness:
     def test_missing_directory(self, tmp_path):
@@ -84,15 +255,44 @@ class TestRobustness:
         with pytest.raises(BrokerError):
             load_database(directory)
 
+    @pytest.mark.parametrize("filename", ARTIFACT_FILES)
+    def test_corrupt_artifact_falls_back(self, tmp_path, airfare_db,
+                                         filename):
+        directory = save_database(airfare_db, tmp_path / "corrupt")
+        (directory / filename).write_bytes(b'{"mangled": true}')
+        reloaded = load_database(directory)
+        assert filename in reloaded.load_report.checksum_failures
+        for info in QUERIES.values():
+            assert set(reloaded.query(info["ltl"]).contract_names) == set(
+                airfare_db.query(info["ltl"]).contract_names
+            )
+
+    @pytest.mark.parametrize("filename", ARTIFACT_FILES)
+    def test_missing_artifact_falls_back(self, tmp_path, airfare_db,
+                                         filename):
+        directory = save_database(airfare_db, tmp_path / "missing")
+        (directory / filename).unlink()
+        reloaded = load_database(directory)
+        assert reloaded.load_report.warnings
+        assert len(reloaded) == len(airfare_db)
+        info = QUERIES["refund_or_change_after_miss"]
+        assert set(reloaded.query(info["ltl"]).contract_names) == info[
+            "expected"
+        ]
+
     def test_stale_automaton_retranslated(self, tmp_path, airfare_db):
         directory = save_database(airfare_db, tmp_path / "stale")
-        # corrupt the stored automata: give them an alien event
+        # corrupt the stored automata: give them an alien event (and
+        # re-hash so only the vocabulary check can reject them)
         automata = json.loads((directory / "automata.json").read_text())
-        for doc in automata:
-            for transition in doc["transitions"]:
-                transition[1] = "alienEvent"
+        for docs in automata.values():
+            for doc in docs:
+                for transition in doc["transitions"]:
+                    transition[1] = "alienEvent"
         (directory / "automata.json").write_text(json.dumps(automata))
+        _rehash_artifact(directory, "automata.json")
         reloaded = load_database(directory)
+        assert len(reloaded.load_report.retranslated) == len(airfare_db)
         # results still correct because the loader fell back to
         # re-translating from the clauses
         info = QUERIES["refund_or_change_after_miss"]
@@ -100,8 +300,68 @@ class TestRobustness:
             "expected"
         ]
 
-    def test_missing_automata_file_is_fine(self, tmp_path, airfare_db):
-        directory = save_database(airfare_db, tmp_path / "noba")
-        (directory / "automata.json").unlink()
+    def test_name_miss_retranslates_with_warning(self, tmp_path, airfare_db):
+        """A shortened automata file no longer shifts pairings: entries
+        are keyed by contract name, and a missing name re-translates."""
+        directory = save_database(airfare_db, tmp_path / "short")
+        automata = json.loads((directory / "automata.json").read_text())
+        del automata["Ticket A"]
+        (directory / "automata.json").write_text(json.dumps(automata))
+        _rehash_artifact(directory, "automata.json")
         reloaded = load_database(directory)
-        assert len(reloaded) == len(airfare_db)
+        report = reloaded.load_report
+        assert report.retranslated == ["Ticket A"]
+        assert any("Ticket A" in w for w in report.warnings)
+        assert report.automata_restored == len(airfare_db) - 1
+        for info in QUERIES.values():
+            assert set(reloaded.query(info["ltl"]).contract_names) == set(
+                airfare_db.query(info["ltl"]).contract_names
+            )
+
+    def test_crash_mid_save_keeps_snapshot_loadable(self, tmp_path,
+                                                    airfare_db):
+        """A crash between artifact renames leaves the old manifest whose
+        checksums disown the half-updated artifact — the loader rebuilds
+        instead of trusting it."""
+        directory = save_database(airfare_db, tmp_path / "crash")
+        # simulate: a later save replaced automata.json, then died before
+        # writing the new manifest
+        automata = json.loads((directory / "automata.json").read_text())
+        automata["Ticket Z"] = automata.pop("Ticket A")
+        (directory / "automata.json").write_text(json.dumps(automata))
+        reloaded = load_database(directory)
+        assert "automata.json" in reloaded.load_report.checksum_failures
+        for info in QUERIES.values():
+            assert set(reloaded.query(info["ltl"]).contract_names) == set(
+                airfare_db.query(info["ltl"]).contract_names
+            )
+
+
+class TestRoundTripEquivalence:
+    """Acceptance: identical query results on the original database, a
+    snapshot-restored one, and a rebuild-fallback (corrupted) one."""
+
+    def test_generated_workload_equivalence(self, tmp_path):
+        generator = WorkloadGenerator(vocabulary_size=8, seed=42)
+        db = ContractDatabase(BrokerConfig())
+        for i, spec in enumerate(generator.generate_specs(12, 2)):
+            db.register(f"contract-{i}", list(spec.clauses))
+        queries = [
+            spec.clauses[0] for spec in generator.generate_specs(6, 1)
+        ]
+        baseline = [db.query(q).contract_names for q in queries]
+
+        directory = save_database(db, tmp_path / "snap")
+        snapshot = load_database(directory)
+        assert snapshot.load_report.index_restored
+        assert [
+            snapshot.query(q).contract_names for q in queries
+        ] == baseline
+
+        for filename in ARTIFACT_FILES:
+            (directory / filename).write_bytes(b"garbage")
+        fallback = load_database(directory)
+        assert not fallback.load_report.index_restored
+        assert [
+            fallback.query(q).contract_names for q in queries
+        ] == baseline

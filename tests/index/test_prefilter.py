@@ -126,3 +126,38 @@ class TestSoundness:
         query_ba = translate(query_formula)
         if permits(ba, query_ba, vocab):
             assert 0 in index.candidates(query_ba)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_candidates(self, airfare_contracts):
+        import json
+
+        index = PrefilterIndex(depth=2)
+        for c in airfare_contracts.values():
+            index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        doc = json.loads(json.dumps(index.to_dict()))
+        restored = PrefilterIndex.from_dict(doc)
+        assert restored.depth == index.depth
+        assert restored.num_nodes == index.num_nodes
+        assert restored.universe == index.universe
+        query = translate(parse("F(missedFlight && F refund)"))
+        assert restored.candidates(query) == index.candidates(query)
+
+    def test_round_trip_with_id_remap(self, airfare_contracts):
+        index = PrefilterIndex(depth=2)
+        for c in airfare_contracts.values():
+            index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        id_map = {
+            cid: slot for slot, cid in enumerate(sorted(index.universe))
+        }
+        restored = PrefilterIndex.from_dict(index.to_dict(id_map))
+        assert restored.universe == set(id_map.values())
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(IndexError_):
+            PrefilterIndex.from_dict({"depth": 2})
+        with pytest.raises(IndexError_):
+            PrefilterIndex.from_dict(
+                {"depth": 2, "contracts": [], "stats": {},
+                 "trie": {"depth": 3, "nodes": []}}
+            )

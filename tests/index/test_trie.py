@@ -77,6 +77,74 @@ class TestRemoval:
         assert trie.get([pos("a")]) == {2}
         assert trie.get([pos("b")]) == set()
 
+    def test_remove_prunes_emptied_nodes(self):
+        trie = SetTrie(depth=2)
+        trie.insert_expansion(frozenset([pos("a"), pos("b")]), 1)
+        assert trie.num_nodes == 4
+        trie.remove_contract(1)
+        # only the root remains; emptied subset nodes are detached
+        assert trie.num_nodes == 1
+        assert trie.size_estimate() == 0
+
+    def test_remove_keeps_nodes_shared_with_other_contracts(self):
+        trie = SetTrie(depth=2)
+        trie.insert_expansion(frozenset([pos("a"), pos("b")]), 1)
+        trie.insert_expansion(frozenset([pos("a")]), 2)
+        trie.remove_contract(1)
+        # {a} survives for contract 2; {b} and {a,b} are pruned
+        assert trie.num_nodes == 2
+        assert trie.get([pos("a")]) == {2}
+
+    def test_churn_does_not_grow_node_count(self):
+        trie = SetTrie(depth=2)
+        expansion = frozenset([pos("a"), pos("b"), neg("c")])
+        trie.insert_expansion(expansion, 0)
+        baseline = trie.num_nodes
+        for cycle in range(1, 6):
+            trie.remove_contract(cycle - 1)
+            trie.insert_expansion(expansion, cycle)
+            assert trie.num_nodes == baseline
+
+
+class TestSerialization:
+    def _sample(self):
+        trie = SetTrie(depth=2)
+        trie.insert_expansion(frozenset([pos("a"), neg("b")]), 1)
+        trie.insert_expansion(frozenset([pos("a"), pos("c")]), 2)
+        return trie
+
+    def test_round_trip_preserves_lookups(self):
+        import json
+
+        trie = self._sample()
+        doc = json.loads(json.dumps(trie.to_dict()))
+        restored = SetTrie.from_dict(doc)
+        assert restored.depth == trie.depth
+        assert restored.num_nodes == trie.num_nodes
+        assert restored.size_estimate() == trie.size_estimate()
+        for query in ([], [pos("a")], [neg("b")], [pos("a"), pos("c")]):
+            assert restored.get(query) == trie.get(query)
+
+    def test_round_trip_with_id_remap(self):
+        trie = self._sample()
+        restored = SetTrie.from_dict(trie.to_dict(id_map={1: 0, 2: 1}))
+        assert restored.get([pos("a")]) == {0, 1}
+        assert restored.get([neg("b")]) == {0}
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(IndexError_):
+            SetTrie.from_dict({"nodes": []})
+        with pytest.raises(IndexError_):
+            SetTrie.from_dict({"depth": 1, "nodes": "oops"})
+
+    def test_from_dict_rejects_overdeep_key(self):
+        doc = {
+            "depth": 1,
+            "nodes": [{"key": ["a", "b"], "contracts": [1]}],
+        }
+        with pytest.raises(IndexError_):
+            SetTrie.from_dict(doc)
+
 
 class TestShape:
     def test_invalid_depth(self):

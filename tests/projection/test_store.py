@@ -148,3 +148,49 @@ class TestTheorem3Consistency:
                 direct = bisimulation_partition(project(ba, subset))
                 stored_blocks = store.partition_for(frozenset(subset))
                 assert frozenset(stored_blocks) == partition_signature(direct)
+
+
+class TestSerialization:
+    def _store(self):
+        ba = translate(parse("G(a -> F b) && G(c -> !a)")).canonical()
+        return ba, ProjectionStore(ba, max_subset_size=2)
+
+    def test_round_trip_preserves_partitions(self):
+        import json
+
+        ba, store = self._store()
+        doc = json.loads(json.dumps(store.to_dict()))
+        restored = ProjectionStore.from_dict(ba, doc)
+        assert restored.num_subsets == store.num_subsets
+        assert restored.num_distinct_partitions == (
+            store.num_distinct_partitions
+        )
+        from itertools import combinations
+
+        for size in range(0, 3):
+            for subset in combinations(sorted(ba.literals()), size):
+                assert restored.partition_for(
+                    frozenset(subset)
+                ) == store.partition_for(frozenset(subset))
+
+    def test_round_trip_select_agrees(self):
+        ba, store = self._store()
+        restored = ProjectionStore.from_dict(ba, store.to_dict())
+        q = translate(parse("F b"))
+        assert restored.select(q.literals()).num_states == (
+            store.select(q.literals()).num_states
+        )
+
+    def test_from_dict_rejects_foreign_states(self):
+        ba, store = self._store()
+        doc = store.to_dict()
+        doc["partitions"][0] = [[999, 0]]
+        with pytest.raises(ProjectionError):
+            ProjectionStore.from_dict(ba, doc)
+
+    def test_from_dict_rejects_unknown_subset_literals(self):
+        ba, store = self._store()
+        doc = store.to_dict()
+        doc["subsets"].append({"literals": ["zzz"], "partition": 0})
+        with pytest.raises(ProjectionError):
+            ProjectionStore.from_dict(ba, doc)
