@@ -13,6 +13,7 @@ from dataclasses import replace
 from repro.bench.harness import build_database, specs_to_formulas
 from repro.bench.reporting import format_table, write_report
 from repro.broker.database import BrokerConfig
+from repro.broker.options import QueryOptions
 
 MODES = [
     ("neither", False, False),
@@ -47,11 +48,10 @@ def test_ablation_optimizations(benchmark, datasets, bench_sizes,
             times = []
             answers = []
             for query in queries:
-                result = db.query(
-                    query,
+                result = db.query(query, QueryOptions(
                     use_prefilter=prefilter,
                     use_projections=projections,
-                )
+                ))
                 times.append(result.stats.total_seconds)
                 answers.append(frozenset(result.contract_ids))
             if baseline is None:

@@ -14,6 +14,7 @@ from dataclasses import replace
 from repro.bench.harness import build_database, specs_to_formulas
 from repro.bench.reporting import format_table, write_report
 from repro.broker.database import BrokerConfig
+from repro.broker.options import QueryOptions
 from repro.broker.planner import QueryPlanner
 
 
@@ -35,11 +36,13 @@ def test_ablation_planner(benchmark, datasets, bench_sizes, results_dir):
 
         planner = QueryPlanner()
         policies = {
-            "scan": lambda q: db.query(
-                q, use_prefilter=False, use_projections=False
-            ),
+            "scan": lambda q: db.query(q, QueryOptions(
+                use_prefilter=False, use_projections=False
+            )),
             "always-both": lambda q: db.query(q),
-            "planned": lambda q: db.query_planned(q, planner=planner),
+            "planned": lambda q: db.query(
+                q, QueryOptions(use_planner=True, planner=planner)
+            ),
         }
         import time
 

@@ -11,6 +11,7 @@ import statistics
 
 from repro.bench.reporting import format_table, write_report
 from repro.broker.database import BrokerConfig, ContractDatabase
+from repro.broker.options import QueryOptions
 from repro.workload.corpus import all_domains
 
 
@@ -21,14 +22,14 @@ def test_corpus_end_to_end(benchmark, results_dir):
             db = ContractDatabase(BrokerConfig(),
                                   vocabulary=domain.vocabulary)
             for spec in domain.contracts:
-                db.register_spec(spec)
+                db.register(spec)
             # warm projections
             for ltl, _ in domain.questions.values():
                 db.query(ltl)
             scan_times, fast_times = [], []
             for question, (ltl, expected) in domain.questions.items():
-                scan = db.query(ltl, use_prefilter=False,
-                                use_projections=False)
+                scan = db.query(ltl, QueryOptions(
+                    use_prefilter=False, use_projections=False))
                 fast = db.query(ltl)
                 assert set(scan.contract_names) == set(expected), question
                 assert set(fast.contract_names) == set(expected), question

@@ -20,6 +20,7 @@ from dataclasses import replace
 from repro.bench.harness import run_figure5
 from repro.bench.reporting import format_bar_chart, format_table, write_report
 from repro.broker.database import BrokerConfig
+from repro.broker.options import QueryOptions
 
 
 def _query_configs(datasets, bench_sizes):
@@ -95,6 +96,7 @@ def test_benchmark_scan_query(benchmark, datasets, bench_sizes):
     query = specs_to_formulas(datasets["simple_queries"].generate(1))[0]
 
     result = benchmark(
-        lambda: db.query(query, use_prefilter=False, use_projections=False)
+        lambda: db.query(query, QueryOptions(
+            use_prefilter=False, use_projections=False))
     )
     assert result.stats.candidates == size

@@ -13,6 +13,7 @@ import statistics
 from repro.bench.harness import build_database
 from repro.bench.reporting import format_table, write_report
 from repro.broker.database import BrokerConfig
+from repro.broker.options import QueryOptions
 from repro.workload.selectivity import derived_workload
 
 DEPTHS = (1, 2, 3, 4)
@@ -40,8 +41,8 @@ def test_selectivity_sweep(benchmark, datasets, bench_sizes, results_dir):
             speedups = []
             matched = []
             for query in queries:
-                scan = db.query(query, use_prefilter=False,
-                                use_projections=False)
+                scan = db.query(query, QueryOptions(
+                    use_prefilter=False, use_projections=False))
                 fast = db.query(query)
                 assert scan.contract_ids == fast.contract_ids
                 candidate_fractions.append(

@@ -26,6 +26,7 @@ from repro.bench.harness import (
 )
 from repro.bench.reporting import format_table, write_report
 from repro.broker.database import BrokerConfig, ContractDatabase
+from repro.broker.options import QueryOptions
 
 
 ROUNDS = 20
@@ -101,7 +102,7 @@ def test_benchmark_query_many_parity(benchmark, datasets, bench_sizes):
     db = build_database(contracts, BrokerConfig())
     serial = [db.query(q).contract_ids for q in queries]
 
-    results = benchmark(lambda: db.query_many(queries, workers=4))
+    results = benchmark(lambda: db.query_many(queries, QueryOptions(workers=4)))
 
     assert [r.contract_ids for r in results] == serial
     assert [r.stats.permitted for r in results] == [

@@ -11,12 +11,12 @@ Run with::
     python examples/airfare_broker.py
 """
 
-from repro.broker import AttributeFilter, ContractDatabase, eq, le
+from repro.broker import AttributeFilter, ContractDatabase, QueryOptions, eq, le
 from repro.workload.airfare import QUERIES, all_ticket_specs
 
 db = ContractDatabase()
 for spec in all_ticket_specs():
-    contract = db.register_spec(spec)
+    contract = db.register(spec)
     print(f"registered {contract} at ${contract.attributes['price']}")
 
 # A fare on a different route: relationally filtered out regardless of
@@ -36,7 +36,7 @@ search = AttributeFilter.where(
     eq("origin", "SAN"), eq("destination", "JFK"), le("price", 800)
 )
 temporal = QUERIES["refund_or_change_after_miss"]["ltl"]
-result = db.query(temporal, search)
+result = db.query(temporal, QueryOptions(attribute_filter=search))
 print(f"relational matches : {result.stats.relational_matches}")
 print(f"temporal matches   : {list(result.contract_names)}")
 cheapest = min(
@@ -49,16 +49,17 @@ print(f"recommendation     : {cheapest.name} "
 print("\n--- customer 2: wants unlimited rebooking, any price ---")
 result = db.query(
     "F(dateChange && X F dateChange)",
-    AttributeFilter.where(eq("origin", "SAN"), eq("destination", "JFK")),
+    QueryOptions(attribute_filter=AttributeFilter.where(
+        eq("origin", "SAN"), eq("destination", "JFK"))),
 )
 print(f"fares allowing two date changes: {list(result.contract_names)}")
 
 print("\n--- the same query, optimized vs. unoptimized ---")
 for optimized in (False, True):
-    result = db.query(
-        temporal, search,
+    result = db.query(temporal, QueryOptions(
+        attribute_filter=search,
         use_prefilter=optimized, use_projections=optimized,
-    )
+    ))
     mode = "optimized  " if optimized else "unoptimized"
     s = result.stats
     print(f"{mode}: {s.total_seconds * 1000:6.1f} ms "
@@ -67,7 +68,10 @@ for optimized in (False, True):
 
 print("\n--- why is Ticket B returned? ---")
 ticket_b = next(c for c in db.contracts() if c.name == "Ticket B")
-witness = db.explain(ticket_b.contract_id, temporal)
+witness = db.query(temporal, QueryOptions(
+    contract_ids=(ticket_b.contract_id,), explain=True,
+    use_prefilter=False, use_projections=False,
+)).witnesses[ticket_b.contract_id]
 print("allowed sequence satisfying the query:")
 for t, snapshot in enumerate(witness.to_run().unroll(5)):
     print(f"  t={t}: {', '.join(sorted(snapshot)) or '(nothing)'}")

@@ -22,7 +22,7 @@ for domain in all_domains():
 
     db = ContractDatabase(vocabulary=domain.vocabulary)
     for spec in domain.contracts:
-        contract = db.register_spec(spec)
+        contract = db.register(spec)
         clause_count = len(spec.clauses)
         print(f"  registered {contract.name:18s} "
               f"({clause_count} clauses, {contract.ba.num_states} states)")

@@ -15,7 +15,7 @@ Run with::
     python examples/insurance_policies.py
 """
 
-from repro.broker import AttributeFilter, ContractDatabase, le
+from repro.broker import AttributeFilter, ContractDatabase, QueryOptions, le
 
 # Event vocabulary shared by all insurance contracts.
 #   claim          - the customer files a claim
@@ -64,7 +64,9 @@ db.register("Platinum Umbrella", COMMON + [
 
 
 def ask(question: str, ltl: str, attribute_filter=None):
-    result = db.query(ltl, attribute_filter or AttributeFilter())
+    result = db.query(ltl, QueryOptions(
+        attribute_filter=attribute_filter or AttributeFilter()
+    ))
     print(f"\n{question}")
     print(f"  LTL    : {ltl}")
     print(f"  matches: {list(result.contract_names) or '(none)'}")

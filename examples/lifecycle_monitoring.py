@@ -17,7 +17,7 @@ from repro.workload.airfare import all_ticket_specs
 
 db = ContractDatabase()
 for spec in all_ticket_specs():
-    db.register_spec(spec)
+    db.register(spec)
 
 ticket_a = next(c for c in db.contracts() if c.name == "Ticket A")
 

@@ -9,7 +9,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import ContractDatabase
+from repro import ContractDatabase, QueryOptions
 
 db = ContractDatabase()
 
@@ -53,7 +53,10 @@ print(f"(checked {result.stats.checked} of {result.stats.database_size} "
 
 # Why was Ticket A returned?  Ask for a witness: a concrete sequence of
 # events the contract allows that satisfies the query.
-witness = db.explain(0, QUERY)
+witness = db.query(QUERY, QueryOptions(
+    contract_ids=(0,), explain=True,
+    use_prefilter=False, use_projections=False,
+)).witnesses[0]
 print("\nwitness sequence for Ticket A:")
 for t, snapshot in enumerate(witness.to_run().unroll(6)):
     events = ", ".join(sorted(snapshot)) or "(nothing)"

@@ -14,6 +14,7 @@ import statistics
 from repro.bench.harness import build_database, specs_to_formulas
 from repro.bench.reporting import format_table
 from repro.broker.database import BrokerConfig
+from repro.broker.options import QueryOptions
 from repro.workload.generator import WorkloadGenerator
 
 NUM_CONTRACTS = 60
@@ -48,8 +49,12 @@ for query in queries:
 rows = []
 speedups = []
 for i, query in enumerate(queries):
-    scan = db.query(query, use_prefilter=False, use_projections=False)
-    fast = db.query(query, use_prefilter=True, use_projections=True)
+    scan = db.query(
+        query, QueryOptions(use_prefilter=False, use_projections=False)
+    )
+    fast = db.query(
+        query, QueryOptions(use_prefilter=True, use_projections=True)
+    )
     assert scan.contract_ids == fast.contract_ids
     speedup = max(scan.stats.total_seconds, 1e-9) / max(
         fast.stats.total_seconds, 1e-9

@@ -23,8 +23,12 @@ Thirty-second tour::
     db.register("Ticket A", [
         "G(dateChange -> !F refund)",       # no refund after a change
     ])
-    result = db.query("F(missedFlight && F(refund || dateChange))")
-    print(result.contract_names)
+    outcome = db.query("F(missedFlight && F(refund || dateChange))")
+    print(outcome.contract_names)
+
+Every query accepts a :class:`QueryOptions` with execution budgets
+(``deadline_seconds`` / ``step_budget``) for bounded-latency serving —
+see :mod:`repro.broker.options`.
 """
 
 from .broker import (
@@ -33,13 +37,17 @@ from .broker import (
     Contract,
     ContractDatabase,
     ContractSpec,
+    Degradation,
+    QueryOptions,
+    QueryOutcome,
     QueryResult,
+    Verdict,
 )
-from .core import find_witness, permits
+from .core import Deadline, ExecutionBudget, StepBudget, find_witness, permits
 from .errors import ReproError
 from .ltl import Formula, Run, parse, satisfies
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AttributeFilter",
@@ -47,7 +55,14 @@ __all__ = [
     "Contract",
     "ContractDatabase",
     "ContractSpec",
+    "Deadline",
+    "Degradation",
+    "ExecutionBudget",
+    "QueryOptions",
+    "QueryOutcome",
     "QueryResult",
+    "StepBudget",
+    "Verdict",
     "find_witness",
     "permits",
     "ReproError",

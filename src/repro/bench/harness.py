@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..broker.database import BrokerConfig, ContractDatabase
+from ..broker.options import QueryOptions
 from ..ltl.ast import Formula, conj
 from ..workload.datasets import DatasetConfig
 from ..workload.generator import GeneratedSpec
@@ -128,7 +129,8 @@ def evaluate_query(
     """Time one query in one mode (timings come from the broker's own
     per-phase clock, which includes query translation)."""
     result = db.query(
-        query, use_prefilter=optimized, use_projections=optimized
+        query,
+        QueryOptions(use_prefilter=optimized, use_projections=optimized),
     )
     return QueryEvaluation(
         seconds=result.stats.total_seconds,

@@ -11,9 +11,12 @@ Quick tour::
         ["G(dateChange -> !F refund)", ...],
         attributes={"price": 420, "route": "SAN-NYC"},
     )
-    result = db.query(
+    outcome = db.query(
         "F(missedFlight && F(refund || dateChange))",
-        AttributeFilter.where(le("price", 500)),
+        QueryOptions(
+            attribute_filter=AttributeFilter.where(le("price", 500)),
+            deadline_seconds=0.5,
+        ),
     )
 """
 
@@ -26,7 +29,8 @@ from .persist import load_database, save_database
 from .parallel import query_many, register_many
 from .planner import QueryPlan, QueryPlanner
 from .database import BrokerConfig, ContractDatabase, RegistrationStats
-from .query import QueryResult, QueryStats
+from .options import Degradation, PrebuiltArtifacts, QueryOptions
+from .query import QueryOutcome, QueryResult, QueryStats, Verdict
 from .relational import (
     MATCH_ALL,
     AttributeCondition,
@@ -62,8 +66,13 @@ __all__ = [
     "BrokerConfig",
     "ContractDatabase",
     "RegistrationStats",
+    "Degradation",
+    "PrebuiltArtifacts",
+    "QueryOptions",
+    "QueryOutcome",
     "QueryResult",
     "QueryStats",
+    "Verdict",
     "MATCH_ALL",
     "AttributeCondition",
     "AttributeFilter",

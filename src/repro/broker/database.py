@@ -28,11 +28,13 @@ through :meth:`ContractDatabase.query_many`.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..automata.buchi import BuchiAutomaton
 from ..automata.ltl2ba import DEFAULT_STATE_BUDGET, translate
+from ..core.budget import Deadline, ExecutionBudget, StepBudget
 from ..core.permission import (
     PermissionStats,
     PermissionWitness,
@@ -40,7 +42,7 @@ from ..core.permission import (
     permits,
 )
 from ..core.seeds import compute_seeds
-from ..errors import BrokerError
+from ..errors import BrokerError, BudgetExceededError, QueryBudgetError
 from ..index.prefilter import PrefilterIndex
 from ..ltl.ast import Formula
 from ..ltl.parser import parse
@@ -53,7 +55,13 @@ from .cache import (
     QueryCompilationCache,
 )
 from .contract import Contract, ContractSpec
-from .query import QueryResult, QueryStats
+from .options import (
+    Degradation,
+    PrebuiltArtifacts,
+    QueryOptions,
+    coerce_query_options,
+)
+from .query import QueryOutcome, QueryResult, QueryStats, Verdict
 from .relational import MATCH_ALL, AttributeFilter
 
 
@@ -143,45 +151,54 @@ class ContractDatabase:
 
     def register(
         self,
-        name: str,
-        clauses: Sequence[str | Formula] | str | Formula,
+        spec: ContractSpec | str,
+        clauses: Sequence[str | Formula] | str | Formula | None = None,
         attributes: Mapping[str, Any] | None = None,
-    ) -> Contract:
-        """Register a contract from its declarative clauses.
-
-        ``clauses`` may be a single clause or a sequence; strings are
-        parsed with the LTL grammar of :mod:`repro.ltl.parser`.
-        """
-        if isinstance(clauses, (str, Formula)):
-            clauses = [clauses]
-        parsed = tuple(
-            parse(c) if isinstance(c, str) else c for c in clauses
-        )
-        spec = ContractSpec(
-            name=name, clauses=parsed, attributes=dict(attributes or {})
-        )
-        return self.register_spec(spec)
-
-    def register_spec(
-        self,
-        spec: ContractSpec,
-        prebuilt_ba: BuchiAutomaton | None = None,
         *,
-        prebuilt_seeds: frozenset | None = None,
-        prebuilt_projections: ProjectionStore | None = None,
+        prebuilt: PrebuiltArtifacts | None = None,
         update_index: bool = True,
     ) -> Contract:
-        """Register a prebuilt :class:`ContractSpec`.
+        """Register a contract — the one registration entry point.
 
-        ``prebuilt_ba`` / ``prebuilt_seeds`` / ``prebuilt_projections``
-        let callers (the persistence layer) skip the translation, the
-        seed computation and the projection precomputation when the
-        equivalent artifacts are already at hand; the caller is
-        responsible for their correctness.  ``update_index=False``
+        Two calling forms:
+
+        * ``register(name, clauses, attributes)`` — declarative clauses
+          (single clause or sequence; strings are parsed with the LTL
+          grammar of :mod:`repro.ltl.parser`);
+        * ``register(spec)`` — a prebuilt :class:`ContractSpec`.
+
+        ``prebuilt`` is an optional :class:`PrebuiltArtifacts` bundle
+        (translated BA, seed set, projection store) that skips the
+        corresponding precomputation — the persistence layer and the
+        process-pool registration path use it; the caller vouches for
+        the artifacts matching the spec.  ``update_index=False``
         additionally skips the prefilter insertion — only sensible when
         the caller restores or rebuilds the whole index afterwards (see
         :meth:`adopt_index`).
         """
+        if isinstance(spec, ContractSpec):
+            if clauses is not None or attributes is not None:
+                raise TypeError(
+                    "register(spec) does not take clauses/attributes — "
+                    "they are part of the ContractSpec"
+                )
+        else:
+            name = spec
+            if clauses is None:
+                raise TypeError(
+                    "register(name, clauses) requires the contract's "
+                    "temporal clauses"
+                )
+            if isinstance(clauses, (str, Formula)):
+                clauses = [clauses]
+            parsed = tuple(
+                parse(c) if isinstance(c, str) else c for c in clauses
+            )
+            spec = ContractSpec(
+                name=name, clauses=parsed, attributes=dict(attributes or {})
+            )
+        prebuilt = prebuilt or PrebuiltArtifacts()
+
         if self.vocabulary is not None:
             self.vocabulary.validate_contract(spec.name, spec.clauses)
 
@@ -189,14 +206,14 @@ class ContractDatabase:
         self._next_id += 1
 
         start = time.perf_counter()
-        if prebuilt_ba is None:
+        if prebuilt.ba is None:
             ba = translate(spec.formula, state_budget=self.config.state_budget)
         else:
-            ba = prebuilt_ba
+            ba = prebuilt.ba
         self.registration_stats.translation_seconds += time.perf_counter() - start
 
         start = time.perf_counter()
-        seeds = prebuilt_seeds if prebuilt_seeds is not None else compute_seeds(ba)
+        seeds = prebuilt.seeds if prebuilt.seeds is not None else compute_seeds(ba)
         self.registration_stats.seeds_seconds += time.perf_counter() - start
 
         if update_index:
@@ -206,8 +223,8 @@ class ContractDatabase:
 
         projections = None
         if self.config.use_projections:
-            if prebuilt_projections is not None:
-                projections = prebuilt_projections
+            if prebuilt.projections is not None:
+                projections = prebuilt.projections
             else:
                 start = time.perf_counter()
                 projections = ProjectionStore(
@@ -228,6 +245,42 @@ class ContractDatabase:
         self.registration_stats.contracts += 1
         self._dirty = True
         return contract
+
+    def register_spec(
+        self,
+        spec: ContractSpec,
+        prebuilt_ba: BuchiAutomaton | None = None,
+        *,
+        prebuilt_seeds: frozenset | None = None,
+        prebuilt_projections: ProjectionStore | None = None,
+        update_index: bool = True,
+    ) -> Contract:
+        """Deprecated alias of :meth:`register`.
+
+        Migration::
+
+            register_spec(spec)                       -> register(spec)
+            register_spec(spec, prebuilt_ba=ba,       -> register(spec,
+                          prebuilt_seeds=s,                prebuilt=PrebuiltArtifacts(
+                          prebuilt_projections=p)              ba=ba, seeds=s,
+                                                               projections=p))
+            register_spec(spec, update_index=False)   -> register(spec, update_index=False)
+        """
+        warnings.warn(
+            "ContractDatabase.register_spec() is deprecated; use "
+            "register(spec, prebuilt=PrebuiltArtifacts(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register(
+            spec,
+            prebuilt=PrebuiltArtifacts(
+                ba=prebuilt_ba,
+                seeds=prebuilt_seeds,
+                projections=prebuilt_projections,
+            ),
+            update_index=update_index,
+        )
 
     def deregister(self, contract_id: int) -> None:
         """Remove a contract from the database and the index."""
@@ -258,82 +311,76 @@ class ContractDatabase:
     def query(
         self,
         query: str | Formula,
-        attribute_filter: AttributeFilter = MATCH_ALL,
-        *,
-        use_prefilter: bool | None = None,
-        use_projections: bool | None = None,
-        explain: bool = False,
-    ) -> QueryResult:
+        options: QueryOptions | AttributeFilter | None = None,
+        **legacy,
+    ) -> QueryOutcome:
         """All contracts that match the attribute filter and *permit* the
         temporal query (Definition 1).
 
-        The per-query overrides let callers compare optimized and
-        unoptimized evaluation on the same database (the harness behind
-        Figures 5 and 6 does exactly this).  With ``explain`` the result
-        also carries a witness run per returned contract (extracted from
-        the full contract BA, so it is meaningful to show to a user).
+        The second argument is a :class:`QueryOptions` carrying every
+        evaluation knob — relational filter, optimization toggles,
+        witness extraction, execution budgets, degradation policy.  With
+        budgets configured the answer may be *degraded*: candidates whose
+        check ran out of budget appear on ``outcome.maybe_ids`` instead
+        of hanging the broker (Theorem 6 makes the check PSPACE-complete,
+        so an adversarial query cannot be allowed to run unboundedly).
+
+        Deprecated pre-1.3 surface (still accepted, warns)::
+
+            query(q, attr_filter)              -> query(q, QueryOptions(attribute_filter=attr_filter))
+            query(q, use_prefilter=b)          -> query(q, QueryOptions(use_prefilter=b))
+            query(q, use_projections=b)        -> query(q, QueryOptions(use_projections=b))
+            query(q, explain=True)             -> query(q, QueryOptions(explain=True))
         """
-        return self._evaluate(
-            query,
-            attribute_filter,
-            use_prefilter=use_prefilter,
-            use_projections=use_projections,
-            explain=explain,
-            executor=None,
-        )
+        resolved = coerce_query_options("query", options, legacy)
+        return self._run_query(query, resolved)
 
     def query_many(
         self,
         queries: Sequence[str | Formula],
-        attribute_filter: AttributeFilter = MATCH_ALL,
-        *,
-        workers: int = 1,
-        use_prefilter: bool | None = None,
-        use_projections: bool | None = None,
-        explain: bool = False,
-    ) -> list[QueryResult]:
+        options: QueryOptions | AttributeFilter | None = None,
+        **legacy,
+    ) -> list[QueryOutcome]:
         """Evaluate a whole query workload, optionally in parallel.
 
-        With ``workers > 1`` the per-contract permission checks run on a
-        thread pool (the §7.4 "completely parallel workload" observation
-        applied to the query side); results are returned in input order
-        and are identical to evaluating each query serially.  Falls back
-        to serial evaluation when no pool can be created, exactly like
-        :func:`repro.broker.parallel.register_many`.
+        With ``options.workers > 1`` the per-contract permission checks
+        run on a thread pool (the §7.4 "completely parallel workload"
+        observation applied to the query side); results are returned in
+        input order and are identical to evaluating each query serially.
+        Falls back to serial evaluation when no pool can be created,
+        exactly like :func:`repro.broker.parallel.register_many`.
+
+        Deprecated pre-1.3 surface (still accepted, warns)::
+
+            query_many(qs, attr_filter)        -> query_many(qs, QueryOptions(attribute_filter=attr_filter))
+            query_many(qs, workers=4, ...)     -> query_many(qs, QueryOptions(workers=4, ...))
         """
         from .parallel import query_many
 
-        return query_many(
-            self,
-            queries,
-            attribute_filter,
-            workers=workers,
-            use_prefilter=use_prefilter,
-            use_projections=use_projections,
-            explain=explain,
-        )
+        resolved = coerce_query_options("query_many", options, legacy)
+        return query_many(self, queries, resolved)
 
-    def _evaluate(
+    def _run_query(
         self,
         query: str | Formula,
-        attribute_filter: AttributeFilter = MATCH_ALL,
-        *,
-        use_prefilter: bool | None = None,
-        use_projections: bool | None = None,
-        explain: bool = False,
+        options: QueryOptions,
         executor=None,
-    ) -> QueryResult:
+    ) -> QueryOutcome:
         """Compile (through the cache) and evaluate one query."""
         start = time.perf_counter()
         formula = parse(query) if isinstance(query, str) else query
         compiled, cache_hit = self._query_cache.compile(formula)
         translation_seconds = time.perf_counter() - start
+        if options.use_planner:
+            from .planner import QueryPlanner
+
+            planner = options.planner or QueryPlanner()
+            options = planner.apply(
+                options, compiled.query_ba, condition=compiled.condition
+            )
         return self._query_compiled(
             compiled,
-            attribute_filter,
-            use_prefilter=use_prefilter,
-            use_projections=use_projections,
-            explain=explain,
+            options,
             formula=formula,
             translation_seconds=translation_seconds,
             cache_hit=cache_hit,
@@ -343,16 +390,13 @@ class ContractDatabase:
     def _query_compiled(
         self,
         compiled: CompiledQuery,
-        attribute_filter: AttributeFilter = MATCH_ALL,
+        options: QueryOptions,
         *,
-        use_prefilter: bool | None = None,
-        use_projections: bool | None = None,
-        explain: bool = False,
         formula: Formula | None = None,
         translation_seconds: float = 0.0,
         cache_hit: bool = False,
         executor=None,
-    ) -> QueryResult:
+    ) -> QueryOutcome:
         """Evaluate an already-compiled query (the internal entry every
         public query path funnels through).
 
@@ -360,15 +404,19 @@ class ContractDatabase:
         :class:`~concurrent.futures.ThreadPoolExecutor`); the
         per-candidate permission checks are then fanned out over it.
         ``map`` preserves order, so results are bit-identical to the
-        serial loop.
+        serial loop; under a deadline, queued checks whose budget is
+        already gone return ``SKIPPED`` immediately (cooperative
+        cancellation), so an exhausted query drains the pool quickly.
         """
         prefilter_on = (
-            self.config.use_prefilter if use_prefilter is None else use_prefilter
+            self.config.use_prefilter
+            if options.use_prefilter is None
+            else options.use_prefilter
         )
         projections_on = (
             self.config.use_projections
-            if use_projections is None
-            else use_projections
+            if options.use_projections is None
+            else options.use_projections
         )
 
         stats = QueryStats(
@@ -376,13 +424,30 @@ class ContractDatabase:
             used_prefilter=prefilter_on,
             used_projections=projections_on,
             cache_hit=cache_hit,
+            deadline_seconds=options.deadline_seconds,
+            step_budget=options.step_budget,
         )
         stats.translation_seconds = translation_seconds
         overall_start = time.perf_counter()
 
+        # The query's shared wall-clock budget starts here: it covers the
+        # prefilter, selection, permission and witness phases (translation
+        # is bounded separately by the translator's state budget).
+        query_deadline = (
+            Deadline.after(options.deadline_seconds)
+            if options.deadline_seconds is not None
+            else None
+        )
+
+        restrict = (
+            frozenset(options.contract_ids)
+            if options.contract_ids is not None
+            else None
+        )
         relational = [
             c for c in self._contracts.values()
-            if attribute_filter.matches(c.attributes)
+            if (restrict is None or c.contract_id in restrict)
+            and options.attribute_filter.matches(c.attributes)
         ]
         stats.relational_matches = len(relational)
         relational_ids = {c.contract_id for c in relational}
@@ -399,8 +464,30 @@ class ContractDatabase:
 
         candidates = [self._contracts[cid] for cid in sorted(candidate_ids)]
 
-        def check(contract: Contract) -> tuple[bool, float, float]:
-            return self._check_candidate(contract, compiled, projections_on)
+        def make_budget() -> ExecutionBudget | None:
+            if not options.budgeted:
+                return None
+            deadline = query_deadline
+            if options.contract_deadline_seconds is not None:
+                deadline = Deadline.earliest(
+                    deadline,
+                    Deadline.after(options.contract_deadline_seconds),
+                )
+            steps = (
+                StepBudget(options.step_budget)
+                if options.step_budget is not None
+                else None
+            )
+            return ExecutionBudget(
+                deadline=deadline,
+                steps=steps,
+                check_interval=options.budget_check_interval,
+            )
+
+        def check(contract: Contract) -> tuple[Verdict, float, float]:
+            return self._check_candidate(
+                contract, compiled, projections_on, make_budget()
+            )
 
         if executor is None:
             checks = [check(contract) for contract in candidates]
@@ -408,35 +495,66 @@ class ContractDatabase:
             checks = list(executor.map(check, candidates))
 
         matched: list[Contract] = []
-        for contract, (outcome, selection, permission) in zip(
+        maybe: list[Contract] = []
+        verdicts: dict[int, Verdict] = {}
+        for contract, (verdict, selection, permission) in zip(
             candidates, checks
         ):
             stats.selection_seconds += selection
             stats.permission_seconds += permission
-            stats.checked += 1
-            if outcome:
-                matched.append(contract)
+            verdicts[contract.contract_id] = verdict
+            if verdict.conclusive:
+                stats.checked += 1
+                if verdict is Verdict.PERMITTED:
+                    matched.append(contract)
+            else:
+                if verdict is Verdict.TIMED_OUT:
+                    stats.timed_out += 1
+                else:
+                    stats.skipped += 1
+                maybe.append(contract)
+
+        stats.degraded = bool(maybe)
+        if stats.degraded and options.degradation is Degradation.FAIL:
+            stats.permitted = len(matched)
+            stats.total_seconds = (
+                translation_seconds + time.perf_counter() - overall_start
+            )
+            self._record_query(stats)
+            raise QueryBudgetError(
+                f"query budget exhausted: {stats.timed_out} check(s) timed "
+                f"out and {stats.skipped} were skipped out of "
+                f"{stats.candidates} candidates"
+            )
 
         witnesses: dict[int, PermissionWitness] = {}
-        if explain:
+        if options.explain:
             for contract in matched:
+                if query_deadline is not None and query_deadline.expired():
+                    break
                 witness = find_witness(
                     contract.ba, compiled.query_ba, contract.vocabulary
                 )
                 if witness is not None:
                     witnesses[contract.contract_id] = witness
 
+        report_maybe = (
+            maybe if options.degradation is Degradation.MAYBE else []
+        )
         stats.permitted = len(matched)
         stats.total_seconds = (
             translation_seconds + time.perf_counter() - overall_start
         )
         self._record_query(stats)
-        return QueryResult(
+        return QueryOutcome(
             formula=compiled.formula if formula is None else formula,
             contract_ids=tuple(c.contract_id for c in matched),
             contract_names=tuple(c.name for c in matched),
             stats=stats,
             witnesses=witnesses,
+            verdicts=verdicts,
+            maybe_ids=tuple(c.contract_id for c in report_maybe),
+            maybe_names=tuple(c.name for c in report_maybe),
         )
 
     def _check_candidate(
@@ -444,10 +562,19 @@ class ContractDatabase:
         contract: Contract,
         compiled: CompiledQuery,
         projections_on: bool,
-    ) -> tuple[bool, float, float]:
+        budget: ExecutionBudget | None = None,
+    ) -> tuple[Verdict, float, float]:
         """One candidate's (selection, permission) check; returns the
-        outcome plus the two phase durations so callers can run this from
-        worker threads and still account stats in one place."""
+        verdict plus the two phase durations so callers can run this from
+        worker threads and still account stats in one place.
+
+        With an exhausted budget the check is *cancelled* — it returns
+        ``SKIPPED`` without selecting a projection or starting the
+        search; a budget that trips mid-search yields ``TIMED_OUT``.
+        """
+        if budget is not None and budget.exhausted():
+            return Verdict.SKIPPED, 0.0, 0.0
+
         start = time.perf_counter()
         if projections_on and contract.projections is not None:
             checked_ba, seeds = contract.projections.select_with_seeds(
@@ -461,16 +588,22 @@ class ContractDatabase:
         start = time.perf_counter()
         if seeds is None and checked_ba is contract.ba:
             seeds = contract.seeds
-        outcome = permits(
-            checked_ba,
-            compiled.query_ba,
-            contract.vocabulary,
-            algorithm=self.config.permission_algorithm,
-            seeds=seeds,
-            use_seeds=self.config.use_seeds,
-        )
+        try:
+            outcome = permits(
+                checked_ba,
+                compiled.query_ba,
+                contract.vocabulary,
+                algorithm=self.config.permission_algorithm,
+                seeds=seeds,
+                use_seeds=self.config.use_seeds,
+                budget=budget,
+            )
+        except BudgetExceededError:
+            permission_seconds = time.perf_counter() - start
+            return Verdict.TIMED_OUT, selection_seconds, permission_seconds
         permission_seconds = time.perf_counter() - start
-        return outcome, selection_seconds, permission_seconds
+        verdict = Verdict.PERMITTED if outcome else Verdict.NOT_PERMITTED
+        return verdict, selection_seconds, permission_seconds
 
     def query_planned(
         self,
@@ -478,52 +611,87 @@ class ContractDatabase:
         attribute_filter: AttributeFilter = MATCH_ALL,
         planner=None,
         **kwargs,
-    ) -> QueryResult:
-        """Like :meth:`query`, but let a :class:`QueryPlanner` choose the
-        optimizations per query (§1's observation that the techniques
-        serve different query profiles)."""
-        from .planner import QueryPlanner
+    ) -> QueryOutcome:
+        """Deprecated alias: planner-driven evaluation.
 
-        planner = planner or QueryPlanner()
-        start = time.perf_counter()
-        formula = parse(query) if isinstance(query, str) else query
-        compiled, cache_hit = self._query_cache.compile(formula)
-        translation_seconds = time.perf_counter() - start
-        plan = planner.plan(compiled.query_ba, condition=compiled.condition)
-        return self._query_compiled(
-            compiled,
-            attribute_filter,
-            use_prefilter=plan.use_prefilter,
-            use_projections=plan.use_projections,
-            formula=formula,
-            translation_seconds=translation_seconds,
-            cache_hit=cache_hit,
-            **kwargs,
+        Migration::
+
+            query_planned(q)                  -> query(q, QueryOptions(use_planner=True))
+            query_planned(q, f, planner=p)    -> query(q, QueryOptions(attribute_filter=f,
+                                                                       use_planner=True, planner=p))
+        """
+        warnings.warn(
+            "ContractDatabase.query_planned() is deprecated; use "
+            "query(q, QueryOptions(use_planner=True, planner=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        resolved = coerce_query_options(
+            "query_planned", attribute_filter, kwargs
+        )
+        return self._run_query(
+            query, resolved.evolve(use_planner=True, planner=planner)
         )
 
     def permits_contract(self, contract_id: int, query: str | Formula) -> bool:
-        """Direct single-contract permission check (full BA, no index)."""
-        contract = self.get(contract_id)
-        compiled, _ = self._compile(query)
-        return permits(
-            contract.ba,
-            compiled.query_ba,
-            contract.vocabulary,
-            algorithm=self.config.permission_algorithm,
-            seeds=contract.seeds,
-            use_seeds=self.config.use_seeds,
+        """Deprecated alias: single-contract permission check (full BA,
+        no index).
+
+        Migration::
+
+            permits_contract(cid, q) -> cid in query(q, QueryOptions(
+                                            contract_ids=(cid,),
+                                            use_prefilter=False,
+                                            use_projections=False)).contract_ids
+        """
+        warnings.warn(
+            "ContractDatabase.permits_contract() is deprecated; use "
+            "query(q, QueryOptions(contract_ids=(cid,), use_prefilter=False, "
+            "use_projections=False)) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        self.get(contract_id)  # keep the unknown-contract BrokerError
+        outcome = self._run_query(
+            query,
+            QueryOptions(
+                contract_ids=(contract_id,),
+                use_prefilter=False,
+                use_projections=False,
+            ),
+        )
+        return contract_id in outcome.contract_ids
 
     def explain(
         self, contract_id: int, query: str | Formula
     ) -> PermissionWitness | None:
-        """A simultaneous-lasso witness showing *why* the contract permits
-        the query (``None`` when it does not)."""
-        contract = self.get(contract_id)
-        compiled, _ = self._compile(query)
-        return find_witness(
-            contract.ba, compiled.query_ba, contract.vocabulary
+        """Deprecated alias: a simultaneous-lasso witness showing *why*
+        the contract permits the query (``None`` when it does not).
+
+        Migration::
+
+            explain(cid, q) -> query(q, QueryOptions(contract_ids=(cid,),
+                                   use_prefilter=False, use_projections=False,
+                                   explain=True)).witnesses.get(cid)
+        """
+        warnings.warn(
+            "ContractDatabase.explain() is deprecated; use "
+            "query(q, QueryOptions(contract_ids=(cid,), explain=True, "
+            "use_prefilter=False, use_projections=False)) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        self.get(contract_id)  # keep the unknown-contract BrokerError
+        outcome = self._run_query(
+            query,
+            QueryOptions(
+                contract_ids=(contract_id,),
+                use_prefilter=False,
+                use_projections=False,
+                explain=True,
+            ),
+        )
+        return outcome.witnesses.get(contract_id)
 
     def precompute_for_workload(
         self, queries: Sequence[str | Formula]
@@ -600,6 +768,10 @@ class ContractDatabase:
         if stats.used_prefilter:
             metrics.observe("query.pruning_ratio", stats.pruning_ratio,
                             buckets=RATIO_BUCKETS)
+        if stats.degraded:
+            metrics.inc("query.degraded")
+            metrics.inc("query.contracts_timed_out", stats.timed_out)
+            metrics.inc("query.contracts_skipped", stats.skipped)
 
     def metrics_snapshot(self) -> dict:
         """The metrics registry snapshot plus the compilation-cache view."""

@@ -1,0 +1,214 @@
+"""The unified query-execution options: one object for every knob.
+
+Before 1.3.0 the broker's query surface had grown six divergent
+keyword-argument lists (``query``, ``query_many``, ``query_planned``,
+``permits_contract``, ``explain``, and the module-level
+:func:`repro.broker.parallel.query_many`), none of which could express a
+time bound.  :class:`QueryOptions` replaces them all: every public query
+entry point now accepts one options object and funnels into the single
+internal ``_query_compiled`` path, and the budget fields
+(``deadline_seconds`` / ``step_budget``) give every query a well-defined
+degraded answer instead of an unbounded Algorithm-2 run (the permission
+problem is PSPACE-complete — Theorem 6).
+
+Degradation semantics (:class:`Degradation`): a candidate whose check
+exhausted its budget *survived the relational filter and the prefilter*,
+so it is a legitimate "maybe" answer.  ``Degradation.MAYBE`` (default)
+reports such candidates on ``QueryOutcome.maybe_ids`` with a
+``TIMED_OUT`` / ``SKIPPED`` verdict; ``DROP`` records only the verdict;
+``FAIL`` raises :class:`~repro.errors.QueryBudgetError`.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..core.budget import DEFAULT_CHECK_INTERVAL
+from .relational import MATCH_ALL, AttributeFilter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..automata.buchi import BuchiAutomaton
+    from ..projection.store import ProjectionStore
+    from .planner import QueryPlanner
+
+
+class Degradation(enum.Enum):
+    """What to do with candidates whose permission check ran out of
+    budget (they passed the relational and prefilter stages, so the
+    exact answer is unknown but plausible)."""
+
+    #: report them as "maybe" candidates on the outcome (default)
+    MAYBE = "maybe"
+    #: exclude them from the answer; only the verdict map records them
+    DROP = "drop"
+    #: raise :class:`~repro.errors.QueryBudgetError` instead of degrading
+    FAIL = "fail"
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Everything one query evaluation can be configured with.
+
+    Attributes:
+        attribute_filter: relational pre-selection (§3's attribute
+            filter); defaults to matching every contract.
+        contract_ids: restrict evaluation to these contract ids (used by
+            the single-contract surfaces; ``None`` = whole database).
+        use_prefilter: engage the §4 index (``None`` = database config).
+        use_projections: engage the §5 projections (``None`` = config).
+        explain: extract a simultaneous-lasso witness per returned
+            contract.
+        use_planner: let a :class:`~repro.broker.planner.QueryPlanner`
+            choose ``use_prefilter``/``use_projections`` per query.
+        planner: the planner instance ``use_planner`` consults
+            (``None`` = a default-constructed one).
+        deadline_seconds: wall-clock budget for the whole evaluation
+            (prefilter + selection + permission + witnesses), measured
+            from the moment the compiled query starts evaluating.
+            Translation is bounded separately by the translator's state
+            budget.  ``None`` = unbounded.
+        contract_deadline_seconds: additional per-candidate wall-clock
+            cap; each check gets the tighter of this and the query
+            deadline.  ``None`` = query deadline only.
+        step_budget: per-candidate cap on permission-search steps (pairs
+            visited + nested-cycle nodes); deterministic, unlike the
+            wall-clock deadlines.  ``None`` = unbounded.
+        budget_check_interval: search steps between wall-clock reads.
+        degradation: policy for budget-exhausted candidates.
+        workers: thread-pool width for per-candidate permission checks
+            in batched evaluation (``query_many``); ``1`` = serial.
+    """
+
+    attribute_filter: AttributeFilter = MATCH_ALL
+    contract_ids: tuple[int, ...] | None = None
+    use_prefilter: bool | None = None
+    use_projections: bool | None = None
+    explain: bool = False
+    use_planner: bool = False
+    planner: "QueryPlanner | None" = None
+    deadline_seconds: float | None = None
+    contract_deadline_seconds: float | None = None
+    step_budget: int | None = None
+    budget_check_interval: int = DEFAULT_CHECK_INTERVAL
+    degradation: Degradation = Degradation.MAYBE
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("deadline_seconds", "contract_deadline_seconds"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.step_budget is not None and self.step_budget < 1:
+            raise ValueError(
+                f"step_budget must be >= 1, got {self.step_budget}"
+            )
+        if self.budget_check_interval < 1:
+            raise ValueError(
+                f"budget_check_interval must be >= 1, "
+                f"got {self.budget_check_interval}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    @property
+    def budgeted(self) -> bool:
+        """Whether any execution budget is configured."""
+        return (
+            self.deadline_seconds is not None
+            or self.contract_deadline_seconds is not None
+            or self.step_budget is not None
+        )
+
+    def evolve(self, **changes: Any) -> "QueryOptions":
+        """A copy with the given fields replaced (``dataclasses.replace``
+        spelled as a method for call-site brevity)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class PrebuiltArtifacts:
+    """Derived per-contract artifacts a caller already holds.
+
+    Registration normally translates the spec and precomputes seeds and
+    projections; the persistence layer (and any caller that did the work
+    elsewhere — a process pool, a previous session) passes this bundle to
+    :meth:`~repro.broker.database.ContractDatabase.register` to skip the
+    recomputation.  The caller is responsible for the artifacts actually
+    matching the spec.
+    """
+
+    ba: "BuchiAutomaton | None" = None
+    seeds: frozenset | None = None
+    projections: "ProjectionStore | None" = None
+
+
+#: Legacy keyword names each deprecated surface accepted, mapped to the
+#: QueryOptions field they populate (documented in the migration tables).
+_LEGACY_QUERY_KWARGS = {
+    "attribute_filter": "attribute_filter",
+    "use_prefilter": "use_prefilter",
+    "use_projections": "use_projections",
+    "explain": "explain",
+    "workers": "workers",
+}
+
+
+def coerce_query_options(
+    surface: str,
+    options: "QueryOptions | AttributeFilter | None",
+    legacy: Mapping[str, Any],
+    *,
+    stacklevel: int = 3,
+) -> QueryOptions:
+    """Resolve a query entry point's arguments into one QueryOptions.
+
+    The new calling convention passes a :class:`QueryOptions` (or
+    nothing); the pre-1.3 convention passed an :class:`AttributeFilter`
+    positionally plus per-call keyword toggles.  The legacy convention
+    still works but emits a :class:`DeprecationWarning` naming the
+    replacement, so downstream code migrates one call site at a time.
+    """
+    if legacy:
+        unknown = set(legacy) - set(_LEGACY_QUERY_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"{surface}() got unexpected keyword arguments "
+                f"{sorted(unknown)}; new-style calls configure "
+                f"evaluation through QueryOptions"
+            )
+    if isinstance(options, AttributeFilter):
+        if "attribute_filter" in legacy:
+            raise TypeError(
+                f"{surface}() got attribute_filter both positionally "
+                "and by keyword"
+            )
+        legacy = {**legacy, "attribute_filter": options}
+        options = None
+    if legacy:
+        if options is not None:
+            raise TypeError(
+                f"{surface}() mixes QueryOptions with legacy keyword "
+                f"arguments {sorted(legacy)}; fold them into the options"
+            )
+        warnings.warn(
+            f"passing {sorted(legacy)} to {surface}() is deprecated; "
+            f"pass QueryOptions({', '.join(sorted(_LEGACY_QUERY_KWARGS[k] for k in legacy))}=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        fields = {
+            _LEGACY_QUERY_KWARGS[k]: v for k, v in legacy.items()
+            if v is not None
+        }
+        return QueryOptions(**fields)
+    if options is None:
+        return QueryOptions()
+    if not isinstance(options, QueryOptions):
+        raise TypeError(
+            f"{surface}() expected QueryOptions or AttributeFilter, "
+            f"got {type(options).__name__}"
+        )
+    return options

@@ -38,8 +38,9 @@ from ..ltl.parser import parse
 from ..ltl.printer import format_formula
 from .contract import ContractSpec
 from .database import ContractDatabase
-from .query import QueryResult
-from .relational import MATCH_ALL, AttributeFilter
+from .options import PrebuiltArtifacts, QueryOptions, coerce_query_options
+from .query import QueryOutcome
+from .relational import AttributeFilter
 
 
 def _translate_clauses(payload: tuple[list[str], int]) -> dict:
@@ -76,7 +77,7 @@ def register_many(
     consistent either way.
     """
     if workers <= 1 or len(specs) <= 1:
-        return [db.register_spec(spec) for spec in specs]
+        return [db.register(spec) for spec in specs]
 
     payloads = [
         (
@@ -93,13 +94,15 @@ def register_many(
         db.registration_stats.translation_seconds += (
             time.perf_counter() - start
         )
-        return [db.register_spec(spec) for spec in specs]
+        return [db.register(spec) for spec in specs]
     translation_seconds = time.perf_counter() - start
 
     contracts = []
     for spec, document in zip(specs, documents):
         ba: BuchiAutomaton = automaton_from_dict(document)
-        contracts.append(db.register_spec(spec, prebuilt_ba=ba))
+        contracts.append(
+            db.register(spec, prebuilt=PrebuiltArtifacts(ba=ba))
+        )
     # The parent did not time the (parallel) translation; account for the
     # wall-clock cost so registration stats stay meaningful.
     db.registration_stats.translation_seconds += translation_seconds
@@ -109,51 +112,45 @@ def register_many(
 def query_many(
     db: ContractDatabase,
     queries: Sequence[str | Formula],
-    attribute_filter: AttributeFilter = MATCH_ALL,
-    workers: int = 1,
-    *,
-    use_prefilter: bool | None = None,
-    use_projections: bool | None = None,
-    explain: bool = False,
-) -> list[QueryResult]:
+    options: QueryOptions | AttributeFilter | None = None,
+    **legacy,
+) -> list[QueryOutcome]:
     """Evaluate a query workload, fanning permission checks over threads.
 
     Queries are compiled through the database's LRU cache (so a workload
     with repeats pays each distinct translation once) and evaluated in
-    input order; with ``workers > 1`` each query's per-candidate
+    input order; with ``options.workers > 1`` each query's per-candidate
     permission checks run concurrently on one shared thread pool.  The
-    returned :class:`QueryResult` objects are identical to serial
+    returned :class:`QueryOutcome` objects are identical to serial
     :meth:`~repro.broker.database.ContractDatabase.query` calls — the
     pool's ``map`` preserves candidate order and every check is a pure
-    function of (contract, query).
-    """
+    function of (contract, query, budget).
 
-    def serial() -> list[QueryResult]:
+    Budgets apply *per query*: each query in the workload gets a fresh
+    deadline, so one pathological query degrades without starving the
+    rest of the batch.  Under a deadline, a query's queued checks whose
+    budget is already gone return ``SKIPPED`` immediately (cooperative
+    cancellation), so pool slots free up quickly for the next query.
+
+    Deprecated pre-1.3 surface (still accepted, warns)::
+
+        query_many(db, qs, workers=4, ...) -> query_many(db, qs,
+                                                  QueryOptions(workers=4, ...))
+    """
+    options = coerce_query_options("query_many", options, legacy)
+
+    def serial() -> list[QueryOutcome]:
         return [
-            db._evaluate(
-                query,
-                attribute_filter,
-                use_prefilter=use_prefilter,
-                use_projections=use_projections,
-                explain=explain,
-                executor=None,
-            )
+            db._run_query(query, options, executor=None)
             for query in queries
         ]
 
-    if workers <= 1 or not queries:
+    if options.workers <= 1 or not queries:
         return serial()
     try:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        with ThreadPoolExecutor(max_workers=options.workers) as pool:
             return [
-                db._evaluate(
-                    query,
-                    attribute_filter,
-                    use_prefilter=use_prefilter,
-                    use_projections=use_projections,
-                    explain=explain,
-                    executor=pool,
-                )
+                db._run_query(query, options, executor=pool)
                 for query in queries
             ]
     except (OSError, RuntimeError):  # pragma: no cover - restricted envs

@@ -57,6 +57,7 @@ from ..ltl.printer import format_formula
 from ..projection.store import ProjectionStore
 from .contract import ContractSpec
 from .database import BrokerConfig, ContractDatabase
+from .options import PrebuiltArtifacts
 
 _CONTRACTS_FILE = "contracts.json"
 _AUTOMATA_FILE = "automata.json"
@@ -383,11 +384,11 @@ def load_database(
         else:
             report.retranslated.append(spec.name)
 
-        contract = db.register_spec(
+        contract = db.register(
             spec,
-            prebuilt_ba=ba,
-            prebuilt_seeds=seeds,
-            prebuilt_projections=projections,
+            prebuilt=PrebuiltArtifacts(
+                ba=ba, seeds=seeds, projections=projections
+            ),
             update_index=not restore_index,
         )
         if restore_index and ba is None:

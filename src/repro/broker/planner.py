@@ -18,19 +18,24 @@ always paying both machineries' overheads.
   projections only pays off for queries so literal-heavy that even
   per-contract selection overhead cannot be recouped.
 
-The planner is advisory: :meth:`ContractDatabase.query_planned` applies
-a plan, and the correctness of any plan is guaranteed by the soundness
-of the underlying techniques (plans change time, never answers — a
-property the tests assert).
+The planner is advisory: queries run with
+``QueryOptions(use_planner=True)`` apply a plan through :meth:`apply`,
+and the correctness of any plan is guaranteed by the soundness of the
+underlying techniques (plans change time, never answers — a property
+the tests assert).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..automata.buchi import BuchiAutomaton
 from ..index.condition import CondTrue
 from ..index.pruning import pruning_condition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .options import QueryOptions
 
 
 @dataclass(frozen=True)
@@ -95,4 +100,26 @@ class QueryPlanner:
             use_prefilter=prunable,
             use_projections=project,
             reason=reason,
+        )
+
+    def apply(
+        self,
+        options: "QueryOptions",
+        query_ba: BuchiAutomaton,
+        condition=None,
+    ) -> "QueryOptions":
+        """Resolve ``use_planner`` into concrete optimization toggles.
+
+        Returns a copy of ``options`` with ``use_prefilter`` and
+        ``use_projections`` set from :meth:`plan` (overriding any
+        explicit values — the planner was asked to decide) and
+        ``use_planner`` cleared, so the result is ready for the
+        evaluation path.
+        """
+        plan = self.plan(query_ba, condition=condition)
+        return options.evolve(
+            use_prefilter=plan.use_prefilter,
+            use_projections=plan.use_projections,
+            use_planner=False,
+            planner=None,
         )

@@ -9,10 +9,30 @@ checks).
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..ltl.ast import Formula
+
+
+class Verdict(enum.Enum):
+    """The per-contract outcome of a budgeted permission check."""
+
+    #: the check completed: the contract permits the query
+    PERMITTED = "permitted"
+    #: the check completed: the contract does not permit the query
+    NOT_PERMITTED = "not_permitted"
+    #: the check started but its execution budget ran out mid-search
+    TIMED_OUT = "timed_out"
+    #: the query budget was already gone before the check started
+    #: (cancellation of queued candidates)
+    SKIPPED = "skipped"
+
+    @property
+    def conclusive(self) -> bool:
+        """Whether the permission algorithm actually decided this one."""
+        return self in (Verdict.PERMITTED, Verdict.NOT_PERMITTED)
 
 
 @dataclass
@@ -22,6 +42,10 @@ class QueryStats:
     All durations are seconds.  ``scan_time`` in the paper's terminology
     is the total of an unoptimized evaluation; here ``total_time`` plays
     that role when both optimizations are disabled.
+
+    Under an execution budget ``candidates`` always equals
+    ``checked + timed_out + skipped``; without one, every candidate is
+    checked and the two budget counters stay zero.
     """
 
     translation_seconds: float = 0.0  # cache-lookup time on a cache hit
@@ -34,6 +58,11 @@ class QueryStats:
     candidates: int = 0
     checked: int = 0
     permitted: int = 0
+    timed_out: int = 0
+    skipped: int = 0
+    degraded: bool = False
+    deadline_seconds: float | None = None
+    step_budget: int | None = None
     used_prefilter: bool = False
     used_projections: bool = False
     cache_hit: bool = False
@@ -85,4 +114,49 @@ class QueryResult:
             f"QueryResult({len(self.contract_ids)} contracts: {names}; "
             f"{self.stats.checked} checked of {self.stats.candidates} "
             f"candidates in {self.stats.total_seconds * 1000:.1f} ms)"
+        )
+
+
+@dataclass
+class QueryOutcome(QueryResult):
+    """The unified answer shape of the 1.3 query API.
+
+    Extends :class:`QueryResult` (so every pre-1.3 consumer keeps
+    working) with the budgeted-execution view:
+
+    * ``verdicts`` maps **every candidate** contract id to its
+      :class:`Verdict` — including the candidates that did not make it
+      into ``contract_ids``;
+    * ``maybe_ids`` / ``maybe_names`` are the budget-exhausted
+      candidates under the ``MAYBE`` degradation policy: they survived
+      the relational filter and the prefilter, so the exact answer is
+      unknown but plausible;
+    * ``degraded`` is True exactly when some candidate's check was cut
+      short — a degraded answer satisfies
+      ``exact_permitted ⊆ contract_ids ∪ maybe_ids`` and
+      ``contract_ids ⊆ exact_permitted`` (checks that completed are
+      exact).
+    """
+
+    verdicts: dict = field(default_factory=dict)
+    maybe_ids: tuple[int, ...] = ()
+    maybe_names: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return self.stats.degraded
+
+    def verdict_for(self, contract_id: int) -> Verdict:
+        """The verdict of one candidate (KeyError for non-candidates)."""
+        return self.verdicts[contract_id]
+
+    def __str__(self) -> str:
+        base = super().__str__().replace("QueryResult", "QueryOutcome", 1)
+        if not self.degraded:
+            return base
+        return (
+            base[:-1]
+            + f"; DEGRADED: {self.stats.timed_out} timed out, "
+            + f"{self.stats.skipped} skipped, "
+            + f"{len(self.maybe_ids)} maybe)"
         )

@@ -40,10 +40,11 @@ from pathlib import Path
 from .automata.ltl2ba import translate
 from .automata.serialize import automaton_to_dict
 from .broker.database import BrokerConfig, ContractDatabase
+from .broker.options import QueryOptions
 from .errors import ReproError
 from .ltl.parser import parse
 from .ltl.printer import format_formula
-from .workload.generator import WorkloadGenerator
+from .workload.generator import WorkloadGenerator, pathological_specs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="clauses per specification")
     gen.add_argument("--vocabulary", type=int, default=12)
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--profile", choices=["patterns", "pathological"],
+                     default="patterns",
+                     help="'patterns' is the §7.2 survey-driven workload; "
+                          "'pathological' is the adversarial "
+                          "eventuality-conjunction workload for "
+                          "budget/timeout testing")
     gen.add_argument("--out", type=Path, required=True)
     gen.set_defaults(handler=_cmd_generate)
 
@@ -131,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-projections", action="store_true")
     query.add_argument("--index-depth", type=int, default=2)
     query.add_argument("--projection-cap", type=int, default=2)
+    _add_budget_flags(query)
     query.set_defaults(handler=_cmd_query)
 
     met = sub.add_parser(
@@ -154,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="compilation-cache capacity (0 disables)")
     met.add_argument("--json", action="store_true",
                      help="emit the metrics snapshot as JSON")
+    _add_budget_flags(met)
     met.set_defaults(handler=_cmd_metrics)
 
     comp = sub.add_parser(
@@ -174,11 +183,33 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_generate(args: argparse.Namespace) -> int:
-    generator = WorkloadGenerator(
-        vocabulary_size=args.vocabulary, seed=args.seed
+def _add_budget_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--deadline-ms", type=float, default=None,
+                     help="wall-clock budget per query in milliseconds; "
+                          "checks cut short degrade to 'maybe' answers")
+    sub.add_argument("--step-budget", type=int, default=None,
+                     help="per-candidate cap on permission-search steps")
+
+
+def _budget_options(args: argparse.Namespace, **extra) -> QueryOptions:
+    return QueryOptions(
+        deadline_seconds=(
+            args.deadline_ms / 1000.0
+            if args.deadline_ms is not None else None
+        ),
+        step_budget=args.step_budget,
+        **extra,
     )
-    specs = generator.generate_specs(args.count, args.patterns)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.profile == "pathological":
+        specs = pathological_specs(args.count, seed=args.seed)
+    else:
+        generator = WorkloadGenerator(
+            vocabulary_size=args.vocabulary, seed=args.seed
+        )
+        specs = generator.generate_specs(args.count, args.patterns)
     docs = [
         {
             "name": f"contract-{i}",
@@ -313,17 +344,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
         projection_subset_cap=args.projection_cap,
     )
     db = _load_or_build_db(args.specs, config)
+    options = _budget_options(args)
     for text in args.queries:
-        result = db.query(text)
-        s = result.stats
+        outcome = db.query(text, options)
+        s = outcome.stats
         print(f"\nquery: {text}")
-        print(f"  matched : {list(result.contract_names)}")
+        print(f"  matched : {list(outcome.contract_names)}")
         print(f"  pruning : {s.pruning_condition or '(prefilter off)'}")
         print(f"  phases  : translate {s.translation_seconds * 1000:.1f}ms | "
               f"prefilter {s.prefilter_seconds * 1000:.1f}ms | "
               f"permission {s.permission_seconds * 1000:.1f}ms")
         print(f"  checked : {s.checked} of {s.database_size} contracts "
               f"({s.pruning_ratio:.0%} pruned)")
+        if outcome.degraded:
+            print(f"  DEGRADED: {s.timed_out} timed out, "
+                  f"{s.skipped} skipped; "
+                  f"maybe: {list(outcome.maybe_names)}")
     return 0
 
 
@@ -340,14 +376,19 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         query_cache_capacity=capacity,
     )
     db = _load_or_build_db(args.specs, config)
+    options = _budget_options(args, workers=args.workers)
     start = time.perf_counter()
+    degraded = 0
     for _ in range(max(args.repeat, 1)):
-        db.query_many(args.queries, workers=args.workers)
+        outcomes = db.query_many(args.queries, options)
+        degraded += sum(1 for o in outcomes if o.degraded)
     elapsed = time.perf_counter() - start
     served = max(args.repeat, 1) * len(args.queries)
     print(f"served {served} queries "
           f"({len(args.queries)} distinct x {max(args.repeat, 1)} rounds, "
-          f"workers={args.workers}) in {elapsed:.2f}s\n")
+          f"workers={args.workers}) in {elapsed:.2f}s"
+          + (f"; {degraded} degraded" if degraded else "")
+          + "\n")
     if args.json:
         print(json.dumps(db.metrics_snapshot(), indent=2, sort_keys=True))
     else:
@@ -386,12 +427,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     db = ContractDatabase()
     for spec in all_ticket_specs():
-        contract = db.register_spec(spec)
+        contract = db.register(spec)
         print(f"registered {contract}")
     for name, info in QUERIES.items():
-        result = db.query(info["ltl"])
+        outcome = db.query(info["ltl"])
         print(f"\n{name}: {info['ltl']}")
-        print(f"  returned: {sorted(result.contract_names)}")
+        print(f"  returned: {sorted(outcome.contract_names)}")
     return 0
 
 

@@ -9,6 +9,7 @@ Entry points::
     find_witness(contract_ba, query_ba, vocabulary)
 """
 
+from .budget import Deadline, ExecutionBudget, StepBudget
 from .permission import (
     PermissionStats,
     PermissionWitness,
@@ -21,6 +22,9 @@ from .permission import (
 from .seeds import compute_seeds
 
 __all__ = [
+    "Deadline",
+    "ExecutionBudget",
+    "StepBudget",
     "PermissionStats",
     "PermissionWitness",
     "WitnessStep",

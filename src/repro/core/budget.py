@@ -1,0 +1,163 @@
+"""Bounded execution for the PSPACE-complete permission check.
+
+Theorem 6 of the paper shows that deciding whether a contract permits a
+query is PSPACE-complete in the formulas — a single adversarial query
+can therefore pin a worker inside Algorithm 2 for an unbounded amount of
+time.  Related systems bound their exploration explicitly (Huang &
+Cleaveland's stream checking, Fortin et al.'s LTL query learning); this
+module gives the broker the same discipline:
+
+* :class:`Deadline` — an absolute wall-clock point (monotonic time)
+  shared by every check a query performs;
+* :class:`StepBudget` — a cap on the number of *search steps* (product
+  pairs plus nested-cycle nodes, i.e. the existing
+  :class:`~repro.core.permission.PermissionStats` counters) one
+  permission check may spend;
+* :class:`ExecutionBudget` — the combination threaded through
+  :func:`~repro.core.permission.permits_ndfs` /
+  :func:`~repro.core.permission.permits_scc`; the search calls
+  :meth:`ExecutionBudget.charge` with its step counter and the budget
+  raises :class:`~repro.errors.BudgetExceededError` once a limit is hit.
+
+Deadline checks cost a clock read, so they are only performed every
+``check_interval`` steps; the step cap is an integer comparison and is
+enforced exactly.  A search interrupted by the budget never reports a
+boolean — it raises, and the broker maps that into the ``TIMED_OUT``
+verdict of its graceful-degradation policy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import BudgetExceededError
+
+#: How many search steps may pass between two wall-clock reads.  At the
+#: ~0.1–0.3 ms/step pace of the NDFS on label-heavy automata this bounds
+#: the deadline overshoot to a few milliseconds.
+DEFAULT_CHECK_INTERVAL = 16
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point in monotonic time.
+
+    Immutable and thread-safe: one query creates a single deadline and
+    every per-candidate check (possibly on different worker threads)
+    consults it.  ``clock`` is injectable for deterministic tests.
+    """
+
+    at: float
+    clock: Callable[[], float] = time.monotonic
+
+    @classmethod
+    def after(cls, seconds: float,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """The deadline ``seconds`` from now."""
+        if seconds < 0:
+            raise ValueError(f"deadline must be >= 0 seconds, got {seconds}")
+        return cls(at=clock() + seconds, clock=clock)
+
+    @classmethod
+    def earliest(cls, *deadlines: "Deadline | None") -> "Deadline | None":
+        """The tightest of several optional deadlines (``None`` if all
+        are ``None``)."""
+        present = [d for d in deadlines if d is not None]
+        if not present:
+            return None
+        return min(present, key=lambda d: d.at)
+
+    def expired(self) -> bool:
+        return self.clock() >= self.at
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.at - self.clock()
+
+
+@dataclass(frozen=True)
+class StepBudget:
+    """A cap on the search steps one permission check may spend.
+
+    Deterministic — unlike a wall-clock deadline, the same query against
+    the same contract exhausts a step budget at exactly the same point on
+    every run, which is what the degradation tests rely on.
+    """
+
+    max_steps: int
+
+    def __post_init__(self) -> None:
+        if self.max_steps < 1:
+            raise ValueError(
+                f"step budget must be >= 1, got {self.max_steps}"
+            )
+
+    def exceeded(self, steps: int) -> bool:
+        return steps > self.max_steps
+
+
+@dataclass
+class ExecutionBudget:
+    """The per-check budget threaded into the permission algorithms.
+
+    One instance per candidate check: the ``deadline`` may be shared
+    across checks (it is immutable), but the charge bookkeeping is local,
+    so budgets must not be reused across concurrent searches.
+
+    The search charges its running step counter (the
+    :class:`~repro.core.permission.PermissionStats` pair + cycle-node
+    counts); :meth:`charge` raises :class:`BudgetExceededError` when the
+    step cap is exceeded (exact) or the deadline has passed (checked
+    every ``check_interval`` steps).
+    """
+
+    deadline: Deadline | None = None
+    steps: StepBudget | None = None
+    check_interval: int = DEFAULT_CHECK_INTERVAL
+    #: set to ``"deadline"`` or ``"steps"`` when the budget trips.
+    exhausted_reason: str | None = field(default=None, init=False)
+    _next_deadline_check: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.check_interval < 1:
+            raise ValueError(
+                f"check interval must be >= 1, got {self.check_interval}"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        """Whether this budget constrains anything at all."""
+        return self.deadline is not None or self.steps is not None
+
+    def charge(self, steps: int) -> None:
+        """Account ``steps`` total search steps; raise when over budget."""
+        if self.steps is not None and self.steps.exceeded(steps):
+            self.exhausted_reason = "steps"
+            raise BudgetExceededError(
+                f"step budget of {self.steps.max_steps} exceeded "
+                f"after {steps} search steps",
+                reason="steps",
+            )
+        if self.deadline is not None and steps >= self._next_deadline_check:
+            self._next_deadline_check = steps + self.check_interval
+            if self.deadline.expired():
+                self.exhausted_reason = "deadline"
+                raise BudgetExceededError(
+                    f"deadline exceeded after {steps} search steps",
+                    reason="deadline",
+                )
+
+    def exhausted(self) -> bool:
+        """Non-raising pre-check: is there any budget left to start work?
+
+        Used for cancellation — a queued candidate whose query deadline
+        has already passed is skipped without starting its search.
+        """
+        if self.exhausted_reason is not None:
+            return True
+        if self.deadline is not None and self.deadline.expired():
+            self.exhausted_reason = "deadline"
+            return True
+        return False

@@ -33,7 +33,9 @@ from typing import Hashable, Iterator
 from ..automata import graph
 from ..automata.buchi import BuchiAutomaton
 from ..automata.labels import Label
+from ..errors import BudgetExceededError
 from ..ltl.runs import Run
+from .budget import ExecutionBudget
 from .seeds import compute_seeds
 
 State = Hashable
@@ -42,13 +44,25 @@ Pair = tuple  # (contract state, query state)
 
 @dataclass
 class PermissionStats:
-    """Work counters for one permission check (consumed by benchmarks)."""
+    """Work counters for one permission check (consumed by benchmarks).
+
+    ``pairs_visited + cycle_nodes_visited`` is the check's *search step*
+    count — the quantity an :class:`~repro.core.budget.ExecutionBudget`
+    charges against.  ``budget_exhausted`` is set when the check was
+    interrupted by its budget (in which case ``result`` is meaningless
+    and :class:`~repro.errors.BudgetExceededError` was raised).
+    """
 
     pairs_visited: int = 0
     cycle_searches: int = 0
     cycle_nodes_visited: int = 0
     seeds_skipped: int = 0
     result: bool = False
+    budget_exhausted: bool = False
+
+    @property
+    def search_steps(self) -> int:
+        return self.pairs_visited + self.cycle_nodes_visited
 
 
 @dataclass(frozen=True)
@@ -149,6 +163,7 @@ def permits_ndfs(
     seeds: frozenset | None = None,
     use_seeds: bool = True,
     stats: PermissionStats | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> bool:
     """Algorithm 2: nested depth-first search for a simultaneous lasso path.
 
@@ -164,6 +179,12 @@ def permits_ndfs(
             computed on the fly when ``use_seeds`` is set and none given.
         use_seeds: apply the §6.2.4 seed filter to candidate knots.
         stats: optional mutable counters, filled in during the search.
+        budget: optional :class:`~repro.core.budget.ExecutionBudget`; the
+            search charges it once per visited pair / cycle node and
+            propagates its :class:`~repro.errors.BudgetExceededError`
+            (setting ``stats.budget_exhausted``) instead of ever
+            answering a truncated — and therefore possibly wrong —
+            boolean.
     """
     if vocabulary is None:
         vocabulary = contract.events()
@@ -173,6 +194,26 @@ def permits_ndfs(
     if use_seeds and seeds is None:
         seeds = compute_seeds(contract)
 
+    try:
+        return _ndfs_search(
+            contract, query, ctx,
+            seeds=seeds, use_seeds=use_seeds, stats=stats, budget=budget,
+        )
+    except BudgetExceededError:
+        stats.budget_exhausted = True
+        raise
+
+
+def _ndfs_search(
+    contract: BuchiAutomaton,
+    query: BuchiAutomaton,
+    ctx: _CompatibilityContext,
+    *,
+    seeds: frozenset | None,
+    use_seeds: bool,
+    stats: PermissionStats,
+    budget: ExecutionBudget | None,
+) -> bool:
     start: Pair = (contract.initial, query.initial)
     visited: set[Pair] = set()
     stack: list[Pair] = [start]
@@ -182,13 +223,15 @@ def permits_ndfs(
             continue
         visited.add(pair)
         stats.pairs_visited += 1
+        if budget is not None:
+            budget.charge(stats.search_steps)
         contract_state, query_state = pair
         if query_state in query.final:
             if use_seeds and seeds is not None and contract_state not in seeds:
                 stats.seeds_skipped += 1
             else:
                 stats.cycle_searches += 1
-                if _cycle_search(contract, query, ctx, pair, stats):
+                if _cycle_search(contract, query, ctx, pair, stats, budget):
                     stats.result = True
                     return True
         for succ, _, _ in _pair_successors(contract, query, ctx, pair):
@@ -204,6 +247,7 @@ def _cycle_search(
     ctx: _CompatibilityContext,
     knot: Pair,
     stats: PermissionStats,
+    budget: ExecutionBudget | None = None,
 ) -> bool:
     """The nested search of Algorithm 2: is there a non-empty cycle from
     ``knot`` back to itself that visits a pair with a contract-final
@@ -223,6 +267,8 @@ def _cycle_search(
             continue
         visited.add(node)
         stats.cycle_nodes_visited += 1
+        if budget is not None:
+            budget.charge(stats.search_steps)
         pair, flag = node
         for succ, _, _ in _pair_successors(contract, query, ctx, pair):
             if succ == knot and flag:
@@ -237,6 +283,9 @@ def permits_scc(
     contract: BuchiAutomaton,
     query: BuchiAutomaton,
     vocabulary: frozenset[str] | None = None,
+    *,
+    budget: ExecutionBudget | None = None,
+    stats: PermissionStats | None = None,
 ) -> bool:
     """SCC-based decider, equivalent to :func:`permits_ndfs`.
 
@@ -244,12 +293,25 @@ def permits_scc(
     reachable cyclic SCC containing both a pair with a query-final state
     and a pair with a contract-final state (one cycle can then visit
     both, giving lasso paths in both automata simultaneously).
+
+    ``budget`` is charged once per successor expansion across all graph
+    passes (reachability, SCC decomposition, cyclicity), mirroring
+    :func:`permits_ndfs`'s per-node accounting.
     """
     if vocabulary is None:
         vocabulary = contract.events()
+    if stats is None:
+        stats = PermissionStats()
     ctx = _CompatibilityContext(vocabulary)
 
     def successors(pair: Pair) -> Iterator[Pair]:
+        stats.pairs_visited += 1
+        if budget is not None:
+            try:
+                budget.charge(stats.search_steps)
+            except BudgetExceededError:
+                stats.budget_exhausted = True
+                raise
         for succ, _, _ in _pair_successors(contract, query, ctx, pair):
             yield succ
 
@@ -261,7 +323,9 @@ def permits_scc(
         if not (has_query_final and has_contract_final):
             continue
         if graph.is_cyclic_component(component, successors):
+            stats.result = True
             return True
+    stats.result = False
     return False
 
 
@@ -274,19 +338,23 @@ def permits(
     seeds: frozenset | None = None,
     use_seeds: bool = True,
     stats: PermissionStats | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> bool:
     """Decide permission; dispatches to the requested algorithm.
 
     ``algorithm`` is ``"ndfs"`` (the paper's Algorithm 2, default) or
-    ``"scc"``.
+    ``"scc"``.  With a ``budget``, either algorithm raises
+    :class:`~repro.errors.BudgetExceededError` instead of running
+    unboundedly (see :mod:`repro.core.budget`).
     """
     if algorithm == "ndfs":
         return permits_ndfs(
             contract, query, vocabulary,
-            seeds=seeds, use_seeds=use_seeds, stats=stats,
+            seeds=seeds, use_seeds=use_seeds, stats=stats, budget=budget,
         )
     if algorithm == "scc":
-        return permits_scc(contract, query, vocabulary)
+        return permits_scc(contract, query, vocabulary,
+                           budget=budget, stats=stats)
     raise ValueError(f"unknown permission algorithm: {algorithm!r}")
 
 

@@ -51,9 +51,28 @@ class ProjectionError(ReproError):
     """Raised on invalid projection-store operations."""
 
 
+class BudgetExceededError(ReproError):
+    """Raised inside a permission check when its execution budget (a
+    wall-clock deadline or a search-step cap) is exhausted.
+
+    Attributes:
+        reason: ``"deadline"`` or ``"steps"``.
+    """
+
+    def __init__(self, message: str, reason: str = "deadline"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class BrokerError(ReproError):
     """Raised on invalid broker operations (duplicate registration,
     querying an empty database when configured to reject it, ...)."""
+
+
+class QueryBudgetError(BrokerError):
+    """Raised by a query whose execution budget was exhausted while its
+    degradation policy is :attr:`repro.broker.options.Degradation.FAIL`
+    (callers that prefer an exception over a degraded answer)."""
 
 
 class WorkloadError(ReproError):

@@ -50,22 +50,30 @@ COUNT_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter.
 
-    __slots__ = ("name", "_value")
+    Thread-safe: each instrument carries its own lock, so handles
+    obtained via :meth:`MetricsRegistry.counter` can be incremented from
+    worker threads directly (the broker's ``query_many`` pool does).
+    """
+
+    __slots__ = ("name", "_value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self._value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative increment")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Histogram:
@@ -74,10 +82,15 @@ class Histogram:
     ``buckets`` are the inclusive upper bounds of each bin; observations
     above the last bound land in an implicit overflow bin whose quantile
     estimate is the observed maximum.
+
+    Thread-safe: :meth:`observe` updates five running aggregates that
+    must stay mutually consistent, so the instrument serializes them
+    under its own lock (per-instrument, not per-registry — concurrent
+    observations of *different* histograms do not contend).
     """
 
     __slots__ = ("name", "buckets", "_counts", "_count", "_sum",
-                 "_min", "_max")
+                 "_min", "_max", "_lock")
 
     def __init__(self, name: str,
                  buckets: Sequence[float] = LATENCY_BUCKETS):
@@ -90,15 +103,18 @@ class Histogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self._counts[self._bucket_index(value)] += 1
-        self._count += 1
-        self._sum += value
-        if value < self._min:
-            self._min = value
-        if value > self._max:
-            self._max = value
+        index = self._bucket_index(value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
 
     def _bucket_index(self, value: float) -> int:
         # buckets are few (≤ ~15); linear scan beats bisect overhead
@@ -109,28 +125,37 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     @property
     def min(self) -> float:
-        return self._min if self._count else 0.0
+        with self._lock:
+            return self._min if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return self._max if self._count else 0.0
+        with self._lock:
+            return self._max if self._count else 0.0
 
     def quantile(self, q: float) -> float:
         """Bucket-resolution estimate of the ``q``-quantile (0 < q ≤ 1)."""
         if not 0.0 < q <= 1.0:
             raise ValueError(f"quantile {q} outside (0, 1]")
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
         if self._count == 0:
             return 0.0
         rank = q * self._count
@@ -146,18 +171,20 @@ class Histogram:
         return self._max  # pragma: no cover - rank <= count always
 
     def snapshot(self) -> dict:
-        return {
-            "count": self._count,
-            "sum": self._sum,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.quantile(0.50),
-            "p90": self.quantile(0.90),
-            "p99": self.quantile(0.99),
-            "buckets": dict(zip(self.buckets, self._counts)),
-            "overflow": self._counts[-1],
-        }
+        with self._lock:
+            count = self._count
+            return {
+                "count": count,
+                "sum": self._sum,
+                "mean": self._sum / count if count else 0.0,
+                "min": self._min if count else 0.0,
+                "max": self._max if count else 0.0,
+                "p50": self._quantile_locked(0.50),
+                "p90": self._quantile_locked(0.90),
+                "p99": self._quantile_locked(0.99),
+                "buckets": dict(zip(self.buckets, self._counts)),
+                "overflow": self._counts[-1],
+            }
 
 
 class MetricsRegistry:
@@ -165,9 +192,10 @@ class MetricsRegistry:
 
     Instruments are created on first use (``registry.inc("query.count")``)
     so call sites stay one-liners; names are free-form dotted strings.
-    All mutating operations take the registry lock — instruments are
-    cheap enough that one lock for the whole registry is not a
-    bottleneck at Python speeds.
+    The registry lock guards only instrument creation and lookup; the
+    recorded values themselves are protected by each instrument's own
+    lock, so threads recording into different instruments do not
+    serialize against each other.
     """
 
     def __init__(self):
@@ -195,21 +223,11 @@ class MetricsRegistry:
             return histogram
 
     def inc(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            counter = self._counters.get(name)
-            if counter is None:
-                counter = self._counters[name] = Counter(name)
-            counter.inc(amount)
+        self.counter(name).inc(amount)
 
     def observe(self, name: str, value: float,
                 buckets: Sequence[float] | None = None) -> None:
-        with self._lock:
-            histogram = self._histograms.get(name)
-            if histogram is None:
-                histogram = self._histograms[name] = Histogram(
-                    name, buckets if buckets is not None else LATENCY_BUCKETS
-                )
-            histogram.observe(value)
+        self.histogram(name, buckets).observe(value)
 
     def reset(self) -> None:
         with self._lock:

@@ -15,7 +15,13 @@ from .datasets import (
     DatasetStatistics,
     dataset_statistics,
 )
-from .generator import GeneratedSpec, PatternSampler, WorkloadGenerator
+from .generator import (
+    GeneratedSpec,
+    PatternSampler,
+    WorkloadGenerator,
+    pathological_query,
+    pathological_specs,
+)
 from .vocabulary import PAPER_VOCABULARY_SIZE, numbered_vocabulary
 
 __all__ = [
@@ -27,6 +33,8 @@ __all__ = [
     "GeneratedSpec",
     "PatternSampler",
     "WorkloadGenerator",
+    "pathological_query",
+    "pathological_specs",
     "PAPER_VOCABULARY_SIZE",
     "numbered_vocabulary",
 ]

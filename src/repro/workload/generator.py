@@ -162,3 +162,62 @@ class WorkloadGenerator:
         ):
             return False
         return True
+
+
+# -- adversarial workloads ---------------------------------------------------------
+
+#: events the pathological profile draws from; ``ev6`` appears in the
+#: pathological query but in no "monster" contract, so a scan-mode check
+#: against one must explore its whole product space before answering.
+_PATHOLOGICAL_VOCABULARY = tuple(f"ev{i}" for i in range(7))
+
+
+def _eventually_conjunction(events: Sequence[str]) -> Formula:
+    """``F ev0 && F ev1 && ...`` — the translated BA tracks which of the
+    ``k`` obligations are still open, so it has ``2^k`` states with cheap
+    labels: maximal permission-check work per translation second."""
+    from ..ltl.ast import conj
+    from ..ltl.parser import parse
+
+    return conj([parse(f"F {event}") for event in events])
+
+
+def pathological_specs(
+    count: int = 60,
+    *,
+    monsters: int = 2,
+    events_per_contract: int = 5,
+    seed: int = 0,
+) -> list[GeneratedSpec]:
+    """An adversarial contract workload for budget/timeout testing.
+
+    The first ``monsters`` specs are "monster" contracts — eventuality
+    conjunctions over ``ev0..ev5`` (a 64-state BA whose exhaustive
+    permission check against a wide query takes hundreds of
+    milliseconds); the rest conjoin ``events_per_contract`` events
+    sampled from ``ev0..ev6``.  Paired with :func:`pathological_query`
+    in scan mode this makes every permission check an exhaustive
+    product-space search — the workload behind the bounded-tail-latency
+    benchmark and the CI timeout smoke test.
+    """
+    if count < monsters:
+        raise WorkloadError(
+            f"count ({count}) must be >= monsters ({monsters})"
+        )
+    rng = random.Random(seed)
+    specs: list[GeneratedSpec] = []
+    for _ in range(monsters):
+        formula = _eventually_conjunction(_PATHOLOGICAL_VOCABULARY[:6])
+        specs.append(GeneratedSpec((formula,), ()))
+    for _ in range(count - monsters):
+        events = rng.sample(_PATHOLOGICAL_VOCABULARY, events_per_contract)
+        specs.append(GeneratedSpec((_eventually_conjunction(events),), ()))
+    return specs
+
+
+def pathological_query() -> Formula:
+    """The adversarial query for :func:`pathological_specs`: an
+    eventuality conjunction over the whole seven-event vocabulary.  Its
+    BA has ``2^7`` states, and since no contract cites all seven events,
+    every scan-mode check runs to an exhaustive (False) search."""
+    return _eventually_conjunction(_PATHOLOGICAL_VOCABULARY)

@@ -1,0 +1,270 @@
+"""Tests for the unified QueryOptions surface and the deprecation shims.
+
+The contract of the 1.3 API redesign: every entry point funnels into one
+options-driven path, the old kwargs still work (with a warning), and a
+shim call returns answers identical to its new-style spelling.
+"""
+
+import warnings
+
+import pytest
+
+from repro.broker.database import BrokerConfig, ContractDatabase
+from repro.broker.options import (
+    Degradation,
+    PrebuiltArtifacts,
+    QueryOptions,
+    coerce_query_options,
+)
+from repro.broker.query import QueryOutcome, QueryResult
+from repro.broker.relational import MATCH_ALL, AttributeFilter, le
+from repro.workload.airfare import QUERIES, all_ticket_specs
+
+QUERY = "F(missedFlight && F(refund || dateChange))"
+
+
+def _airfare_db() -> ContractDatabase:
+    db = ContractDatabase(BrokerConfig())
+    for spec in all_ticket_specs():
+        db.register(spec)
+    return db
+
+
+class TestQueryOptions:
+    def test_defaults_are_unbudgeted(self):
+        options = QueryOptions()
+        assert not options.budgeted
+        assert options.degradation is Degradation.MAYBE
+        assert options.workers == 1
+
+    @pytest.mark.parametrize("field, value", [
+        ("deadline_seconds", -1.0),
+        ("contract_deadline_seconds", -0.5),
+        ("step_budget", 0),
+        ("budget_check_interval", 0),
+        ("workers", 0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            QueryOptions(**{field: value})
+
+    @pytest.mark.parametrize("field, value", [
+        ("deadline_seconds", 0.1),
+        ("contract_deadline_seconds", 0.1),
+        ("step_budget", 100),
+    ])
+    def test_any_budget_field_makes_it_budgeted(self, field, value):
+        assert QueryOptions(**{field: value}).budgeted
+
+    def test_evolve(self):
+        options = QueryOptions(deadline_seconds=1.0)
+        changed = options.evolve(workers=4)
+        assert changed.workers == 4
+        assert changed.deadline_seconds == 1.0
+        assert options.workers == 1  # frozen original untouched
+
+
+class TestCoercion:
+    def test_none_gives_defaults(self):
+        assert coerce_query_options("query", None, {}) == QueryOptions()
+
+    def test_options_passed_through(self):
+        options = QueryOptions(step_budget=5)
+        assert coerce_query_options("query", options, {}) is options
+
+    def test_positional_attribute_filter_warns(self):
+        f = AttributeFilter.where(le("price", 700))
+        with pytest.warns(DeprecationWarning, match="QueryOptions"):
+            resolved = coerce_query_options("query", f, {})
+        assert resolved.attribute_filter is f
+
+    def test_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning):
+            resolved = coerce_query_options(
+                "query", None,
+                {"use_prefilter": False, "explain": True, "workers": 3},
+            )
+        assert resolved.use_prefilter is False
+        assert resolved.explain is True
+        assert resolved.workers == 3
+
+    def test_legacy_none_means_default(self):
+        with pytest.warns(DeprecationWarning):
+            resolved = coerce_query_options(
+                "query", None, {"use_prefilter": None}
+            )
+        assert resolved.use_prefilter is None
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            coerce_query_options("query", None, {"prefilter": True})
+
+    def test_mixing_options_and_legacy_rejected(self):
+        with pytest.raises(TypeError, match="mixes"):
+            coerce_query_options(
+                "query", QueryOptions(), {"explain": True}
+            )
+
+    def test_double_attribute_filter_rejected(self):
+        f = MATCH_ALL
+        with pytest.raises(TypeError):
+            coerce_query_options("query", f, {"attribute_filter": f})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="expected QueryOptions"):
+            coerce_query_options("query", 42, {})
+
+
+class TestOutcomeShape:
+    def test_outcome_is_a_query_result(self, airfare_db):
+        outcome = airfare_db.query(QUERY)
+        assert isinstance(outcome, QueryOutcome)
+        assert isinstance(outcome, QueryResult)
+        assert not outcome.degraded
+        assert outcome.maybe_ids == ()
+
+    def test_verdicts_cover_every_candidate(self, airfare_db):
+        outcome = airfare_db.query(
+            QUERY, QueryOptions(use_prefilter=False)
+        )
+        assert set(outcome.verdicts) == {
+            c.contract_id for c in airfare_db.contracts()
+        }
+        for cid in outcome.contract_ids:
+            assert outcome.verdict_for(cid).conclusive
+
+    def test_str_mentions_degradation_only_when_degraded(self, airfare_db):
+        rendered = str(airfare_db.query(QUERY))
+        assert "DEGRADED" not in rendered
+        assert rendered.startswith("QueryOutcome(")
+
+
+class TestDeprecatedShims:
+    """Each legacy spelling must agree exactly with its replacement."""
+
+    def test_query_legacy_kwargs_identical(self):
+        db = _airfare_db()
+        new = db.query(QUERY, QueryOptions(
+            use_prefilter=False, use_projections=False
+        ))
+        with pytest.warns(DeprecationWarning):
+            old = db.query(
+                QUERY, use_prefilter=False, use_projections=False
+            )
+        assert old.contract_ids == new.contract_ids
+        assert old.contract_names == new.contract_names
+        assert old.stats.candidates == new.stats.candidates
+        assert old.stats.checked == new.stats.checked
+
+    def test_query_positional_filter_identical(self):
+        db = _airfare_db()
+        f = AttributeFilter.where(le("price", 700))
+        new = db.query(QUERY, QueryOptions(attribute_filter=f))
+        with pytest.warns(DeprecationWarning):
+            old = db.query(QUERY, f)
+        assert old.contract_ids == new.contract_ids
+
+    def test_query_planned_identical(self):
+        db = _airfare_db()
+        new = db.query(QUERY, QueryOptions(use_planner=True))
+        with pytest.warns(DeprecationWarning):
+            old = db.query_planned(QUERY)
+        assert old.contract_ids == new.contract_ids
+        assert old.stats.used_prefilter == new.stats.used_prefilter
+        assert old.stats.used_projections == new.stats.used_projections
+
+    def test_permits_contract_identical(self):
+        db = _airfare_db()
+        options = QueryOptions(
+            contract_ids=(0,), use_prefilter=False, use_projections=False
+        )
+        new = 0 in db.query(QUERY, options).contract_ids
+        with pytest.warns(DeprecationWarning):
+            old = db.permits_contract(0, QUERY)
+        assert old == new is True
+
+    def test_permits_contract_unknown_id_raises(self):
+        from repro.errors import BrokerError
+
+        db = _airfare_db()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(BrokerError):
+                db.permits_contract(99, QUERY)
+
+    def test_explain_identical(self):
+        db = _airfare_db()
+        options = QueryOptions(
+            contract_ids=(0,), use_prefilter=False,
+            use_projections=False, explain=True,
+        )
+        new = db.query(QUERY, options).witnesses.get(0)
+        with pytest.warns(DeprecationWarning):
+            old = db.explain(0, QUERY)
+        assert (old is None) == (new is None)
+        if old is not None:
+            assert db.get(0).ba.accepts(old.to_run())
+
+    def test_register_spec_identical(self):
+        specs = all_ticket_specs()
+        db_new = ContractDatabase()
+        db_old = ContractDatabase()
+        for spec in specs:
+            db_new.register(spec)
+        with pytest.warns(DeprecationWarning):
+            for spec in specs:
+                db_old.register_spec(spec)
+        assert [c.name for c in db_old.contracts()] == [
+            c.name for c in db_new.contracts()
+        ]
+        assert db_old.query(QUERY).contract_ids == \
+            db_new.query(QUERY).contract_ids
+
+    def test_query_many_legacy_workers_identical(self):
+        db = _airfare_db()
+        queries = [info["ltl"] for info in QUERIES.values()]
+        new = db.query_many(queries, QueryOptions(workers=2))
+        with pytest.warns(DeprecationWarning):
+            old = db.query_many(queries, workers=2)
+        assert [r.contract_ids for r in old] == [
+            r.contract_ids for r in new
+        ]
+
+    def test_new_style_calls_do_not_warn(self):
+        db = _airfare_db()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            db.query(QUERY)
+            db.query(QUERY, QueryOptions(explain=True))
+            db.query_many([QUERY], QueryOptions(workers=2))
+            db.register(all_ticket_specs()[0])
+
+
+class TestRegisterUnification:
+    def test_spec_with_clauses_rejected(self):
+        db = ContractDatabase()
+        spec = all_ticket_specs()[0]
+        with pytest.raises(TypeError):
+            db.register(spec, ["F refund"])
+
+    def test_name_without_clauses_rejected(self):
+        with pytest.raises(TypeError):
+            ContractDatabase().register("nameless")
+
+    def test_prebuilt_artifacts_skip_recomputation(self):
+        spec = all_ticket_specs()[0]
+        source = ContractDatabase()
+        original = source.register(spec)
+        target = ContractDatabase()
+        contract = target.register(
+            spec,
+            prebuilt=PrebuiltArtifacts(
+                ba=original.ba,
+                seeds=original.seeds,
+                projections=original.projections,
+            ),
+        )
+        assert contract.ba is original.ba
+        assert contract.seeds is original.seeds
+        assert contract.projections is original.projections
+        assert target.registration_stats.translation_seconds == \
+            pytest.approx(0.0, abs=1e-3)

@@ -17,7 +17,7 @@ def airfare_db() -> ContractDatabase:
     """Tickets A, B, C registered with all optimizations enabled."""
     db = ContractDatabase(BrokerConfig())
     for spec in all_ticket_specs():
-        db.register_spec(spec)
+        db.register(spec)
     return db
 
 

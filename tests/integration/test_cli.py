@@ -41,6 +41,23 @@ class TestGenerate:
             for clause in doc["clauses"]:
                 parse(clause)
 
+    def test_pathological_profile(self, tmp_path):
+        from repro.ltl.parser import parse
+
+        out = tmp_path / "pathological.json"
+        code = main([
+            "generate", "--profile", "pathological",
+            "--count", "6", "--out", str(out),
+        ])
+        assert code == 0
+        docs = json.loads(out.read_text())
+        assert len(docs) == 6
+        for doc in docs:
+            for clause in doc["clauses"]:
+                parse(clause)
+        # the monster contracts lead with a wide eventuality conjunction
+        assert docs[0]["clauses"][0].count("F") >= 6
+
 
 class TestQuery:
     def test_query_reports_matches(self, spec_file, capsys):
@@ -65,6 +82,34 @@ class TestQuery:
         ])
         assert code == 0
         assert "prefilter off" in capsys.readouterr().out
+
+    def test_generous_deadline_not_degraded(self, spec_file, capsys):
+        code = main([
+            "query", str(spec_file), "--query", "F refund",
+            "--deadline-ms", "60000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refund-friendly" in out
+        assert "DEGRADED" not in out
+
+    def test_tight_budget_prints_degraded_line(self, tmp_path, capsys):
+        specs = tmp_path / "pathological.json"
+        main([
+            "generate", "--profile", "pathological",
+            "--count", "8", "--out", str(specs),
+        ])
+        capsys.readouterr()
+        code = main([
+            "query", str(specs), "--no-prefilter", "--no-projections",
+            "--query", " && ".join(f"F ev{i}" for i in range(7)),
+            "--step-budget", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "timed out" in out
+        assert "maybe" in out
 
     def test_malformed_spec_file(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
@@ -136,6 +181,23 @@ class TestMetrics:
         payload = json.loads(out[out.index("{"):])
         assert payload["cache"]["misses"] == 1
         assert payload["counters"]["query.count"] == 1
+
+    def test_metrics_counts_degraded_outcomes(self, tmp_path, capsys):
+        specs = tmp_path / "pathological.json"
+        main([
+            "generate", "--profile", "pathological",
+            "--count", "8", "--out", str(specs),
+        ])
+        capsys.readouterr()
+        code = main([
+            "metrics", str(specs), "--no-prefilter", "--no-projections",
+            "--query", " && ".join(f"F ev{i}" for i in range(7)),
+            "--step-budget", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 degraded" in out
+        assert "query.degraded" in out
 
     def test_metrics_cache_can_be_disabled(self, spec_file, capsys):
         code = main([

@@ -132,3 +132,28 @@ class TestRegistry:
             t.join()
         assert m.counter_value("hits") == 4000
         assert m.histogram("lat").count == 4000
+
+    def test_thread_safety_of_direct_instrument_handles(self):
+        # worker threads hold instrument handles directly (as the
+        # query_many pool does) rather than going through the registry
+        m = MetricsRegistry()
+        counter = m.counter("hits")
+        histogram = m.histogram("lat", buckets=(0.5, 1.0))
+
+        def spin():
+            for i in range(1000):
+                counter.inc()
+                histogram.observe(0.25 if i % 2 else 0.75)
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+        snap = histogram.snapshot()
+        assert snap["count"] == 8000
+        assert snap["sum"] == pytest.approx(8000 * 0.5)
+        assert snap["buckets"] == {0.5: 4000, 1.0: 4000}
+        assert snap["min"] == 0.25
+        assert snap["max"] == 0.75
