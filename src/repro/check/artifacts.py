@@ -1,0 +1,117 @@
+"""Standalone failure-repro artifacts and their replay entry point.
+
+A conformance disagreement is only useful if someone else can reproduce
+it without the fuzzing session: the artifact is one JSON file holding
+the (shrunk) case, the original un-shrunk case, the failing
+configuration, and both answers.  ``contract-broker check --replay
+FILE`` (or :func:`replay_artifact`) re-runs exactly that case through
+exactly that configuration against a freshly computed oracle verdict —
+no seed, generator version, or fuzzing state required.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..errors import ReproError
+from .cases import CheckCase
+from .configs import configs_by_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import Disagreement
+
+ARTIFACT_FORMAT = "repro-check-artifact/1"
+
+
+def write_artifact(
+    directory: str | Path,
+    failure: "Disagreement",
+    *,
+    seed: int | None = None,
+    original_case: CheckCase | None = None,
+) -> Path:
+    """Write one failure as a standalone JSON artifact; returns the
+    path.  The filename carries the case id and configuration so a CI
+    upload is self-describing."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "format": ARTIFACT_FORMAT,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "seed": seed,
+        "config": failure.config_name,
+        "label": failure.label,
+        "kind": failure.kind,
+        "expected": sorted(failure.expected),
+        "got": sorted(failure.got),
+        "maybe": sorted(failure.maybe),
+        "detail": failure.detail,
+        "case": failure.case.to_dict(),
+    }
+    if original_case is not None and original_case != failure.case:
+        doc["original_case"] = original_case.to_dict()
+    path = directory / (
+        f"repro-{failure.case.case_id}-{failure.config_name}.json"
+    )
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Parse and validate an artifact file."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("format") != ARTIFACT_FORMAT:
+        raise ReproError(
+            f"{path}: not a conformance artifact "
+            f"(format={doc.get('format')!r})"
+        )
+    return doc
+
+
+@dataclass
+class ReplayResult:
+    """The outcome of replaying one artifact."""
+
+    path: str
+    config_name: str
+    case: CheckCase
+    disagreements: list = field(default_factory=list)
+
+    @property
+    def reproduced(self) -> bool:
+        """True when the stored failure still fails on the current
+        code."""
+        return bool(self.disagreements)
+
+    def summary(self) -> str:
+        if self.reproduced:
+            return (
+                f"replay {self.path}: FAILURE REPRODUCED on "
+                f"{self.config_name} ({len(self.disagreements)} "
+                f"disagreement(s))"
+            )
+        return (
+            f"replay {self.path}: case passes on {self.config_name} "
+            f"(failure not reproduced — fixed or environment-dependent)"
+        )
+
+
+def replay_artifact(path: str | Path) -> ReplayResult:
+    """Re-run an artifact's case through its failing configuration."""
+    from .runner import ConformanceRunner
+
+    doc = load_artifact(path)
+    case = CheckCase.from_dict(doc["case"])
+    configs = configs_by_name([doc["config"]])
+    runner = ConformanceRunner(configs=configs, shrink=False)
+    disagreements = runner.check_case(case, configs)
+    return ReplayResult(
+        path=str(path),
+        config_name=doc["config"],
+        case=case,
+        disagreements=disagreements,
+    )

@@ -1,0 +1,164 @@
+"""Self-contained conformance cases: serializable, replayable inputs.
+
+A :class:`CheckCase` is everything one differential run needs — contract
+specifications (clause texts + relational attributes), one temporal
+query, and one attribute filter — expressed entirely in JSON-able
+primitives so a failing case can be written to disk as a standalone
+repro artifact and replayed later without the generator or its seed.
+
+Formulas are stored as LTL *text* (``format_formula`` output, re-parsed
+on materialization); attribute filters are stored as ``(attribute, op,
+value)`` triples (:class:`FilterSpec`) because the production
+:class:`~repro.broker.relational.AttributeFilter` carries opaque
+predicates that cannot round-trip through JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..broker.contract import ContractSpec
+from ..broker.relational import (
+    AttributeFilter,
+    eq,
+    ge,
+    gt,
+    is_in,
+    le,
+    lt,
+    ne,
+)
+from ..errors import ReproError
+from ..ltl.ast import Formula
+from ..ltl.parser import parse
+
+#: Operator spellings a :class:`FilterSpec` condition may use.
+_FILTER_OPS = {
+    "==": eq,
+    "!=": ne,
+    "<": lt,
+    "<=": le,
+    ">": gt,
+    ">=": ge,
+    "in": lambda attr, value: is_in(attr, value),
+}
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A JSON-able description of an attribute filter.
+
+    ``conditions`` is a tuple of ``(attribute, op, value)`` triples; the
+    ``in`` operator takes a list value.  :meth:`build` materializes the
+    equivalent :class:`~repro.broker.relational.AttributeFilter`.
+    """
+
+    conditions: tuple[tuple[str, str, Any], ...] = ()
+
+    def build(self) -> AttributeFilter:
+        built = []
+        for attribute, op, value in self.conditions:
+            factory = _FILTER_OPS.get(op)
+            if factory is None:
+                raise ReproError(f"unknown filter operator {op!r}")
+            built.append(factory(attribute, value))
+        return AttributeFilter.where(*built)
+
+    def to_list(self) -> list[list[Any]]:
+        return [
+            [attribute, op, list(value) if op == "in" else value]
+            for attribute, op, value in self.conditions
+        ]
+
+    @classmethod
+    def from_list(cls, items: list) -> "FilterSpec":
+        return cls(
+            tuple(
+                (attribute, op, tuple(value) if op == "in" else value)
+                for attribute, op, value in items
+            )
+        )
+
+    def __str__(self) -> str:
+        if not self.conditions:
+            return "TRUE"
+        return " AND ".join(
+            f"{attribute} {op} {value!r}"
+            for attribute, op, value in self.conditions
+        )
+
+
+@dataclass(frozen=True)
+class ContractCase:
+    """One contract of a case: clause texts plus relational attributes."""
+
+    name: str
+    clauses: tuple[str, ...]
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def spec(self) -> ContractSpec:
+        return ContractSpec(
+            name=self.name,
+            clauses=tuple(parse(text) for text in self.clauses),
+            attributes=dict(self.attributes),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "clauses": list(self.clauses),
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "ContractCase":
+        return cls(
+            name=doc["name"],
+            clauses=tuple(doc["clauses"]),
+            attributes=dict(doc.get("attributes") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class CheckCase:
+    """One complete differential-conformance input."""
+
+    case_id: str
+    contracts: tuple[ContractCase, ...]
+    query: str
+    filter: FilterSpec = FilterSpec()
+
+    def specs(self) -> list[ContractSpec]:
+        return [contract.spec() for contract in self.contracts]
+
+    def query_formula(self) -> Formula:
+        return parse(self.query)
+
+    def to_dict(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "contracts": [c.to_dict() for c in self.contracts],
+            "query": self.query,
+            "filter": self.filter.to_list(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "CheckCase":
+        return cls(
+            case_id=doc["case_id"],
+            contracts=tuple(
+                ContractCase.from_dict(c) for c in doc["contracts"]
+            ),
+            query=doc["query"],
+            filter=FilterSpec.from_list(doc.get("filter") or []),
+        )
+
+    def __str__(self) -> str:
+        clauses = "; ".join(
+            f"{c.name}:[{' && '.join(c.clauses)}]" for c in self.contracts
+        )
+        return (
+            f"CheckCase({self.case_id}: query={self.query!r}, "
+            f"filter={self.filter}, contracts={clauses})"
+        )

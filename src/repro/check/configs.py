@@ -1,0 +1,110 @@
+"""The configuration lattice the differential runner sweeps.
+
+Every case runs through each :class:`StackConfig`; exact configurations
+must reproduce the oracle's answer bit-for-bit, budgeted ones must
+respect the degradation invariant ``permitted ⊆ exact ⊆ permitted ∪
+maybe`` (docs/DEVELOPMENT.md invariant 8).
+
+The lattice covers both deciders crossed with both index optimizations
+(8 exact configurations — any single-layer bug breaks at least one cell
+while the others pin the blame), plus four *mode* configurations that
+exercise the serving machinery around the deciders: a cache-warm repeat
+(compilation-cache reuse), parallel ``query_many`` (thread-pool fan-out
+must be bit-identical to serial), a step-budgeted run under the MAYBE
+degradation policy, and a save→load round trip (snapshot persistence
+must answer like the database that produced it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..broker.database import BrokerConfig
+from ..errors import ReproError
+
+#: Step budget of the degraded configuration: small enough to trip on
+#: the occasional hard case, large enough that most checks complete and
+#: the exact-subset comparison still bites.
+BUDGET_CONFIG_STEPS = 64
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """One point of the lattice.
+
+    ``mode`` selects how the query is executed:
+
+    * ``"direct"`` — one plain ``db.query`` call;
+    * ``"cache_warm"`` — the same query twice on one database; both the
+      cold and the warm answer are checked;
+    * ``"parallel"`` — ``db.query_many`` with a thread pool;
+    * ``"budget"`` — a deterministic step budget with ``MAYBE``
+      degradation (the only non-exact configuration);
+    * ``"roundtrip"`` — save the database to a snapshot, load it back,
+      query the loaded copy.
+    """
+
+    name: str
+    algorithm: str = "ndfs"
+    use_prefilter: bool = True
+    use_projections: bool = True
+    mode: str = "direct"
+
+    @property
+    def exact(self) -> bool:
+        """Whether this configuration must match the oracle exactly."""
+        return self.mode != "budget"
+
+    def broker_config(self) -> BrokerConfig:
+        return BrokerConfig(
+            permission_algorithm=self.algorithm,
+            use_prefilter=self.use_prefilter,
+            use_projections=self.use_projections,
+        )
+
+
+def _base_lattice() -> list[StackConfig]:
+    out = []
+    for algorithm in ("ndfs", "scc"):
+        for use_prefilter in (False, True):
+            for use_projections in (False, True):
+                name = algorithm
+                name += "+pf" if use_prefilter else ""
+                name += "+proj" if use_projections else ""
+                out.append(
+                    StackConfig(
+                        name=name,
+                        algorithm=algorithm,
+                        use_prefilter=use_prefilter,
+                        use_projections=use_projections,
+                    )
+                )
+    return out
+
+
+def config_lattice() -> tuple[StackConfig, ...]:
+    """The full default lattice (12 configurations)."""
+    return tuple(
+        _base_lattice()
+        + [
+            StackConfig(name="cache-warm", mode="cache_warm"),
+            StackConfig(name="parallel-x2", mode="parallel"),
+            StackConfig(name="budget-maybe", mode="budget"),
+            StackConfig(name="save-load", mode="roundtrip"),
+        ]
+    )
+
+
+def configs_by_name(names: list[str] | None = None) -> tuple[StackConfig, ...]:
+    """Resolve configuration names (``None`` = the whole lattice)."""
+    lattice = config_lattice()
+    if names is None:
+        return lattice
+    by_name = {config.name: config for config in lattice}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        raise ReproError(
+            f"unknown configuration(s) {unknown}; available: "
+            f"{sorted(by_name)}"
+        )
+    return tuple(by_name[name] for name in names)

@@ -1,0 +1,402 @@
+"""The configuration-lattice differential runner.
+
+For every generated case the runner computes the ground-truth permitted
+set with the explicit-model oracle (filtered by the case's attribute
+filter, evaluated directly against the contract attributes), then
+executes the case through every :class:`~repro.check.configs.StackConfig`
+and compares:
+
+* **exact** configurations must return exactly the oracle's set, with no
+  "maybe" residue;
+* the **budgeted** configuration must satisfy the degradation invariant
+  ``permitted ⊆ exact ⊆ permitted ∪ maybe``.
+
+Contract translation is shared across configurations (via
+``PrebuiltArtifacts``) because the translator is identical in every
+cell; everything downstream — index build, projection build, seeds,
+deciders, cache, thread pool, persistence — runs per configuration, so a
+divergence isolates the differing layer.
+
+Any violation is recorded as a :class:`Disagreement`, greedily shrunk
+(:mod:`repro.check.shrink`) and written out as a standalone JSON repro
+artifact (:mod:`repro.check.artifacts`).  Progress and failure counts
+are surfaced through a :class:`~repro.obs.metrics.MetricsRegistry` so a
+long fuzz run can be watched like any other broker workload.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..automata.ltl2ba import translate
+from ..broker.database import ContractDatabase
+from ..broker.options import Degradation, PrebuiltArtifacts, QueryOptions
+from ..errors import ReproError, TranslationError
+from ..obs.metrics import MetricsRegistry
+from .cases import CheckCase
+from .configs import BUDGET_CONFIG_STEPS, StackConfig, config_lattice
+from .generators import PROFILES, CheckProfile, generate_case
+from .oracle import OracleLimitError, oracle_permits
+from .shrink import shrink_case
+
+
+@dataclass
+class Disagreement:
+    """One configuration's answer diverging from the oracle."""
+
+    case: CheckCase
+    config_name: str
+    #: which answer of the configuration diverged (a cache-warm run
+    #: checks both its cold and its warm answer)
+    label: str
+    #: "exact-mismatch", "degradation-violation", or "error"
+    kind: str
+    expected: tuple[str, ...]
+    got: tuple[str, ...]
+    maybe: tuple[str, ...] = ()
+    detail: str = ""
+    artifact_path: str | None = None
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.config_name} [{self.label}] {self.kind} on "
+            f"{self.case.case_id}:",
+            f"  query    : {self.case.query}",
+            f"  filter   : {self.case.filter}",
+            f"  expected : {sorted(self.expected)}",
+            f"  got      : {sorted(self.got)}"
+            + (f" maybe={sorted(self.maybe)}" if self.maybe else ""),
+        ]
+        if self.detail:
+            lines.append(f"  detail   : {self.detail}")
+        if self.artifact_path:
+            lines.append(f"  artifact : {self.artifact_path}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ConformanceReport:
+    """The outcome of one conformance run."""
+
+    seed: int
+    cases_requested: int
+    config_names: tuple[str, ...] = ()
+    cases_run: int = 0
+    cases_skipped: int = 0
+    disagreements: list[Disagreement] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    @property
+    def configs_run(self) -> int:
+        return self.cases_run * len(self.config_names)
+
+    def summary(self) -> str:
+        verdict = (
+            "OK"
+            if self.ok
+            else f"{len(self.disagreements)} DISAGREEMENT(S)"
+        )
+        return (
+            f"conformance seed={self.seed}: {self.cases_run} case(s) "
+            f"({self.cases_skipped} skipped) x {len(self.config_names)} "
+            f"configuration(s) = {self.configs_run} differential run(s) "
+            f"in {self.elapsed_seconds:.1f}s -> {verdict}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cases_requested": self.cases_requested,
+            "cases_run": self.cases_run,
+            "cases_skipped": self.cases_skipped,
+            "configs": list(self.config_names),
+            "elapsed_seconds": self.elapsed_seconds,
+            "ok": self.ok,
+            "disagreements": [
+                {
+                    "config": d.config_name,
+                    "label": d.label,
+                    "kind": d.kind,
+                    "case": d.case.to_dict(),
+                    "expected": sorted(d.expected),
+                    "got": sorted(d.got),
+                    "maybe": sorted(d.maybe),
+                    "detail": d.detail,
+                    "artifact": d.artifact_path,
+                }
+                for d in self.disagreements
+            ],
+        }
+
+
+class ConformanceRunner:
+    """Drives generation → oracle → configuration lattice → artifacts.
+
+    Args:
+        seed: base seed; case ``i`` is fully determined by ``(seed, i)``.
+        cases: how many cases to generate and check.
+        profile: a :class:`~repro.check.generators.CheckProfile` or the
+            name of one of :data:`~repro.check.generators.PROFILES`.
+        configs: the :class:`StackConfig` tuple to sweep (default: the
+            full 12-point lattice).
+        artifact_dir: where failure repro artifacts are written
+            (``None`` = don't write artifacts).
+        shrink: greedily minimize failing cases before reporting.
+        metrics: an external registry to feed (default: a fresh one on
+            ``runner.metrics``).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        cases: int = 100,
+        profile: CheckProfile | str = "small",
+        configs: tuple[StackConfig, ...] | None = None,
+        artifact_dir: str | Path | None = None,
+        shrink: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.seed = seed
+        self.cases_requested = cases
+        if isinstance(profile, str):
+            if profile not in PROFILES:
+                raise ReproError(
+                    f"unknown check profile {profile!r}; available: "
+                    f"{sorted(PROFILES)}"
+                )
+            profile = PROFILES[profile]
+        self.profile = profile
+        self.configs = tuple(configs) if configs is not None else config_lattice()
+        self.artifact_dir = Path(artifact_dir) if artifact_dir else None
+        self.shrink_enabled = shrink
+        self.metrics = metrics or MetricsRegistry()
+
+    # -- one case ---------------------------------------------------------------------
+
+    def check_case(
+        self,
+        case: CheckCase,
+        configs: tuple[StackConfig, ...] | None = None,
+    ) -> list[Disagreement]:
+        """Evaluate one case against the oracle across ``configs``
+        (default: the runner's lattice); returns the disagreements
+        without shrinking or artifact writing.  Raises
+        :class:`~repro.errors.TranslationError` /
+        :class:`~repro.check.oracle.OracleLimitError` when the case
+        cannot be materialized."""
+        specs, bas, query_ba = self._materialize(case)
+        expected = self._expected_names(case, specs, bas, query_ba)
+        failures: list[Disagreement] = []
+        for config in configs if configs is not None else self.configs:
+            failures.extend(
+                self._check_config(case, specs, bas, expected, config)
+            )
+            self.metrics.inc("check.configs_run")
+        return failures
+
+    def _materialize(self, case: CheckCase):
+        specs = case.specs()
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ReproError(
+                f"case {case.case_id} has duplicate contract names"
+            )
+        bas = {spec.name: translate(spec.formula) for spec in specs}
+        query_ba = translate(case.query_formula())
+        return specs, bas, query_ba
+
+    def _expected_names(self, case, specs, bas, query_ba) -> frozenset[str]:
+        """The ground truth: oracle-permitted among filter matches."""
+        attribute_filter = case.filter.build()
+        permitted = set()
+        for spec in specs:
+            if not attribute_filter.matches(spec.attributes):
+                continue
+            if oracle_permits(bas[spec.name], query_ba, spec.vocabulary):
+                permitted.add(spec.name)
+        return frozenset(permitted)
+
+    def _build_db(self, specs, bas, config: StackConfig) -> ContractDatabase:
+        db = ContractDatabase(config.broker_config())
+        for spec in specs:
+            db.register(spec, prebuilt=PrebuiltArtifacts(ba=bas[spec.name]))
+        return db
+
+    def _run_config(
+        self, case: CheckCase, specs, bas, config: StackConfig
+    ) -> list[tuple[str, tuple[str, ...], tuple[str, ...]]]:
+        """Execute one configuration; returns ``(label, permitted,
+        maybe)`` answer tuples (cache-warm yields two)."""
+        db = self._build_db(specs, bas, config)
+        options = QueryOptions(attribute_filter=case.filter.build())
+        if config.mode == "direct":
+            outcome = db.query(case.query, options)
+            return [("direct", outcome.contract_names, outcome.maybe_names)]
+        if config.mode == "cache_warm":
+            cold = db.query(case.query, options)
+            warm = db.query(case.query, options)
+            return [
+                ("cold", cold.contract_names, cold.maybe_names),
+                ("warm", warm.contract_names, warm.maybe_names),
+            ]
+        if config.mode == "parallel":
+            outcome = db.query_many(
+                [case.query], options.evolve(workers=2)
+            )[0]
+            return [("parallel", outcome.contract_names, outcome.maybe_names)]
+        if config.mode == "budget":
+            outcome = db.query(
+                case.query,
+                options.evolve(
+                    step_budget=BUDGET_CONFIG_STEPS,
+                    degradation=Degradation.MAYBE,
+                ),
+            )
+            return [("budget", outcome.contract_names, outcome.maybe_names)]
+        if config.mode == "roundtrip":
+            from ..broker.persist import load_database, save_database
+
+            with tempfile.TemporaryDirectory(
+                prefix="repro-check-"
+            ) as directory:
+                save_database(db, directory)
+                loaded = load_database(directory)
+            outcome = loaded.query(case.query, options)
+            return [
+                ("roundtrip", outcome.contract_names, outcome.maybe_names)
+            ]
+        raise ReproError(f"unknown configuration mode {config.mode!r}")
+
+    def _check_config(
+        self,
+        case: CheckCase,
+        specs,
+        bas,
+        expected: frozenset[str],
+        config: StackConfig,
+    ) -> list[Disagreement]:
+        try:
+            answers = self._run_config(case, specs, bas, config)
+        except Exception as exc:  # the harness must survive stack crashes
+            return [
+                Disagreement(
+                    case=case,
+                    config_name=config.name,
+                    label=config.mode,
+                    kind="error",
+                    expected=tuple(sorted(expected)),
+                    got=(),
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            ]
+        failures = []
+        for label, permitted, maybe in answers:
+            got = frozenset(permitted)
+            maybe_set = frozenset(maybe)
+            if config.exact:
+                if got != expected or maybe_set:
+                    failures.append(
+                        Disagreement(
+                            case=case,
+                            config_name=config.name,
+                            label=label,
+                            kind="exact-mismatch",
+                            expected=tuple(sorted(expected)),
+                            got=tuple(sorted(got)),
+                            maybe=tuple(sorted(maybe_set)),
+                        )
+                    )
+            elif not (got <= expected <= got | maybe_set):
+                failures.append(
+                    Disagreement(
+                        case=case,
+                        config_name=config.name,
+                        label=label,
+                        kind="degradation-violation",
+                        expected=tuple(sorted(expected)),
+                        got=tuple(sorted(got)),
+                        maybe=tuple(sorted(maybe_set)),
+                    )
+                )
+        return failures
+
+    # -- the full run -----------------------------------------------------------------
+
+    def _still_fails(self, config: StackConfig):
+        """The shrink predicate: does ``config`` still disagree with the
+        oracle on a candidate case?"""
+
+        def predicate(candidate: CheckCase) -> bool:
+            try:
+                return bool(self.check_case(candidate, (config,)))
+            except ReproError:
+                return False
+
+        return predicate
+
+    def _handle_failure(
+        self, failure: Disagreement, original: CheckCase
+    ) -> Disagreement:
+        """Shrink a failing case, re-derive the disagreement on the
+        shrunk case, and write the repro artifact."""
+        from .artifacts import write_artifact
+
+        case = failure.case
+        if self.shrink_enabled:
+            config = next(
+                c for c in self.configs if c.name == failure.config_name
+            )
+            shrunk = shrink_case(case, self._still_fails(config))
+            if shrunk is not case:
+                try:
+                    refreshed = self.check_case(shrunk, (config,))
+                except ReproError:
+                    refreshed = []
+                if refreshed:
+                    failure = refreshed[0]
+        if self.artifact_dir is not None:
+            path = write_artifact(
+                self.artifact_dir,
+                failure,
+                seed=self.seed,
+                original_case=original,
+            )
+            failure.artifact_path = str(path)
+            self.metrics.inc("check.artifacts_written")
+        return failure
+
+    def run(self) -> ConformanceReport:
+        report = ConformanceReport(
+            seed=self.seed,
+            cases_requested=self.cases_requested,
+            config_names=tuple(c.name for c in self.configs),
+        )
+        started = time.perf_counter()
+        for index in range(self.cases_requested):
+            case = generate_case(self.seed, index, self.profile)
+            case_started = time.perf_counter()
+            try:
+                failures = self.check_case(case)
+            except (TranslationError, OracleLimitError):
+                report.cases_skipped += 1
+                self.metrics.inc("check.cases_skipped")
+                continue
+            report.cases_run += 1
+            self.metrics.inc("check.cases")
+            self.metrics.observe(
+                "check.case_seconds", time.perf_counter() - case_started
+            )
+            for failure in failures:
+                self.metrics.inc("check.disagreements")
+                report.disagreements.append(
+                    self._handle_failure(failure, case)
+                )
+        report.elapsed_seconds = time.perf_counter() - started
+        return report

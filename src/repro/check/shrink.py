@@ -1,0 +1,127 @@
+"""Greedy case minimization for failing conformance cases.
+
+Hypothesis-style shrinking without the hypothesis dependency: repeatedly
+try structure-reducing rewrites of the failing case — drop a contract,
+drop a filter condition, drop a clause, replace the query or a clause by
+one of its direct subformulas — and keep any rewrite for which the
+failure predicate still holds, until a full pass makes no progress or
+the attempt budget runs out.  Deterministic: candidates are enumerated
+in a fixed order, so the same failure always shrinks to the same
+artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..ltl.parser import parse
+from ..ltl.printer import format_formula
+from .cases import CheckCase, ContractCase, FilterSpec
+
+#: Total candidate evaluations one shrink is allowed (each evaluation
+#: re-runs the oracle and the failing configuration).
+DEFAULT_SHRINK_ATTEMPTS = 200
+
+
+def _subformula_texts(text: str) -> list[str]:
+    """The direct subformulas of an LTL text, rendered back to text."""
+    try:
+        formula = parse(text)
+    except Exception:
+        return []
+    out = []
+    for child in formula.children():
+        rendered = format_formula(child)
+        if rendered != text:
+            out.append(rendered)
+    return out
+
+
+def _candidates(case: CheckCase) -> Iterator[CheckCase]:
+    """Structure-reducing rewrites, most aggressive first."""
+    # Drop whole contracts (keep at least one).
+    if len(case.contracts) > 1:
+        for i in range(len(case.contracts)):
+            yield CheckCase(
+                case_id=case.case_id,
+                contracts=case.contracts[:i] + case.contracts[i + 1:],
+                query=case.query,
+                filter=case.filter,
+            )
+    # Drop filter conditions.
+    for i in range(len(case.filter.conditions)):
+        conditions = (
+            case.filter.conditions[:i] + case.filter.conditions[i + 1:]
+        )
+        yield CheckCase(
+            case_id=case.case_id,
+            contracts=case.contracts,
+            query=case.query,
+            filter=FilterSpec(conditions),
+        )
+    # Drop clauses (keep at least one per contract).
+    for i, contract in enumerate(case.contracts):
+        if len(contract.clauses) <= 1:
+            continue
+        for j in range(len(contract.clauses)):
+            smaller = ContractCase(
+                name=contract.name,
+                clauses=contract.clauses[:j] + contract.clauses[j + 1:],
+                attributes=contract.attributes,
+            )
+            yield CheckCase(
+                case_id=case.case_id,
+                contracts=case.contracts[:i] + (smaller,)
+                + case.contracts[i + 1:],
+                query=case.query,
+                filter=case.filter,
+            )
+    # Replace the query by a direct subformula.
+    for text in _subformula_texts(case.query):
+        yield CheckCase(
+            case_id=case.case_id,
+            contracts=case.contracts,
+            query=text,
+            filter=case.filter,
+        )
+    # Replace a clause by a direct subformula.
+    for i, contract in enumerate(case.contracts):
+        for j, clause in enumerate(contract.clauses):
+            for text in _subformula_texts(clause):
+                smaller = ContractCase(
+                    name=contract.name,
+                    clauses=contract.clauses[:j] + (text,)
+                    + contract.clauses[j + 1:],
+                    attributes=contract.attributes,
+                )
+                yield CheckCase(
+                    case_id=case.case_id,
+                    contracts=case.contracts[:i] + (smaller,)
+                    + case.contracts[i + 1:],
+                    query=case.query,
+                    filter=case.filter,
+                )
+
+
+def shrink_case(
+    case: CheckCase,
+    still_fails: Callable[[CheckCase], bool],
+    max_attempts: int = DEFAULT_SHRINK_ATTEMPTS,
+) -> CheckCase:
+    """The smallest case reachable by greedy rewriting for which
+    ``still_fails`` holds.  ``still_fails`` must be total (return False
+    on cases it cannot evaluate, e.g. untranslatable mutants)."""
+    current = case
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current

@@ -180,6 +180,36 @@ def _build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run the airfare running example")
     demo.set_defaults(handler=_cmd_demo)
 
+    check = sub.add_parser(
+        "check",
+        help="differential conformance run: random cases through the "
+             "whole stack lattice, cross-checked against a brute-force "
+             "oracle",
+    )
+    check.add_argument("--seed", type=int, default=0,
+                       help="base seed; each case is reproducible from "
+                            "(seed, case index)")
+    check.add_argument("--cases", type=int, default=200,
+                       help="number of random cases to generate")
+    check.add_argument("--profile", choices=["tiny", "small", "wide"],
+                       default="small",
+                       help="case-shape profile (alphabet size, contract "
+                            "count, formula depth)")
+    check.add_argument("--configs", default=None,
+                       help="comma-separated configuration names to run "
+                            "(default: the full lattice)")
+    check.add_argument("--artifacts", type=Path,
+                       default=Path("conformance-artifacts"),
+                       help="directory for failure-repro artifacts")
+    check.add_argument("--no-shrink", action="store_true",
+                       help="report failures without minimizing them")
+    check.add_argument("--json", action="store_true",
+                       help="emit the report (and metrics) as JSON")
+    check.add_argument("--replay", type=Path, default=None,
+                       help="replay one failure artifact instead of "
+                            "generating cases")
+    check.set_defaults(handler=_cmd_check)
+
     return parser
 
 
@@ -420,6 +450,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if result.right_only is not None:
         print(f"  only {args.right} allows: {result.right_only}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import ConformanceRunner, configs_by_name, replay_artifact
+
+    if args.replay is not None:
+        result = replay_artifact(args.replay)
+        print(result.summary())
+        for disagreement in result.disagreements:
+            print(disagreement.describe())
+        return 1 if result.reproduced else 0
+
+    config_names = (
+        args.configs.split(",") if args.configs is not None else None
+    )
+    runner = ConformanceRunner(
+        seed=args.seed,
+        cases=args.cases,
+        profile=args.profile,
+        configs=configs_by_name(config_names),
+        artifact_dir=args.artifacts,
+        shrink=not args.no_shrink,
+    )
+    # The seed line is load-bearing: CI jobs fuzz with varying seeds and
+    # this is what a failure report gets reproduced from.
+    print(f"conformance check: seed={args.seed} cases={args.cases} "
+          f"profile={args.profile} "
+          f"configs={len(runner.configs)}")
+    report = runner.run()
+    if args.json:
+        doc = report.to_dict()
+        doc["metrics"] = runner.metrics.snapshot()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        for disagreement in report.disagreements:
+            print()
+            print(disagreement.describe())
+    return 0 if report.ok else 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:

@@ -2,6 +2,7 @@
 non-LTL-shaped Büchi automata (arbitrary graphs, unreachable states,
 dead ends, parallel edges)."""
 
+import pytest
 from hypothesis import given, settings
 
 from repro.automata.bisim import quotient_by_bisimulation
@@ -13,6 +14,10 @@ from repro.core.permission import permits_ndfs, permits_scc
 from repro.core.seeds import compute_seeds
 
 from ..strategies import buchi_automata, runs
+
+# The whole module is high-example-count hypothesis differentials —
+# the slowest tier-1 files by far.  CI runs them via --runslow.
+pytestmark = pytest.mark.slow
 
 
 class TestStructuralAlgorithms:

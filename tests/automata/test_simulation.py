@@ -1,5 +1,6 @@
 """Tests for direct-simulation reduction."""
 
+import pytest
 from hypothesis import given, settings
 
 from repro.automata.buchi import BuchiAutomaton
@@ -91,6 +92,7 @@ class TestQuotientAndPruning:
         assert pruned.num_transitions == 2
 
 
+@pytest.mark.slow
 class TestLanguagePreservation:
     @given(formulas(max_depth=3), runs())
     @settings(max_examples=150, deadline=None)

@@ -196,3 +196,98 @@ class TestTupleFastPathRemoved:
         again = db.query_planned("F refund")
         assert again.stats.cache_hit
         assert again.contract_ids == result.contract_ids
+
+
+class TestCacheUnderDistinctOptions:
+    """One compiled entry serves every QueryOptions combination.
+
+    The cache key is the normalized formula alone — the attribute
+    filter, budgets, degradation policy, and index toggles are all
+    applied *after* compilation, so a warm entry must never leak one
+    call's options into the next call's answer.
+    """
+
+    QUERY = "F(missedFlight && F(refund || dateChange))"
+
+    def test_hit_across_distinct_filters_stays_filter_correct(self):
+        from repro.broker.options import QueryOptions
+        from repro.broker.relational import AttributeFilter, eq
+
+        db = _db()
+        reference = _db(query_cache_capacity=0)  # never caches
+        filters = [
+            AttributeFilter.where(eq("airline", "United")),
+            AttributeFilter.where(eq("cabin", "economy")),
+            AttributeFilter.where(eq("price", 980)),
+        ]
+        db.query(self.QUERY)  # warm the entry
+        for attribute_filter in filters:
+            options = QueryOptions(attribute_filter=attribute_filter)
+            warm = db.query(self.QUERY, options)
+            assert warm.stats.cache_hit
+            assert warm.contract_names == reference.query(
+                self.QUERY, options
+            ).contract_names
+
+    def test_hit_across_budget_and_degradation_policies(self):
+        from repro.broker.options import Degradation, QueryOptions
+
+        db = _db()
+        exact = db.query(self.QUERY)
+        exact_names = set(exact.contract_names)
+
+        degraded = db.query(
+            self.QUERY,
+            QueryOptions(step_budget=1, degradation=Degradation.MAYBE),
+        )
+        assert degraded.stats.cache_hit
+        got = set(degraded.contract_names)
+        maybe = set(degraded.maybe_names)
+        assert got <= exact_names <= got | maybe
+
+        dropped = db.query(
+            self.QUERY,
+            QueryOptions(step_budget=1, degradation=Degradation.DROP),
+        )
+        assert dropped.stats.cache_hit
+        assert set(dropped.contract_names) <= exact_names
+
+    def test_degraded_call_does_not_poison_exact_answers(self):
+        from repro.broker.options import Degradation, QueryOptions
+
+        db = _db()
+        reference = _db(query_cache_capacity=0)
+        # the *cold* call is the degraded one: whatever it caches must
+        # still serve exact queries exactly
+        db.query(
+            self.QUERY,
+            QueryOptions(step_budget=1, degradation=Degradation.MAYBE),
+        )
+        warm_exact = db.query(self.QUERY)
+        assert warm_exact.stats.cache_hit
+        assert not warm_exact.maybe_names
+        assert warm_exact.contract_names == reference.query(
+            self.QUERY
+        ).contract_names
+
+    def test_hit_across_index_toggle_overrides(self):
+        from repro.broker.options import QueryOptions
+
+        db = _db()
+        baseline = db.query(
+            self.QUERY,
+            QueryOptions(use_prefilter=False, use_projections=False),
+        )
+        for use_prefilter in (False, True):
+            for use_projections in (False, True):
+                outcome = db.query(
+                    self.QUERY,
+                    QueryOptions(
+                        use_prefilter=use_prefilter,
+                        use_projections=use_projections,
+                    ),
+                )
+                assert outcome.contract_ids == baseline.contract_ids
+        # 4 toggle combinations after the cold compile = 4 hits
+        assert db.cache_stats().misses == 1
+        assert db.cache_stats().hits == 4

@@ -1,0 +1,19 @@
+"""Large-budget conformance fuzzing (nightly CI; needs --runfuzz)."""
+
+import pytest
+
+from repro.check import ConformanceRunner
+
+pytestmark = pytest.mark.fuzz
+
+
+@pytest.mark.parametrize("profile", ["tiny", "small", "wide"])
+def test_big_sweep_has_no_disagreements(profile, tmp_path):
+    report = ConformanceRunner(
+        seed=2026, cases=400, profile=profile, artifact_dir=tmp_path
+    ).run()
+    assert report.ok, "\n\n".join(
+        d.describe() for d in report.disagreements
+    )
+    # the sweep must actually exercise cases, not skip them all
+    assert report.cases_run > report.cases_skipped

@@ -1,0 +1,96 @@
+"""Determinism and serialization of the harness's case generators."""
+
+import json
+
+import pytest
+
+from repro.check import CheckCase, PROFILES, generate_case
+from repro.check.cases import FilterSpec
+from repro.check.generators import random_filter_spec, random_formula
+from repro.errors import ReproError
+from repro.ltl.parser import parse
+
+import random
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        for index in range(10):
+            first = generate_case(seed=42, case_index=index)
+            second = generate_case(seed=42, case_index=index)
+            assert first.to_dict() == second.to_dict()
+
+    def test_distinct_indices_distinct_ids(self):
+        ids = {generate_case(seed=1, case_index=i).case_id for i in range(20)}
+        assert len(ids) == 20
+
+    def test_formula_generator_is_rng_driven(self):
+        texts = {
+            str(random_formula(random.Random(9), ("a", "b"), max_depth=3))
+            for _ in range(5)
+        }
+        assert len(texts) == 1
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_profile_respects_bounds(self, profile):
+        spec = PROFILES[profile]
+        for index in range(15):
+            case = generate_case(seed=3, case_index=index, profile=spec)
+            assert (
+                spec.min_contracts
+                <= len(case.contracts)
+                <= spec.max_contracts
+            )
+            for contract in case.contracts:
+                assert 1 <= len(contract.clauses) <= spec.max_clauses
+                # every clause and the query must be parseable LTL text
+                for clause in contract.clauses:
+                    parse(clause)
+            parse(case.query)
+
+
+class TestRoundTrip:
+    def test_case_json_round_trip(self):
+        case = generate_case(seed=7, case_index=0)
+        payload = json.dumps(case.to_dict())
+        restored = CheckCase.from_dict(json.loads(payload))
+        assert restored == case
+
+    def test_filter_spec_round_trip_preserves_in_tuples(self):
+        spec = FilterSpec(
+            (("route", "in", ("AMS-JFK", "SFO-NRT")), ("price", "<=", 400))
+        )
+        restored = FilterSpec.from_list(
+            json.loads(json.dumps(spec.to_list()))
+        )
+        assert restored == spec
+
+
+class TestFilterSemantics:
+    def test_build_matches_like_conditions(self):
+        spec = FilterSpec((("price", "<=", 400), ("tier", "!=", "basic")))
+        built = spec.build()
+        assert built.matches({"price": 300, "route": "X", "tier": "flex"})
+        assert not built.matches({"price": 500, "route": "X", "tier": "flex"})
+        assert not built.matches({"price": 300, "route": "X", "tier": "basic"})
+
+    def test_in_operator(self):
+        built = FilterSpec((("route", "in", ("AMS-JFK",)),)).build()
+        assert built.matches({"route": "AMS-JFK"})
+        assert not built.matches({"route": "CDG-GRU"})
+
+    def test_empty_spec_matches_everything(self):
+        assert FilterSpec(()).build().matches({"anything": 1})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ReproError):
+            FilterSpec((("price", "~", 1),)).build()
+
+    def test_generated_specs_always_buildable(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            spec = random_filter_spec(rng, max_conditions=3)
+            spec.build().matches({"price": 100, "route": "AMS-JFK",
+                                  "tier": "basic"})

@@ -1,0 +1,178 @@
+"""The differential runner end to end: clean sweeps, injected wrong
+verdicts, shrinking, artifacts, and replay."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    CheckCase,
+    ConformanceRunner,
+    config_lattice,
+    configs_by_name,
+    generate_case,
+    load_artifact,
+    replay_artifact,
+)
+from repro.check.cases import ContractCase, FilterSpec
+from repro.core.permission import permits as real_permits
+from repro.errors import ReproError
+
+
+class TestLattice:
+    def test_lattice_shape(self):
+        lattice = config_lattice()
+        assert len(lattice) == 12
+        names = [c.name for c in lattice]
+        assert len(set(names)) == len(names)
+        assert sum(1 for c in lattice if not c.exact) == 1
+
+    def test_configs_by_name_rejects_unknown(self):
+        with pytest.raises(ReproError):
+            configs_by_name(["no-such-config"])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError):
+            ConformanceRunner(profile="enormous")
+
+
+class TestCleanRun:
+    def test_small_run_agrees_everywhere(self, tmp_path):
+        runner = ConformanceRunner(
+            seed=7, cases=12, artifact_dir=tmp_path
+        )
+        report = runner.run()
+        assert report.ok
+        assert report.cases_run + report.cases_skipped == 12
+        assert report.configs_run == report.cases_run * 12
+        assert list(tmp_path.iterdir()) == []
+        assert runner.metrics.counter_value("check.cases") == report.cases_run
+        assert runner.metrics.counter_value("check.disagreements") == 0
+
+    def test_report_to_dict_is_json_able(self):
+        report = ConformanceRunner(seed=1, cases=3).run()
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["ok"] is True
+        assert doc["seed"] == 1
+
+    def test_duplicate_contract_names_rejected(self):
+        case = CheckCase(
+            case_id="dup",
+            contracts=(
+                ContractCase(name="c0", clauses=("a",)),
+                ContractCase(name="c0", clauses=("b",)),
+            ),
+            query="F a",
+        )
+        with pytest.raises(ReproError):
+            ConformanceRunner().check_case(case)
+
+
+def _invert_decider(monkeypatch):
+    """Install a wrong decider: every definite verdict is flipped."""
+
+    def inverted(contract, query, vocabulary=None, **kwargs):
+        return not real_permits(contract, query, vocabulary, **kwargs)
+
+    monkeypatch.setattr("repro.broker.database.permits", inverted)
+
+
+class TestInjectedWrongVerdict:
+    """The acceptance pipeline: a hand-injected wrong verdict must be
+    detected, shrunk, written as a standalone artifact, and replayable."""
+
+    def test_detection_shrink_artifact_replay(self, tmp_path, monkeypatch):
+        _invert_decider(monkeypatch)
+        # prefilter off so the (stubbed) decider is consulted for every
+        # candidate and the inversion cannot be masked
+        runner = ConformanceRunner(
+            seed=7,
+            cases=4,
+            configs=configs_by_name(["ndfs"]),
+            artifact_dir=tmp_path,
+        )
+        report = runner.run()
+        assert not report.ok
+        failure = report.disagreements[0]
+        assert failure.kind == "exact-mismatch"
+        assert failure.artifact_path is not None
+
+        doc = load_artifact(failure.artifact_path)
+        assert doc["config"] == "ndfs"
+        assert doc["expected"] != doc["got"]
+        # the artifact is standalone: the stored case alone reproduces
+        restored = CheckCase.from_dict(doc["case"])
+        assert runner.check_case(restored, configs_by_name(["ndfs"]))
+
+        # replay while the bug is still installed -> reproduced
+        replayed = replay_artifact(failure.artifact_path)
+        assert replayed.reproduced
+        assert "FAILURE REPRODUCED" in replayed.summary()
+
+        # replay after the fix -> passes
+        monkeypatch.undo()
+        fixed = replay_artifact(failure.artifact_path)
+        assert not fixed.reproduced
+        assert "passes" in fixed.summary()
+
+    def test_shrinking_minimizes_the_case(self, tmp_path, monkeypatch):
+        _invert_decider(monkeypatch)
+        runner = ConformanceRunner(
+            seed=7,
+            cases=2,
+            configs=configs_by_name(["ndfs"]),
+            artifact_dir=tmp_path,
+        )
+        report = runner.run()
+        assert not report.ok
+        for failure in report.disagreements:
+            original = generate_case(
+                7, int(failure.case.case_id.rsplit("case", 1)[1])
+            )
+            assert len(failure.case.contracts) <= len(original.contracts)
+            doc = load_artifact(failure.artifact_path)
+            if failure.case != original:
+                assert doc["original_case"] == original.to_dict()
+
+    def test_crashing_decider_reported_as_error(self, monkeypatch):
+        def broken(*args, **kwargs):
+            raise RuntimeError("decider exploded")
+
+        monkeypatch.setattr("repro.broker.database.permits", broken)
+        runner = ConformanceRunner(
+            seed=7, cases=1, configs=configs_by_name(["ndfs"]), shrink=False
+        )
+        report = runner.run()
+        assert not report.ok
+        assert report.disagreements[0].kind == "error"
+        assert "decider exploded" in report.disagreements[0].detail
+
+
+class TestReplayValidation:
+    def test_replay_rejects_non_artifact(self, tmp_path):
+        bogus = tmp_path / "not-artifact.json"
+        bogus.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(ReproError):
+            replay_artifact(bogus)
+
+
+class TestFilterIntegration:
+    def test_filter_excludes_contract_everywhere(self):
+        case = CheckCase(
+            case_id="filtered",
+            contracts=(
+                ContractCase(
+                    name="cheap",
+                    clauses=("G (a -> F b)",),
+                    attributes={"price": 100},
+                ),
+                ContractCase(
+                    name="pricey",
+                    clauses=("G (a -> F b)",),
+                    attributes={"price": 900},
+                ),
+            ),
+            query="F a",
+            filter=FilterSpec((("price", "<=", 400),)),
+        )
+        assert ConformanceRunner().check_case(case) == []

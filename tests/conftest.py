@@ -12,6 +12,33 @@ from repro.broker.database import BrokerConfig, ContractDatabase
 from repro.workload.airfare import all_ticket_specs
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="also run tests marked @pytest.mark.slow (heavyweight "
+             "hypothesis/differential tests; CI always passes this)",
+    )
+    parser.addoption(
+        "--runfuzz", action="store_true", default=False,
+        help="also run tests marked @pytest.mark.fuzz (large-budget "
+             "conformance fuzzing; the nightly CI job passes this)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    gates = [
+        ("slow", "--runslow"),
+        ("fuzz", "--runfuzz"),
+    ]
+    for marker, flag in gates:
+        if config.getoption(flag):
+            continue
+        skip = pytest.mark.skip(reason=f"needs {flag} option to run")
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
+
+
 @pytest.fixture(scope="session")
 def airfare_db() -> ContractDatabase:
     """Tickets A, B, C registered with all optimizations enabled."""

@@ -7,6 +7,7 @@ that exact set.  We check both against a naive scan over all stored
 expansions.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -38,6 +39,7 @@ def contract_sets(draw):
     return contracts
 
 
+@pytest.mark.slow
 class TestLookupAgainstBruteForce:
     @given(contract_sets(), labels())
     @settings(max_examples=100, deadline=None)

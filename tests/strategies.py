@@ -1,112 +1,10 @@
-"""Hypothesis strategies for LTL formulas, labels and runs.
+"""Thin re-export shim: the strategies now ship with the library.
 
-The formula strategy generates bounded-depth trees over a tiny
-vocabulary; paired with the random-run strategy it drives the
-differential tests between the ground-truth evaluator and the automata
-pipeline, which are the strongest correctness checks in the suite.
+The hypothesis strategies moved to :mod:`repro.check.strategies` so the
+conformance harness and downstream suites can import them; this module
+keeps every historical ``tests.strategies`` / ``..strategies`` import
+working unchanged.
 """
 
-from __future__ import annotations
-
-from hypothesis import strategies as st
-
-from repro.ltl import ast as A
-from repro.ltl.runs import Run
-
-#: Small vocabulary keeps automata tiny and collision-rich.
-EVENTS = ("a", "b", "c")
-
-
-def props(events: tuple[str, ...] = EVENTS) -> st.SearchStrategy:
-    return st.sampled_from(events).map(A.Prop)
-
-
-def formulas(
-    events: tuple[str, ...] = EVENTS, max_depth: int = 4
-) -> st.SearchStrategy:
-    """Random LTL formulas over ``events`` with bounded depth."""
-    atoms = st.one_of(
-        props(events),
-        st.just(A.TRUE),
-        st.just(A.FALSE),
-    )
-
-    def extend(children: st.SearchStrategy) -> st.SearchStrategy:
-        unary = st.sampled_from([A.Not, A.Next, A.Finally, A.Globally])
-        binary = st.sampled_from(
-            [A.And, A.Or, A.Implies, A.Iff, A.Until, A.WeakUntil,
-             A.Before, A.Release]
-        )
-        return st.one_of(
-            st.builds(lambda op, x: op(x), unary, children),
-            st.builds(lambda op, x, y: op(x, y), binary, children, children),
-        )
-
-    return st.recursive(atoms, extend, max_leaves=2 ** max_depth)
-
-
-def snapshots(events: tuple[str, ...] = EVENTS) -> st.SearchStrategy:
-    return st.sets(st.sampled_from(events)).map(frozenset)
-
-
-def runs(
-    events: tuple[str, ...] = EVENTS,
-    max_prefix: int = 4,
-    max_loop: int = 4,
-) -> st.SearchStrategy:
-    """Random ultimately-periodic runs over ``events``."""
-    return st.builds(
-        Run,
-        st.lists(snapshots(events), max_size=max_prefix).map(tuple),
-        st.lists(snapshots(events), min_size=1, max_size=max_loop).map(tuple),
-    )
-
-
-def labels(events: tuple[str, ...] = EVENTS) -> st.SearchStrategy:
-    """Random satisfiable conjunction-of-literal labels."""
-    from repro.automata.labels import Label, neg, pos
-
-    def build(assignment: dict) -> Label:
-        literals = [
-            pos(e) if polarity else neg(e)
-            for e, polarity in assignment.items()
-        ]
-        return Label.of(literals)
-
-    return st.dictionaries(
-        st.sampled_from(events), st.booleans(), max_size=len(events)
-    ).map(build)
-
-
-def buchi_automata(
-    events: tuple[str, ...] = EVENTS,
-    max_states: int = 5,
-    max_transitions: int = 10,
-) -> st.SearchStrategy:
-    """Random (not LTL-shaped) Büchi automata — arbitrary graphs with
-    random literal-conjunction labels and random final sets.
-
-    These exercise the automaton-generic algorithms (bisimulation,
-    products, reductions, permission) on shapes the translator never
-    produces: unreachable states, dead ends, parallel edges."""
-    from repro.automata.buchi import BuchiAutomaton, Transition
-
-    @st.composite
-    def build(draw):
-        num_states = draw(st.integers(min_value=1, max_value=max_states))
-        states = list(range(num_states))
-        num_transitions = draw(
-            st.integers(min_value=0, max_value=max_transitions)
-        )
-        transitions = [
-            Transition(
-                draw(st.sampled_from(states)),
-                draw(labels(events)),
-                draw(st.sampled_from(states)),
-            )
-            for _ in range(num_transitions)
-        ]
-        final = draw(st.sets(st.sampled_from(states)))
-        return BuchiAutomaton(states, 0, transitions, final)
-
-    return build()
+from repro.check.strategies import *  # noqa: F401,F403
+from repro.check.strategies import __all__  # noqa: F401
