@@ -41,13 +41,16 @@ from .broker import (
     QueryOptions,
     QueryOutcome,
     QueryResult,
+    RegistrationReport,
     Verdict,
+    open_database,
+    register_many,
 )
 from .core import Deadline, ExecutionBudget, StepBudget, find_witness, permits
 from .errors import ReproError
 from .ltl import Formula, Run, parse, satisfies
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AttributeFilter",
@@ -61,8 +64,11 @@ __all__ = [
     "QueryOptions",
     "QueryOutcome",
     "QueryResult",
+    "RegistrationReport",
     "StepBudget",
     "Verdict",
+    "open_database",
+    "register_many",
     "find_witness",
     "permits",
     "ReproError",

@@ -26,7 +26,9 @@ from .contract import Contract, ContractSpec
 from .monitor import ContractMonitor, MonitorStatus
 from .vocabulary import EventVocabulary
 from .persist import load_database, save_database
+from .journal import Journal, JournalReplayReport, open_database
 from .parallel import query_many, register_many
+from .registration import Quarantine, QuarantinedSpec, RegistrationReport
 from .planner import QueryPlan, QueryPlanner
 from .database import BrokerConfig, ContractDatabase, RegistrationStats
 from .options import Degradation, PrebuiltArtifacts, QueryOptions
@@ -60,6 +62,12 @@ __all__ = [
     "MonitorStatus",
     "load_database",
     "save_database",
+    "Journal",
+    "JournalReplayReport",
+    "open_database",
+    "Quarantine",
+    "QuarantinedSpec",
+    "RegistrationReport",
     "QueryPlan",
     "QueryPlanner",
     "register_many",

@@ -35,6 +35,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from ..automata.buchi import BuchiAutomaton
 from ..automata.ltl2ba import DEFAULT_STATE_BUDGET, translate
 from ..core.budget import Deadline, ExecutionBudget, StepBudget
+from ..core.rwlock import RWLock
 from ..core.permission import (
     PermissionStats,
     PermissionWitness,
@@ -46,6 +47,7 @@ from ..errors import BrokerError, BudgetExceededError, QueryBudgetError
 from ..index.prefilter import PrefilterIndex
 from ..ltl.ast import Formula
 from ..ltl.parser import parse
+from ..ltl.printer import format_formula
 from ..obs.metrics import COUNT_BUCKETS, RATIO_BUCKETS, MetricsRegistry
 from ..projection.store import ProjectionStore
 from .cache import (
@@ -62,6 +64,7 @@ from .options import (
     coerce_query_options,
 )
 from .query import QueryOutcome, QueryResult, QueryStats, Verdict
+from .registration import Quarantine
 from .relational import MATCH_ALL, AttributeFilter
 
 
@@ -145,7 +148,19 @@ class ContractDatabase:
         #: set by the persistence layer after a snapshot load
         #: (:class:`repro.broker.persist.LoadReport`); ``None`` otherwise.
         self.load_report = None
+        #: set by :func:`repro.broker.journal.open_database` after a
+        #: journal replay (:class:`repro.broker.journal.JournalReplayReport`).
+        self.journal_report = None
         self._dirty = True
+        #: specs that failed batch registration, held for retry
+        #: (:class:`repro.broker.registration.Quarantine`).
+        self.quarantine = Quarantine()
+        # Thread-safety contract (docs/DEVELOPMENT.md invariant 11):
+        # queries take the read side, mutations the write side, so a
+        # query can never observe a half-inserted trie node or a
+        # contract map missing its index entry.
+        self._rwlock = RWLock()
+        self._journal = None
 
     # -- registration ---------------------------------------------------------------
 
@@ -202,26 +217,22 @@ class ContractDatabase:
         if self.vocabulary is not None:
             self.vocabulary.validate_contract(spec.name, spec.clauses)
 
-        contract_id = self._next_id
-        self._next_id += 1
-
+        # Expensive derivations are pure functions of the spec, so they
+        # run *outside* the write lock — concurrent registrations
+        # translate in parallel and only serialize on the insertion.
         start = time.perf_counter()
         if prebuilt.ba is None:
             ba = translate(spec.formula, state_budget=self.config.state_budget)
         else:
             ba = prebuilt.ba
-        self.registration_stats.translation_seconds += time.perf_counter() - start
+        translation_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
         seeds = prebuilt.seeds if prebuilt.seeds is not None else compute_seeds(ba)
-        self.registration_stats.seeds_seconds += time.perf_counter() - start
-
-        if update_index:
-            start = time.perf_counter()
-            self._index.add_contract(contract_id, ba, spec.vocabulary)
-            self.registration_stats.prefilter_seconds += time.perf_counter() - start
+        seeds_seconds = time.perf_counter() - start
 
         projections = None
+        projection_seconds = 0.0
         if self.config.use_projections:
             if prebuilt.projections is not None:
                 projections = prebuilt.projections
@@ -230,20 +241,42 @@ class ContractDatabase:
                 projections = ProjectionStore(
                     ba, max_subset_size=self.config.projection_subset_cap
                 )
-                self.registration_stats.projection_seconds += (
-                    time.perf_counter() - start
-                )
+                projection_seconds = time.perf_counter() - start
 
-        contract = Contract(
-            contract_id=contract_id,
-            spec=spec,
-            ba=ba,
-            seeds=seeds,
-            projections=projections,
-        )
-        self._contracts[contract_id] = contract
-        self.registration_stats.contracts += 1
-        self._dirty = True
+        with self._rwlock.write():
+            contract_id = self._next_id
+            self._next_id += 1
+
+            prefilter_seconds = 0.0
+            if update_index:
+                start = time.perf_counter()
+                self._index.add_contract(contract_id, ba, spec.vocabulary)
+                prefilter_seconds = time.perf_counter() - start
+
+            contract = Contract(
+                contract_id=contract_id,
+                spec=spec,
+                ba=ba,
+                seeds=seeds,
+                projections=projections,
+            )
+            self._contracts[contract_id] = contract
+            stats = self.registration_stats
+            stats.contracts += 1
+            stats.translation_seconds += translation_seconds
+            stats.seeds_seconds += seeds_seconds
+            stats.projection_seconds += projection_seconds
+            stats.prefilter_seconds += prefilter_seconds
+            self._dirty = True
+            # The journal append is the acknowledgement point: it is
+            # fsync'd before register() returns, inside the write lock
+            # so journal order always matches application order.
+            if self._journal is not None:
+                self._journal.append("register", {
+                    "name": spec.name,
+                    "clauses": [format_formula(c) for c in spec.clauses],
+                    "attributes": dict(spec.attributes),
+                })
         return contract
 
     def register_spec(
@@ -284,12 +317,17 @@ class ContractDatabase:
 
     def deregister(self, contract_id: int) -> None:
         """Remove a contract from the database and the index."""
-        if contract_id not in self._contracts:
-            raise BrokerError(f"no contract with id {contract_id}")
-        del self._contracts[contract_id]
-        self._index.remove_contract(contract_id)
-        self.registration_stats.contracts -= 1
-        self._dirty = True
+        with self._rwlock.write():
+            if contract_id not in self._contracts:
+                raise BrokerError(f"no contract with id {contract_id}")
+            del self._contracts[contract_id]
+            self._index.remove_contract(contract_id)
+            self.registration_stats.contracts -= 1
+            self._dirty = True
+            if self._journal is not None:
+                self._journal.append(
+                    "deregister", {"contract_id": contract_id}
+                )
 
     # -- query compilation -------------------------------------------------------------
 
@@ -407,7 +445,31 @@ class ContractDatabase:
         serial loop; under a deadline, queued checks whose budget is
         already gone return ``SKIPPED`` immediately (cooperative
         cancellation), so an exhausted query drains the pool quickly.
+
+        The whole evaluation holds the database's read lock: any number
+        of queries run concurrently, but none can interleave with a
+        mutation (invariant 11).
         """
+        with self._rwlock.read():
+            return self._query_compiled_locked(
+                compiled,
+                options,
+                formula=formula,
+                translation_seconds=translation_seconds,
+                cache_hit=cache_hit,
+                executor=executor,
+            )
+
+    def _query_compiled_locked(
+        self,
+        compiled: CompiledQuery,
+        options: QueryOptions,
+        *,
+        formula: Formula | None = None,
+        translation_seconds: float = 0.0,
+        cache_hit: bool = False,
+        executor=None,
+    ) -> QueryOutcome:
         prefilter_on = (
             self.config.use_prefilter
             if options.use_prefilter is None
@@ -713,18 +775,19 @@ class ContractDatabase:
 
         added = 0
         start = time.perf_counter()
-        for contract in self._contracts.values():
-            if contract.projections is None:
-                continue
-            subsets = workload_projection_subsets(
-                contract.projections.literals, query_literal_sets
+        with self._rwlock.write():
+            for contract in self._contracts.values():
+                if contract.projections is None:
+                    continue
+                subsets = workload_projection_subsets(
+                    contract.projections.literals, query_literal_sets
+                )
+                added += contract.projections.precompute(subsets)
+            self.registration_stats.projection_seconds += (
+                time.perf_counter() - start
             )
-            added += contract.projections.precompute(subsets)
-        self.registration_stats.projection_seconds += (
-            time.perf_counter() - start
-        )
-        if added:
-            self._dirty = True
+            if added:
+                self._dirty = True
         return added
 
     # -- persistence hooks -----------------------------------------------------------
@@ -744,7 +807,36 @@ class ContractDatabase:
         """Replace the prefilter index wholesale (the persistence layer's
         snapshot-restore path).  The caller guarantees the index matches
         the registered contracts."""
-        self._index = index
+        with self._rwlock.write():
+            self._index = index
+            if self._journal is not None:
+                # replay rebuilds the index through the mutation records
+                # themselves, so the record carries no index payload —
+                # it only keeps the journal a complete mutation history
+                self._journal.append("adopt_index", {})
+
+    # -- journaling & concurrency -----------------------------------------------------
+
+    @property
+    def journal(self):
+        """The attached write-ahead journal
+        (:class:`repro.broker.journal.Journal`), or ``None``."""
+        return self._journal
+
+    def attach_journal(self, journal) -> None:
+        """Attach a journal: every further acknowledged mutation is
+        durably appended to it before the mutating call returns.  Use
+        :func:`repro.broker.journal.open_database` rather than calling
+        this directly — it replays the existing tail first."""
+        self._journal = journal
+
+    @property
+    def lock(self) -> RWLock:
+        """The database's reader-writer lock.  Queries hold the read
+        side, mutations the write side; the persistence layer takes the
+        write side around snapshot+compaction so no acknowledged
+        mutation can fall between the snapshot and the journal reset."""
+        return self._rwlock
 
     # -- metrics ----------------------------------------------------------------------
 
@@ -807,7 +899,9 @@ class ContractDatabase:
         return contract
 
     def contracts(self) -> Iterator[Contract]:
-        return iter(self._contracts.values())
+        # a materialized snapshot: safe to consume while another thread
+        # registers or deregisters (the dict itself never escapes)
+        return iter(list(self._contracts.values()))
 
     def __len__(self) -> int:
         return len(self._contracts)

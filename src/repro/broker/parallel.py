@@ -17,10 +17,20 @@ scaling knob on both sides of the broker:
   independent — the query side of the same "completely parallel
   workload" observation).
 
-Both fall back to plain serial execution when ``workers <= 1`` or when a
-pool cannot be created or breaks (restricted environments, worker
-crashes), so callers can use them unconditionally; parallel results are
-identical to serial ones and are returned in input order.
+Fault isolation (1.5): the batch path distinguishes **poison pills**
+from **transient pool failures**.  A spec whose clauses fail to parse,
+whose translation blows the state budget, or whose registration is
+rejected is *quarantined* — recorded on the
+:class:`~repro.broker.registration.RegistrationReport` (and on
+``db.quarantine`` for later retry) with the exception that killed it,
+while every healthy spec in the batch still registers.  A pool that
+breaks (:class:`~concurrent.futures.process.BrokenProcessPool` on
+worker OOM/crash, ``OSError`` in restricted sandboxes) is retried with
+capped exponential backoff, re-submitting only the specs that have not
+already been translated; if the pool keeps breaking, the leftovers fall
+back to in-process translation.  Querying falls back the same way:
+a thread pool that dies mid-workload resumes serially **from the first
+unfinished query**, never re-counting the finished ones.
 """
 
 from __future__ import annotations
@@ -28,11 +38,13 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..automata.buchi import BuchiAutomaton
 from ..automata.ltl2ba import translate
 from ..automata.serialize import automaton_from_dict, automaton_to_dict
+from ..core import faults
+from ..errors import ReproError, TranslationError
 from ..ltl.ast import Formula
 from ..ltl.parser import parse
 from ..ltl.printer import format_formula
@@ -40,7 +52,14 @@ from .contract import ContractSpec
 from .database import ContractDatabase
 from .options import PrebuiltArtifacts, QueryOptions, coerce_query_options
 from .query import QueryOutcome
+from .registration import QuarantinedSpec, RegistrationReport
 from .relational import AttributeFilter
+
+#: Pool-level failure retries before the serial fallback.
+DEFAULT_MAX_RETRIES = 2
+
+#: First retry's backoff; doubles per retry, capped at 1 s.
+DEFAULT_BACKOFF_SECONDS = 0.05
 
 
 def _translate_clauses(payload: tuple[list[str], int]) -> dict:
@@ -57,56 +76,212 @@ def _translate_clauses(payload: tuple[list[str], int]) -> dict:
     return automaton_to_dict(ba)
 
 
+def _coerce_spec(item: "ContractSpec | Mapping") -> ContractSpec:
+    """A ContractSpec from either form a batch may carry; clause parse
+    errors surface here (and are quarantined by the caller)."""
+    if isinstance(item, ContractSpec):
+        return item
+    name = item.get("name")
+    if not isinstance(name, str) or not name:
+        raise ReproError(f"spec document without a usable name: {item!r}")
+    clauses = item.get("clauses")
+    if not isinstance(clauses, (list, tuple)) or not clauses:
+        raise ReproError(f"spec {name!r} has no clauses")
+    parsed = tuple(
+        parse(c) if isinstance(c, str) else c for c in clauses
+    )
+    return ContractSpec(
+        name=name, clauses=parsed,
+        attributes=dict(item.get("attributes") or {}),
+    )
+
+
+def _item_name(item) -> str:
+    if isinstance(item, ContractSpec):
+        return item.name
+    if isinstance(item, Mapping):
+        name = item.get("name")
+        if isinstance(name, str):
+            return name
+    return "<unnamed>"
+
+
+def _quarantine(db, report: RegistrationReport, entry: QuarantinedSpec):
+    report.quarantined.append(entry)
+    db.quarantine.add(entry)
+    db.metrics.inc("register.quarantined")
+
+
+def _register_one(
+    db: ContractDatabase,
+    report: RegistrationReport,
+    spec: ContractSpec,
+    ba: BuchiAutomaton | None,
+) -> None:
+    """Register one translated (or to-be-translated) spec, quarantining
+    a failure instead of letting it poison the batch."""
+    try:
+        prebuilt = PrebuiltArtifacts(ba=ba) if ba is not None else None
+        contract = db.register(spec, prebuilt=prebuilt)
+    except TranslationError as exc:
+        _quarantine(db, report, QuarantinedSpec(
+            spec=spec, name=spec.name, error=exc, stage="translate",
+        ))
+    except ReproError as exc:
+        _quarantine(db, report, QuarantinedSpec(
+            spec=spec, name=spec.name, error=exc, stage="register",
+        ))
+    else:
+        report.contracts.append(contract)
+
+
 def register_many(
     db: ContractDatabase,
-    specs: Sequence[ContractSpec],
+    specs: "Sequence[ContractSpec | Mapping]",
     workers: int = 1,
-) -> list:
+    *,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+    _sleep=time.sleep,
+) -> RegistrationReport:
     """Register a batch of specs, translating in parallel.
 
-    Returns the registered :class:`Contract` objects, in input order.
-    Results are identical to serial registration (contract ids are
-    assigned in input order by the parent process).
+    ``specs`` may mix :class:`ContractSpec` objects and raw spec
+    documents (``{"name": ..., "clauses": [LTL text, ...],
+    "attributes": {...}}`` — the CLI spec-file shape); raw documents
+    whose clauses fail to parse are quarantined rather than raised.
 
-    A pool that cannot be created (``OSError``/``PermissionError`` in
-    sandboxed environments) or that breaks mid-batch
-    (:class:`~concurrent.futures.process.BrokenProcessPool` on worker
-    OOM/crash) triggers the serial fallback; the wall clock already
-    spent on the failed attempt is accounted to
-    ``registration_stats.translation_seconds`` so the stats stay
-    consistent either way.
+    Returns a :class:`RegistrationReport`: sequence-compatible with the
+    registered :class:`Contract` objects in input order, plus the
+    quarantined specs and the pool retry/fallback record.  Contract ids
+    are assigned in input order by the parent process, so results are
+    identical to serial registration for the healthy subset.
+
+    Failure handling:
+
+    * **poison pills** (parse error, state-budget blowout, registration
+      rejection) are quarantined individually — also recorded on
+      ``db.quarantine`` for a later :meth:`~repro.broker.registration.
+      Quarantine.retry`;
+    * **transient pool failures** (:class:`BrokenProcessPool`,
+      ``OSError``/``PermissionError`` in sandboxed environments) are
+      retried up to ``max_retries`` times with exponential backoff
+      (``backoff_seconds``, doubled per retry, capped at 1 s),
+      re-submitting only untranslated specs; persistent failure falls
+      back to in-process translation for the leftovers.  Specs that
+      already translated are **never** re-translated.
+
+    The wall clock spent in the pool (including failed attempts) is
+    accounted to ``registration_stats.translation_seconds`` so the
+    stats stay consistent either way.
     """
-    if workers <= 1 or len(specs) <= 1:
-        return [db.register(spec) for spec in specs]
+    report = RegistrationReport()
 
-    payloads = [
-        (
-            [format_formula(clause) for clause in spec.clauses],
+    # normalize every item up front: parse-stage poison pills are
+    # quarantined here and never reach the pool
+    resolved: list[ContractSpec | None] = []
+    for item in specs:
+        try:
+            resolved.append(_coerce_spec(item))
+        except ReproError as exc:
+            resolved.append(None)
+            _quarantine(db, report, QuarantinedSpec(
+                spec=None, name=_item_name(item), error=exc, stage="parse",
+            ))
+
+    healthy = [i for i, spec in enumerate(resolved) if spec is not None]
+
+    if workers <= 1 or len(healthy) <= 1:
+        for i in healthy:
+            _register_one(db, report, resolved[i], ba=None)
+        return report
+
+    payloads = {
+        i: (
+            [format_formula(clause) for clause in resolved[i].clauses],
             db.config.state_budget,
         )
-        for spec in specs
-    ]
-    start = time.perf_counter()
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            documents = list(pool.map(_translate_clauses, payloads))
-    except (OSError, PermissionError, BrokenProcessPool):
-        db.registration_stats.translation_seconds += (
-            time.perf_counter() - start
-        )
-        return [db.register(spec) for spec in specs]
-    translation_seconds = time.perf_counter() - start
+        for i in healthy
+    }
 
-    contracts = []
-    for spec, document in zip(specs, documents):
-        ba: BuchiAutomaton = automaton_from_dict(document)
-        contracts.append(
-            db.register(spec, prebuilt=PrebuiltArtifacts(ba=ba))
-        )
-    # The parent did not time the (parallel) translation; account for the
-    # wall-clock cost so registration stats stay meaningful.
-    db.registration_stats.translation_seconds += translation_seconds
-    return contracts
+    documents: dict[int, dict] = {}
+    dead: set[int] = set()  # quarantined during the pool phase
+    pending = list(healthy)
+    attempt = 0
+    pool_start = time.perf_counter()
+    while pending:
+        broken = False
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    i: pool.submit(_translate_clauses, payloads[i])
+                    for i in pending
+                }
+                faults.hit("register.pool", attempt=attempt)
+                still_pending = []
+                for i in pending:
+                    try:
+                        documents[i] = futures[i].result()
+                    except (BrokenProcessPool, OSError) as exc:
+                        # the pool died under this future; the spec
+                        # itself is not implicated — retry it
+                        still_pending.append(i)
+                        broken = True
+                    except ReproError as exc:
+                        dead.add(i)
+                        _quarantine(db, report, QuarantinedSpec(
+                            spec=resolved[i], name=resolved[i].name,
+                            error=exc, stage="translate",
+                        ))
+                    except Exception as exc:
+                        # a worker exception that is not ours (pickling,
+                        # recursion, ...) is deterministic for this spec
+                        dead.add(i)
+                        _quarantine(db, report, QuarantinedSpec(
+                            spec=resolved[i], name=resolved[i].name,
+                            error=exc, stage="translate",
+                        ))
+                pending = still_pending
+        except (OSError, PermissionError, BrokenProcessPool):
+            broken = True  # pool never came up (or died at submit time)
+        if not pending or not broken:
+            break
+        attempt += 1
+        if attempt > max_retries:
+            # persistent pool failure: translate the leftovers in
+            # process (inside db.register below), never re-translating
+            # the documents already in hand
+            report.pool_fallback = True
+            db.metrics.inc("register.pool_fallback")
+            break
+        report.pool_retries += 1
+        db.metrics.inc("register.pool_retries")
+        _sleep(min(backoff_seconds * (2 ** (attempt - 1)), 1.0))
+
+    pool_seconds = time.perf_counter() - pool_start
+
+    for i in healthy:
+        if i in dead:
+            continue
+        spec = resolved[i]
+        document = documents.get(i)
+        ba = None
+        if document is not None:
+            try:
+                ba = automaton_from_dict(document)
+            except ReproError as exc:
+                _quarantine(db, report, QuarantinedSpec(
+                    spec=spec, name=spec.name, error=exc, stage="translate",
+                ))
+                continue
+        # document is None only on the serial-fallback path:
+        # _register_one translates in-process via db.register
+        _register_one(db, report, spec, ba=ba)
+
+    # The parent did not time the (parallel) translation; account the
+    # pool wall clock so registration stats stay meaningful.
+    db.registration_stats.translation_seconds += pool_seconds
+    return report
 
 
 def query_many(
@@ -132,6 +307,12 @@ def query_many(
     budget is already gone return ``SKIPPED`` immediately (cooperative
     cancellation), so pool slots free up quickly for the next query.
 
+    A pool that cannot be created, or dies mid-workload, falls back to
+    serial evaluation **resuming from the first unfinished query**:
+    completed outcomes are kept, nothing is evaluated (or counted in
+    ``repro.obs`` metrics) twice, and the ``query.pool_fallback``
+    counter records the event.
+
     Deprecated pre-1.3 surface (still accepted, warns)::
 
         query_many(db, qs, workers=4, ...) -> query_many(db, qs,
@@ -139,19 +320,22 @@ def query_many(
     """
     options = coerce_query_options("query_many", options, legacy)
 
-    def serial() -> list[QueryOutcome]:
+    if options.workers <= 1 or not queries:
         return [
             db._run_query(query, options, executor=None)
             for query in queries
         ]
 
-    if options.workers <= 1 or not queries:
-        return serial()
+    outcomes: list[QueryOutcome] = []
     try:
         with ThreadPoolExecutor(max_workers=options.workers) as pool:
-            return [
-                db._run_query(query, options, executor=pool)
-                for query in queries
-            ]
-    except (OSError, RuntimeError):  # pragma: no cover - restricted envs
-        return serial()
+            for index, query in enumerate(queries):
+                faults.hit("query.pool", index=index)
+                outcomes.append(
+                    db._run_query(query, options, executor=pool)
+                )
+    except (OSError, RuntimeError):  # pool refused or died mid-workload
+        db.metrics.inc("query.pool_fallback")
+        for query in queries[len(outcomes):]:
+            outcomes.append(db._run_query(query, options, executor=None))
+    return outcomes

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..automata.serialize import automaton_from_dict, automaton_to_dict
+from ..core import faults
 from ..errors import AutomatonError, BrokerError, IndexError_, ProjectionError
 from ..index.prefilter import PrefilterIndex
 from ..ltl.parser import parse
@@ -97,10 +98,51 @@ def _sha256(data: bytes) -> str:
 
 def _atomic_write(path: Path, text: str) -> None:
     """Write via a temp file in the same directory + atomic rename, so a
-    crash mid-write leaves the previous file intact."""
+    crash mid-write leaves the previous file intact.
+
+    The temp file is fsync'd *before* the rename (otherwise the rename
+    can land on disk ahead of the data it points to, and a power cut
+    yields a zero-length "successfully replaced" file), and the
+    directory is fsync'd *after* (so the rename itself is durable)."""
+    faults.hit("persist.artifact_write", filename=path.name)
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(text, encoding="utf-8")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync; platforms that cannot open
+    directories skip it silently."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _clean_stale_tmp(directory: Path) -> int:
+    """Remove ``.*.tmp`` leftovers of a crashed prior save.  They are
+    invisible to the loader (which only reads manifest-named files) but
+    accumulate forever otherwise."""
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for stale in directory.glob(".*.tmp"):
+        try:
+            stale.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - raced or read-only
+            pass
+    return removed
 
 
 def save_database(
@@ -115,6 +157,13 @@ def save_database(
     not changed since its last save/load (``db.dirty`` is false) and the
     target already holds a manifest — the incremental path for periodic
     snapshotting.
+
+    The save holds the database's write lock: the snapshot is a
+    consistent point-in-time image, and — when a write-ahead journal is
+    attached and co-located with ``directory`` — the journal compaction
+    happens under the same critical section, so no acknowledged mutation
+    can slip between "serialized into the snapshot" and "removed from
+    the journal".
     """
     directory = Path(directory)
     if (
@@ -124,7 +173,19 @@ def save_database(
     ):
         return directory
     directory.mkdir(parents=True, exist_ok=True)
+    _clean_stale_tmp(directory)
 
+    journal = db.journal
+    compact_journal = (
+        journal is not None
+        and journal.path.parent.resolve() == directory.resolve()
+    )
+
+    with db.lock.write():
+        return _save_locked(db, directory, journal if compact_journal else None)
+
+
+def _save_locked(db: ContractDatabase, directory: Path, journal) -> Path:
     contracts = sorted(db.contracts(), key=lambda c: c.contract_id)
     # Contract ids restart from 0 on load, so every persisted id is the
     # contract's dense position in save order.
@@ -168,6 +229,7 @@ def save_database(
         artifacts[filename] = _sha256(text.encode("utf-8"))
         _atomic_write(directory / filename, text)
 
+    new_epoch = journal.epoch + 1 if journal is not None else 0
     manifest = {
         "format_version": _FORMAT_VERSION,
         "config": {
@@ -176,12 +238,22 @@ def save_database(
         },
         "contracts": contract_docs,
         "artifacts": artifacts,
+        # the epoch handshake with the co-located write-ahead journal
+        # (see repro.broker.journal): a journal whose header epoch is
+        # behind this value holds only records this snapshot subsumes
+        "journal_epoch": new_epoch,
     }
     # The manifest lands last: a snapshot is only as new as its manifest,
     # and its checksums disown any artifact a crash left half-updated.
     _atomic_write(
         directory / _CONTRACTS_FILE, json.dumps(manifest, indent=2) + "\n"
     )
+    if journal is not None:
+        # only after the manifest durably holds every journaled
+        # mutation may the journal forget them; a crash between the two
+        # writes leaves a stale-epoch journal that the next open
+        # discards instead of double-replaying
+        journal.compact(new_epoch, db.config)
     db.dirty = False
     return directory
 

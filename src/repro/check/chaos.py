@@ -1,0 +1,287 @@
+"""Scripted chaos drills: fault injection against the recovery paths.
+
+The conformance runner (:mod:`repro.check.runner`) checks that the
+stack answers *correctly*; this module checks that it answers correctly
+**after being hurt**.  Each drill arms the fault-injection registry
+(:mod:`repro.core.faults`) at one seam, lets the failure happen, and
+verifies the documented recovery property:
+
+* ``persist-crash`` — a simulated crash while writing each snapshot
+  artifact in turn; the directory must still load (fallback ladder /
+  journal) and answer exactly like the database that was being saved;
+* ``journal-truncation`` — a write-ahead journal holding a dozen
+  acknowledged mutations is cut at byte boundaries; every cut must
+  recover a prefix-consistent database that reconverges to the full
+  state once the lost tail is re-applied (the kill-9 property);
+* ``quarantine`` — a batch with poison pills (unparseable clauses, a
+  state-budget blowout) must register every healthy spec, quarantine
+  the pills with their exceptions, and recover them via
+  ``db.quarantine.retry`` once the cause is fixed.
+
+Drills are deterministic (no randomness, no timing dependence) so a
+failure in CI reproduces locally from the same command:
+``contract-broker chaos``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..broker.contract import ContractSpec
+from ..broker.database import BrokerConfig, ContractDatabase
+from ..core.faults import FAULTS, SimulatedCrash
+from ..ltl.parser import parse
+
+#: Mutations in the journal the truncation drill sweeps.  ≥10 so the
+#: sweep crosses many record boundaries, small enough to stay fast.
+DEFAULT_MUTATIONS = 12
+
+
+@dataclass
+class DrillResult:
+    """One drill's verdict."""
+
+    name: str
+    ok: bool
+    detail: str
+    checks: int = 0
+    elapsed_seconds: float = 0.0
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"[{verdict}] {self.name}: {self.detail} "
+            f"({self.checks} check(s), {self.elapsed_seconds:.2f}s)"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """The outcome of one chaos run."""
+
+    results: list[DrillResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def summary(self) -> str:
+        passed = sum(1 for r in self.results if r.ok)
+        verdict = "OK" if self.ok else "FAILURES"
+        return (
+            f"chaos: {passed}/{len(self.results)} drill(s) passed "
+            f"-> {verdict}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "drills": [
+                {
+                    "name": r.name,
+                    "ok": r.ok,
+                    "detail": r.detail,
+                    "checks": r.checks,
+                    "elapsed_seconds": r.elapsed_seconds,
+                }
+                for r in self.results
+            ],
+        }
+
+
+def _spec(i: int) -> ContractSpec:
+    """A small deterministic spec; distinct vocabulary per contract so
+    answers discriminate between recovery states."""
+    return ContractSpec(
+        name=f"chaos-{i}",
+        clauses=(parse(f"G(a{i} -> F b{i})"),),
+        attributes={"slot": i},
+    )
+
+
+def _names(db: ContractDatabase) -> list[str]:
+    """Contract names in registration order (ids are dense and
+    assigned in order, so a crash-recovered database's list is a prefix
+    of the full one)."""
+    contracts = sorted(db.contracts(), key=lambda c: c.contract_id)
+    return [c.name for c in contracts]
+
+
+def _drill(name, fn) -> DrillResult:
+    started = time.perf_counter()
+    FAULTS.reset()
+    try:
+        ok, detail, checks = fn()
+    except Exception as exc:  # a drill crashing is itself a failure
+        ok, detail, checks = False, f"{type(exc).__name__}: {exc}", 0
+    finally:
+        FAULTS.reset()
+    return DrillResult(
+        name=name,
+        ok=ok,
+        detail=detail,
+        checks=checks,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+#: Snapshot writes per save: automata, seeds, projections, index, then
+#: the manifest last.
+_ARTIFACT_WRITES = 5
+
+
+def _persist_crash_drill(contracts: int = 4):
+    """Crash on every artifact write position in turn; the directory
+    must stay loadable and answer identically."""
+    from ..broker.persist import load_database, save_database
+
+    checks = 0
+    db = ContractDatabase(BrokerConfig())
+    for i in range(contracts):
+        db.register(_spec(i))
+    baseline = _names(db)
+    # one crash position per snapshot artifact (manifest is last)
+    for position in range(1, _ARTIFACT_WRITES + 1):
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            directory = Path(tmp) / "db"
+            save_database(db, directory)  # a good snapshot to fall back on
+            db.dirty = True  # force the re-save below to actually write
+            FAULTS.fail_at("persist.artifact_write", nth=position)
+            try:
+                save_database(db, directory)
+                return False, (
+                    f"injected crash at artifact write #{position} "
+                    "did not fire"
+                ), checks
+            except SimulatedCrash:
+                pass
+            finally:
+                FAULTS.reset()
+            loaded = load_database(directory)
+            checks += 1
+            if _names(loaded) != baseline:
+                return False, (
+                    f"crash at artifact write #{position}: loaded "
+                    f"{_names(loaded)} != {baseline}"
+                ), checks
+    return True, (
+        f"crashed at each of {_ARTIFACT_WRITES} artifact-write "
+        "positions; every directory loaded back identically"
+    ), checks
+
+
+def _journal_truncation_drill(mutations: int = DEFAULT_MUTATIONS,
+                              stride: int = 1):
+    """Cut the journal at byte boundaries; every cut must recover a
+    prefix of the acknowledged history and reconverge when the lost
+    tail is re-applied."""
+    from ..broker.journal import JOURNAL_FILE, open_database
+
+    checks = 0
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        source = Path(tmp) / "source"
+        db = open_database(source)
+        specs = [_spec(i) for i in range(mutations)]
+        for spec in specs:
+            db.register(spec)
+        full = _names(db)
+        raw = (source / JOURNAL_FILE).read_bytes()
+        header_end = raw.index(b"\n") + 1
+        reconverged: set[int] = set()
+        for cut in range(header_end, len(raw) + 1, max(stride, 1)):
+            trial = Path(tmp) / f"cut-{cut}"
+            trial.mkdir()
+            (trial / JOURNAL_FILE).write_bytes(raw[:cut])
+            recovered = open_database(trial)
+            got = _names(recovered)
+            checks += 1
+            # prefix consistency: exactly the first k acknowledged
+            # mutations survive, for some k
+            if got != full[: len(got)]:
+                return False, (
+                    f"cut at byte {cut}: {got} is not a prefix of {full}"
+                ), checks
+            # reconvergence: re-applying the lost tail restores the
+            # full state.  The recovered database is a pure function of
+            # how many complete records survived the cut, so one
+            # reconvergence per distinct prefix length covers them all.
+            if len(got) in reconverged:
+                continue
+            reconverged.add(len(got))
+            for spec in specs[len(got):]:
+                recovered.register(spec)
+            if _names(recovered) != full:
+                return False, (
+                    f"cut at byte {cut}: reconverged to "
+                    f"{_names(recovered)} != {full}"
+                ), checks
+    return True, (
+        f"journal of {mutations} mutations cut at {checks} byte "
+        "boundaries; every cut recovered a consistent prefix and "
+        "reconverged"
+    ), checks
+
+
+def _quarantine_drill():
+    """Poison pills must not take the batch down, and must be
+    recoverable once the cause is fixed."""
+    from ..broker.parallel import register_many
+
+    db = ContractDatabase(BrokerConfig(state_budget=6))
+    report = register_many(db, [
+        ContractSpec(
+            name="healthy-a", clauses=(parse("F a"),), attributes={}
+        ),
+        {"name": "unparseable", "clauses": ["G((("]},
+        # a conjunction of eventualities whose BA blows the tiny budget
+        ContractSpec(
+            name="budget-blowout",
+            clauses=tuple(parse(f"F e{i}") for i in range(6)),
+            attributes={},
+        ),
+        ContractSpec(
+            name="healthy-b", clauses=(parse("G !z"),), attributes={}
+        ),
+    ])
+    checks = 1
+    if report.registered != 2 or len(report.quarantined) != 2:
+        return False, f"unexpected batch outcome: {report.summary()}", checks
+    stages = sorted(q.stage for q in report.quarantined)
+    if stages != ["parse", "translate"]:
+        return False, f"unexpected quarantine stages: {stages}", checks
+    # the healthy survivors answer queries (index consistent)
+    outcome = db.query("F a")
+    checks += 1
+    if "healthy-a" not in outcome.contract_names:
+        return False, "healthy survivor not queryable", checks
+    # fix the cause (raise the budget) and retry the quarantine
+    db.config = BrokerConfig(state_budget=512)
+    recovered = db.quarantine.retry(db)
+    checks += 1
+    if recovered.registered != 1 or len(db.quarantine) != 1:
+        return False, (
+            f"retry recovered {recovered.registered}, "
+            f"{len(db.quarantine)} left (expected 1 and 1)"
+        ), checks
+    return True, (
+        "2 poison pills quarantined (parse, translate), 2 healthy "
+        "specs registered and queryable, 1 recovered by retry"
+    ), checks
+
+
+def run_chaos_drills(
+    mutations: int = DEFAULT_MUTATIONS,
+    stride: int = 1,
+) -> ChaosReport:
+    """Run every drill; deterministic, self-contained, ~seconds."""
+    report = ChaosReport()
+    report.results.append(_drill("persist-crash", _persist_crash_drill))
+    report.results.append(_drill(
+        "journal-truncation",
+        lambda: _journal_truncation_drill(mutations, stride),
+    ))
+    report.results.append(_drill("quarantine", _quarantine_drill))
+    return report

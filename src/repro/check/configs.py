@@ -7,12 +7,14 @@ maybe`` (docs/DEVELOPMENT.md invariant 8).
 
 The lattice covers both deciders crossed with both index optimizations
 (8 exact configurations — any single-layer bug breaks at least one cell
-while the others pin the blame), plus four *mode* configurations that
+while the others pin the blame), plus five *mode* configurations that
 exercise the serving machinery around the deciders: a cache-warm repeat
 (compilation-cache reuse), parallel ``query_many`` (thread-pool fan-out
 must be bit-identical to serial), a step-budgeted run under the MAYBE
-degradation policy, and a save→load round trip (snapshot persistence
-must answer like the database that produced it).
+degradation policy, a save→load round trip (snapshot persistence must
+answer like the database that produced it), and a journal replay
+(snapshot + write-ahead-journal tail recovery must answer like the
+database whose mutations it replays).
 """
 
 from __future__ import annotations
@@ -41,7 +43,10 @@ class StackConfig:
     * ``"budget"`` — a deterministic step budget with ``MAYBE``
       degradation (the only non-exact configuration);
     * ``"roundtrip"`` — save the database to a snapshot, load it back,
-      query the loaded copy.
+      query the loaded copy;
+    * ``"journal"`` — register half the contracts, snapshot, register
+      the rest (which land only in the write-ahead journal), reopen the
+      directory so the tail is replayed, query the recovered copy.
     """
 
     name: str
@@ -83,7 +88,7 @@ def _base_lattice() -> list[StackConfig]:
 
 
 def config_lattice() -> tuple[StackConfig, ...]:
-    """The full default lattice (12 configurations)."""
+    """The full default lattice (13 configurations)."""
     return tuple(
         _base_lattice()
         + [
@@ -91,6 +96,7 @@ def config_lattice() -> tuple[StackConfig, ...]:
             StackConfig(name="parallel-x2", mode="parallel"),
             StackConfig(name="budget-maybe", mode="budget"),
             StackConfig(name="save-load", mode="roundtrip"),
+            StackConfig(name="journal-replay", mode="journal"),
         ]
     )
 

@@ -145,7 +145,7 @@ class ConformanceRunner:
         profile: a :class:`~repro.check.generators.CheckProfile` or the
             name of one of :data:`~repro.check.generators.PROFILES`.
         configs: the :class:`StackConfig` tuple to sweep (default: the
-            full 12-point lattice).
+            full 13-point lattice).
         artifact_dir: where failure repro artifacts are written
             (``None`` = don't write artifacts).
         shrink: greedily minimize failing cases before reporting.
@@ -234,8 +234,36 @@ class ConformanceRunner:
     ) -> list[tuple[str, tuple[str, ...], tuple[str, ...]]]:
         """Execute one configuration; returns ``(label, permitted,
         maybe)`` answer tuples (cache-warm yields two)."""
-        db = self._build_db(specs, bas, config)
         options = QueryOptions(attribute_filter=case.filter.build())
+        if config.mode == "journal":
+            # snapshot + journal-tail recovery must agree with the
+            # oracle bit-for-bit: half the contracts live only in the
+            # write-ahead journal when the directory is reopened
+            from ..broker.journal import open_database
+            from ..broker.persist import save_database
+
+            with tempfile.TemporaryDirectory(
+                prefix="repro-check-"
+            ) as directory:
+                live = open_database(
+                    directory, config=config.broker_config()
+                )
+                half = (len(specs) + 1) // 2
+                for spec in specs[:half]:
+                    live.register(
+                        spec, prebuilt=PrebuiltArtifacts(ba=bas[spec.name])
+                    )
+                save_database(live, directory)
+                for spec in specs[half:]:
+                    live.register(
+                        spec, prebuilt=PrebuiltArtifacts(ba=bas[spec.name])
+                    )
+                recovered = open_database(
+                    directory, config=config.broker_config()
+                )
+                outcome = recovered.query(case.query, options)
+            return [("journal", outcome.contract_names, outcome.maybe_names)]
+        db = self._build_db(specs, bas, config)
         if config.mode == "direct":
             outcome = db.query(case.query, options)
             return [("direct", outcome.contract_names, outcome.maybe_names)]

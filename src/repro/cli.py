@@ -210,6 +210,22 @@ def _build_parser() -> argparse.ArgumentParser:
                             "generating cases")
     check.set_defaults(handler=_cmd_check)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection drills: simulated crashes mid-snapshot, "
+             "journal truncation at byte boundaries, poison-pill "
+             "quarantine — each verified to recover as documented",
+    )
+    chaos.add_argument("--mutations", type=int, default=None,
+                       help="journal mutations the truncation drill "
+                            "sweeps (default 12)")
+    chaos.add_argument("--stride", type=int, default=1,
+                       help="byte stride of the truncation sweep "
+                            "(1 = every byte boundary)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the drill report as JSON")
+    chaos.set_defaults(handler=_cmd_chaos)
+
     return parser
 
 
@@ -488,6 +504,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
         for disagreement in report.disagreements:
             print()
             print(disagreement.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .check.chaos import DEFAULT_MUTATIONS, run_chaos_drills
+
+    mutations = (
+        args.mutations if args.mutations is not None else DEFAULT_MUTATIONS
+    )
+    report = run_chaos_drills(mutations=mutations, stride=args.stride)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for result in report.results:
+            print(result.describe())
+        print(report.summary())
     return 0 if report.ok else 1
 
 

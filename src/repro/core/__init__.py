@@ -10,6 +10,7 @@ Entry points::
 """
 
 from .budget import Deadline, ExecutionBudget, StepBudget
+from .faults import FaultInjector, SimulatedCrash
 from .permission import (
     PermissionStats,
     PermissionWitness,
@@ -19,12 +20,16 @@ from .permission import (
     permits_ndfs,
     permits_scc,
 )
+from .rwlock import RWLock
 from .seeds import compute_seeds
 
 __all__ = [
     "Deadline",
     "ExecutionBudget",
     "StepBudget",
+    "FaultInjector",
+    "SimulatedCrash",
+    "RWLock",
     "PermissionStats",
     "PermissionWitness",
     "WitnessStep",

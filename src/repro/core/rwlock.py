@@ -1,0 +1,98 @@
+"""A write-preferring reader-writer lock.
+
+:class:`~repro.broker.database.ContractDatabase` is read-mostly: queries
+(and the thread pool ``query_many`` fans permission checks over) only
+read the contract map, the prefilter trie and the projection stores,
+while registration and deregistration mutate all three.  Guarding every
+operation with one mutex would serialize the query side the paper works
+hard to parallelize (§7.4); leaving it unguarded lets a query observe a
+half-inserted trie node.  The classic fix is a shared/exclusive lock:
+
+* any number of concurrent **readers** (queries);
+* one **writer** (mutation) at a time, with no readers active;
+* **writer preference** — once a writer is waiting, new readers queue
+  behind it, so a steady query stream cannot starve registrations.
+
+The lock is *not* reentrant in either direction: a thread holding the
+write lock must not acquire the read lock (or vice versa) — the broker
+keeps its critical sections leaf-level to honor that.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Shared/exclusive lock with writer preference."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- shared (read) side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers < 0:
+                self._readers = 0
+                raise RuntimeError("release_read without acquire_read")
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    # -- exclusive (write) side -------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def readers(self) -> int:
+        with self._cond:
+            return self._readers
+
+    @property
+    def write_locked(self) -> bool:
+        with self._cond:
+            return self._writer_active

@@ -77,3 +77,11 @@ class QueryBudgetError(BrokerError):
 
 class WorkloadError(ReproError):
     """Raised on invalid workload-generation parameters."""
+
+
+class JournalError(BrokerError):
+    """Raised on write-ahead-journal failures that must not be silently
+    degraded: an append whose payload cannot be serialized, a journal
+    file that cannot be opened or synced.  Torn or corrupt *tail*
+    records are not errors — recovery truncates them (see
+    :mod:`repro.broker.journal`)."""

@@ -82,7 +82,7 @@ class TestBrokenPoolFallback:
             def __exit__(self, *exc_info):
                 return False
 
-            def map(self, fn, iterable):
+            def submit(self, fn, *args):
                 raise BrokenProcessPool("worker died")
 
         monkeypatch.setattr(
@@ -90,8 +90,10 @@ class TestBrokenPoolFallback:
         )
         db = ContractDatabase()
         specs = _specs()
-        contracts = register_many(db, specs, workers=2)
-        assert len(contracts) == len(specs)
+        report = register_many(db, specs, workers=2, backoff_seconds=0.0)
+        assert len(report) == len(specs)
+        assert report.pool_fallback
+        assert report.pool_retries == parallel_module.DEFAULT_MAX_RETRIES
         assert len(db) == len(specs)
         assert db.registration_stats.contracts == len(specs)
 
@@ -110,7 +112,7 @@ class TestBrokenPoolFallback:
             def __exit__(self, *exc_info):
                 return False
 
-            def map(self, fn, iterable):
+            def submit(self, fn, *args):
                 import time as _time
 
                 from concurrent.futures.process import BrokenProcessPool
@@ -122,7 +124,7 @@ class TestBrokenPoolFallback:
             parallel_module, "ProcessPoolExecutor", SlowBrokenPool
         )
         db = ContractDatabase()
-        register_many(db, _specs(), workers=2)
+        register_many(db, _specs(), workers=2, backoff_seconds=0.0)
         # includes both the 10 ms burned in the broken pool and the
         # serial translations
         assert db.registration_stats.translation_seconds >= 0.01

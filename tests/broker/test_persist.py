@@ -365,3 +365,73 @@ class TestRoundTripEquivalence:
         assert [
             fallback.query(q).contract_names for q in queries
         ] == baseline
+
+
+class TestKillBetweenArtifactWrites:
+    """1.5 (S3): every artifact individually killed after a good save —
+    the loader must name the rebuilt artifact and answer identically."""
+
+    @pytest.mark.parametrize("filename", ARTIFACT_FILES)
+    def test_deleted_artifact_named_and_rebuilt(
+        self, saved_airfare, airfare_db, filename
+    ):
+        (saved_airfare / filename).unlink()
+        reloaded = load_database(saved_airfare)
+        assert any(
+            filename in warning for warning in reloaded.load_report.warnings
+        )
+        for info in QUERIES.values():
+            assert set(reloaded.query(info["ltl"]).contract_names) == set(
+                airfare_db.query(info["ltl"]).contract_names
+            )
+
+    @pytest.mark.parametrize("filename", ARTIFACT_FILES)
+    def test_truncated_artifact_named_and_rebuilt(
+        self, saved_airfare, airfare_db, filename
+    ):
+        raw = (saved_airfare / filename).read_bytes()
+        (saved_airfare / filename).write_bytes(raw[: len(raw) // 2])
+        reloaded = load_database(saved_airfare)
+        assert filename in reloaded.load_report.checksum_failures
+        assert any(
+            filename in warning for warning in reloaded.load_report.warnings
+        )
+        for info in QUERIES.values():
+            assert set(reloaded.query(info["ltl"]).contract_names) == set(
+                airfare_db.query(info["ltl"]).contract_names
+            )
+
+
+class TestCrashDurability:
+    def test_stale_tmp_files_cleaned_on_save(self, tmp_path):
+        db = ContractDatabase()
+        db.register("t", "G a")
+        directory = tmp_path / "db"
+        directory.mkdir()
+        # debris a previous crashed save left behind
+        stale = directory / ".automata.json.4242.tmp"
+        stale.write_text("half-written")
+        save_database(db, directory)
+        assert not stale.exists()
+        assert [p for p in directory.iterdir() if ".tmp" in p.name] == []
+
+    def test_injected_crash_mid_save_leaves_loadable_directory(
+        self, tmp_path
+    ):
+        from repro.core import faults
+        from repro.core.faults import SimulatedCrash
+
+        db = ContractDatabase()
+        for i in range(3):
+            db.register(f"c{i}", f"G(a{i} -> F b{i})")
+        directory = save_database(db, tmp_path / "db")
+        baseline = {c.name for c in load_database(directory).contracts()}
+
+        for position in range(1, 6):  # 4 artifacts + the manifest
+            db.dirty = True
+            faults.fail_at("persist.artifact_write", nth=position)
+            with pytest.raises(SimulatedCrash):
+                save_database(db, directory)
+            faults.reset()
+            reloaded = load_database(directory)
+            assert {c.name for c in reloaded.contracts()} == baseline

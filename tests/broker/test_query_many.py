@@ -114,3 +114,41 @@ class TestParallelParity:
         db = _airfare_db()
         db.query_many(["F refund"] * 4, workers=2)
         assert db.metrics.counter_value("query.count") == 4
+
+
+class TestPoolFallbackResume:
+    def test_mid_workload_pool_death_resumes_without_recounting(self):
+        """A pool dying on query k must not re-evaluate (or re-count)
+        queries 0..k-1; the serial fallback resumes from k."""
+        from repro.broker.options import QueryOptions
+        from repro.core import faults
+
+        db = _airfare_db()
+        queries = ["F refund", "F dateChange", "F refund", "F missedFlight"]
+        expected = [q.contract_ids for q in db.query_many(list(queries))]
+        baseline = db.metrics.counter_value("query.count")
+
+        faults.fail_at("query.pool", nth=3, exc=RuntimeError("pool died"))
+        outcomes = db.query_many(queries, QueryOptions(workers=2))
+
+        assert [o.contract_ids for o in outcomes] == expected
+        # each query counted exactly once despite the fallback
+        assert (
+            db.metrics.counter_value("query.count") - baseline
+            == len(queries)
+        )
+        assert db.metrics.counter_value("query.pool_fallback") == 1
+
+    def test_pool_creation_failure_falls_back_entirely(self, monkeypatch):
+        import repro.broker.parallel as parallel_module
+
+        class NoPool:
+            def __init__(self, max_workers=None):
+                raise RuntimeError("thread limit reached")
+
+        monkeypatch.setattr(parallel_module, "ThreadPoolExecutor", NoPool)
+        db = _airfare_db()
+        outcomes = db.query_many(["F refund"] * 2, workers=2)
+        assert len(outcomes) == 2
+        assert db.metrics.counter_value("query.pool_fallback") == 1
+        assert db.metrics.counter_value("query.count") == 2

@@ -1,0 +1,120 @@
+"""The fault-injection registry itself."""
+
+import pytest
+
+from repro.core import faults as faults_module
+from repro.core.faults import FAULTS, FaultInjector, SimulatedCrash
+
+
+class TestArming:
+    def test_disarmed_hit_is_a_no_op(self):
+        injector = FaultInjector()
+        injector.hit("any.site")  # nothing armed, nothing raised
+        assert not injector.active
+
+    def test_default_action_is_simulated_crash(self):
+        injector = FaultInjector()
+        injector.fail_at("s")
+        with pytest.raises(SimulatedCrash):
+            injector.hit("s")
+
+    def test_nth_counts_from_arming(self):
+        injector = FaultInjector()
+        injector.fail_at("s", nth=3, exc=OSError("boom"))
+        injector.hit("s")
+        injector.hit("s")
+        with pytest.raises(OSError):
+            injector.hit("s")
+        injector.hit("s")  # the window is one hit wide by default
+
+    def test_times_widens_the_window(self):
+        injector = FaultInjector()
+        injector.fail_at("s", nth=2, times=2, exc=OSError("boom"))
+        injector.hit("s")
+        for _ in range(2):
+            with pytest.raises(OSError):
+                injector.hit("s")
+        injector.hit("s")  # past the window
+
+    def test_sites_are_independent(self):
+        injector = FaultInjector()
+        injector.fail_at("a", exc=OSError("boom"))
+        injector.hit("b")
+        with pytest.raises(OSError):
+            injector.hit("a")
+
+    def test_action_receives_context(self):
+        injector = FaultInjector()
+        seen = {}
+        injector.fail_at("s", action=lambda **ctx: seen.update(ctx))
+        injector.hit("s", filename="x.json", attempt=2)
+        assert seen == {"filename": "x.json", "attempt": 2}
+
+    def test_delay_then_exception_order(self):
+        import time
+
+        injector = FaultInjector()
+        injector.fail_at("s", delay=0.01, exc=OSError("late"))
+        start = time.perf_counter()
+        with pytest.raises(OSError):
+            injector.hit("s")
+        assert time.perf_counter() - start >= 0.01
+
+    def test_invalid_arming_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.fail_at("s", nth=0)
+        with pytest.raises(ValueError):
+            injector.fail_at("s", times=0)
+
+
+class TestIntrospection:
+    def test_report_counts_hits_and_firings(self):
+        injector = FaultInjector()
+        injector.fail_at("s", nth=2, exc=OSError("boom"))
+        injector.hit("s")
+        with pytest.raises(OSError):
+            injector.hit("s")
+        report = injector.report()
+        assert report.armed == 1
+        assert report.hits["s"] == 2
+        assert report.fired["s"] == 1
+
+    def test_armed_reflects_spent_windows(self):
+        injector = FaultInjector()
+        injector.fail_at("s", exc=OSError("boom"))
+        assert injector.armed("s")
+        with pytest.raises(OSError):
+            injector.hit("s")
+        assert not injector.armed("s")  # fired out
+
+    def test_reset_disarms(self):
+        injector = FaultInjector()
+        injector.fail_at("s")
+        injector.reset()
+        injector.hit("s")
+        assert not injector.active
+        assert injector.hits("s") == 0
+
+
+class TestModuleLevelConvenience:
+    def test_module_functions_drive_the_default_injector(self):
+        faults_module.fail_at("conv.site", exc=OSError("boom"))
+        assert FAULTS.active
+        with pytest.raises(OSError):
+            faults_module.hit("conv.site")
+        faults_module.reset()
+        assert not FAULTS.active
+
+    def test_crash_at_is_a_simulated_crash(self):
+        faults_module.crash_at("conv.site")
+        with pytest.raises(SimulatedCrash):
+            faults_module.hit("conv.site")
+
+    def test_simulated_crash_evades_except_exception(self):
+        faults_module.crash_at("conv.site")
+        with pytest.raises(SimulatedCrash):
+            try:
+                faults_module.hit("conv.site")
+            except Exception:  # the recovery path a crash must bypass
+                pytest.fail("SimulatedCrash was swallowed by 'except Exception'")

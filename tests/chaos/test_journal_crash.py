@@ -1,0 +1,203 @@
+"""The crash-sim harness: kill-9 at every instant of a journal's life.
+
+The crash-safety contract (docs/DEVELOPMENT.md invariant 10): a
+mutation is acknowledged once its journal record is fsync'd, and a
+crash at ANY instant recovers a database holding exactly the
+acknowledged prefix — which reconverges to the full state when the
+lost tail is re-applied.  This module simulates the crash by
+truncating the journal at every byte boundary and by arming
+SimulatedCrash at the journal's own seams.
+"""
+
+import pytest
+
+from repro.broker.contract import ContractSpec
+from repro.broker.journal import JOURNAL_FILE, open_database
+from repro.broker.persist import save_database
+from repro.core import faults
+from repro.core.faults import SimulatedCrash
+from repro.ltl.parser import parse
+
+
+def _spec(i):
+    return ContractSpec(
+        name=f"c{i}", clauses=(parse(f"F a{i}"),), attributes={"slot": i}
+    )
+
+
+def _names(db):
+    contracts = sorted(db.contracts(), key=lambda c: c.contract_id)
+    return tuple(c.name for c in contracts)
+
+
+def _mutation_script():
+    """12 mutations: 10 registers with 2 deregisters in the middle, so
+    the sweep proves prefix consistency over a *mixed* history, not
+    just monotone growth."""
+    ops = [("register", _spec(i)) for i in range(8)]
+    ops.append(("deregister", 2))
+    ops.append(("deregister", 5))
+    ops.append(("register", _spec(8)))
+    ops.append(("register", _spec(9)))
+    return ops
+
+
+def _apply(db, op):
+    kind, payload = op
+    if kind == "register":
+        db.register(payload)
+    else:
+        db.deregister(payload)
+
+
+def _expected_states(ops):
+    """expected_states[k] = contract names after the first k mutations
+    (ids are assigned densely in registration order and never reused)."""
+    states = [()]
+    live = {}
+    next_id = 0
+    for kind, payload in ops:
+        if kind == "register":
+            live[next_id] = payload.name
+            next_id += 1
+        else:
+            del live[payload]
+        states.append(tuple(name for _, name in sorted(live.items())))
+    return states
+
+
+@pytest.fixture(scope="module")
+def acknowledged_journal(tmp_path_factory):
+    """A journal holding the full 12-mutation history (no snapshot)."""
+    source = tmp_path_factory.mktemp("journal-source") / "db"
+    db = open_database(source)
+    ops = _mutation_script()
+    for op in ops:
+        _apply(db, op)
+    raw = (source / JOURNAL_FILE).read_bytes()
+    return raw, ops
+
+
+class TestByteBoundaryTruncation:
+    def test_every_cut_recovers_the_acknowledged_prefix(
+        self, acknowledged_journal, tmp_path
+    ):
+        """Truncate at EVERY byte boundary: the recovered database must
+        hold exactly the mutations whose records survived complete, and
+        re-applying the lost tail must reconverge to the full state."""
+        raw, ops = acknowledged_journal
+        states = _expected_states(ops)
+        assert len(ops) >= 10
+        reconverged = set()
+        for cut in range(len(raw) + 1):
+            prefix = raw[:cut]
+            trial = tmp_path / f"cut-{cut}"
+            trial.mkdir()
+            (trial / JOURNAL_FILE).write_bytes(prefix)
+            recovered = open_database(trial)
+            # complete records = complete lines minus the header; a cut
+            # inside the header (no newline yet) recovers empty
+            k = max(0, prefix.count(b"\n") - 1)
+            assert _names(recovered) == states[k], f"cut at byte {cut}"
+            # the recovered state is a pure function of k, so one
+            # reconvergence per distinct k covers every cut
+            if k in reconverged:
+                continue
+            reconverged.add(k)
+            for op in ops[k:]:
+                _apply(recovered, op)
+            assert _names(recovered) == states[-1], (
+                f"cut at byte {cut} did not reconverge"
+            )
+        # the sweep visited every possible recovery point
+        assert reconverged == set(range(len(ops) + 1))
+
+    def test_healed_journal_is_rewritten_in_place(
+        self, acknowledged_journal, tmp_path
+    ):
+        """After recovering a torn journal, the file on disk agrees
+        with what was replayed — a second open replays identically."""
+        raw, ops = acknowledged_journal
+        states = _expected_states(ops)
+        cut = len(raw) - 7  # mid-record: a torn final line
+        trial = tmp_path / "torn"
+        trial.mkdir()
+        (trial / JOURNAL_FILE).write_bytes(raw[:cut])
+        first = open_database(trial)
+        assert first.journal_report.torn_records == 1
+        assert first.journal_report.torn_bytes > 0
+        first.journal.close()
+        again = open_database(trial)
+        assert again.journal_report.torn_records == 0
+        assert _names(again) == _names(first) == states[len(ops) - 1]
+
+
+class TestCrashAtTheSeams:
+    def test_crash_before_append_loses_only_that_mutation(self, tmp_path):
+        """A kill-9 before the record reaches the file: the mutation
+        was never acknowledged, so recovery holds everything before
+        it."""
+        home = tmp_path / "db"
+        db = open_database(home)
+        db.register(_spec(0))
+        db.register(_spec(1))
+        faults.crash_at("journal.append")
+        with pytest.raises(SimulatedCrash):
+            db.register(_spec(2))
+        faults.reset()
+        recovered = open_database(home)
+        assert _names(recovered) == ("c0", "c1")
+        assert recovered.journal_report.replayed == 2
+
+    def test_crash_at_fsync_recovers_a_prefix_either_way(self, tmp_path):
+        """A kill-9 between write and fsync: the record may or may not
+        have reached the disk, but recovery is one of the two adjacent
+        acknowledged prefixes — never anything else."""
+        home = tmp_path / "db"
+        db = open_database(home)
+        db.register(_spec(0))
+        db.register(_spec(1))
+        faults.crash_at("journal.fsync")
+        with pytest.raises(SimulatedCrash):
+            db.register(_spec(2))
+        faults.reset()
+        recovered = open_database(home)
+        assert _names(recovered) in (("c0", "c1"), ("c0", "c1", "c2"))
+
+    def test_crash_between_manifest_and_compaction(self, tmp_path):
+        """The epoch handshake: a crash after the manifest is written
+        but before the journal compacts leaves a stale-epoch journal
+        whose records are already in the snapshot — the next open must
+        discard them rather than replay them twice."""
+        home = tmp_path / "db"
+        db = open_database(home)
+        for i in range(3):
+            db.register(_spec(i))
+        faults.crash_at("journal.compact")
+        with pytest.raises(SimulatedCrash):
+            save_database(db, home)
+        faults.reset()
+        recovered = open_database(home)
+        assert _names(recovered) == ("c0", "c1", "c2")
+        assert recovered.journal_report.replayed == 0
+        assert recovered.journal_report.discarded_stale == 3
+        assert recovered.metrics.counter_value("journal.discarded_stale") == 3
+        # the open healed the journal: compacted at the manifest's epoch
+        assert recovered.journal.epoch == 1
+        assert len(recovered.journal) == 0
+
+    def test_crash_mid_snapshot_write_falls_back_to_journal(self, tmp_path):
+        """A crash while writing snapshot artifacts must not lose
+        journaled mutations: the manifest was never reached, so the old
+        epoch's journal still replays everything."""
+        home = tmp_path / "db"
+        db = open_database(home)
+        for i in range(3):
+            db.register(_spec(i))
+        faults.crash_at("persist.artifact_write", nth=2)
+        with pytest.raises(SimulatedCrash):
+            save_database(db, home)
+        faults.reset()
+        recovered = open_database(home)
+        assert _names(recovered) == ("c0", "c1", "c2")
+        assert recovered.journal_report.replayed == 3

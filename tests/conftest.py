@@ -9,7 +9,16 @@ from __future__ import annotations
 import pytest
 
 from repro.broker.database import BrokerConfig, ContractDatabase
+from repro.core.faults import FAULTS
 from repro.workload.airfare import all_ticket_specs
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """No fault armed by one test may leak into another."""
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
 
 
 def pytest_addoption(parser):

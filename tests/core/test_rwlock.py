@@ -1,0 +1,108 @@
+"""The reader-writer lock: exclusion, write preference, misuse."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.rwlock import RWLock
+
+
+class TestBasics:
+    def test_concurrent_readers(self):
+        lock = RWLock()
+        inside = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all three hold the lock simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+        assert lock.readers == 0
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        log = []
+
+        with lock.write():
+            assert lock.write_locked
+
+            def contender(kind):
+                ctx = lock.read() if kind == "r" else lock.write()
+                with ctx:
+                    log.append(kind)
+
+            threads = [
+                threading.Thread(target=contender, args=(k,))
+                for k in ("r", "w")
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.05)
+            assert log == []  # nobody got in while the writer held it
+        for t in threads:
+            t.join(timeout=5)
+        assert sorted(log) == ["r", "w"]
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = RWLock()
+        events = []
+        reader_entered = threading.Event()
+        release_reader = threading.Event()
+
+        def long_reader():
+            with lock.read():
+                reader_entered.set()
+                release_reader.wait(timeout=5)
+            events.append("reader0-out")
+
+        def writer():
+            with lock.write():
+                events.append("writer")
+
+        def late_reader():
+            with lock.read():
+                events.append("late-reader")
+
+        r0 = threading.Thread(target=long_reader)
+        r0.start()
+        assert reader_entered.wait(timeout=5)
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)  # let the writer queue up
+        r1 = threading.Thread(target=late_reader)
+        r1.start()
+        time.sleep(0.05)
+        # the late reader must be parked behind the waiting writer
+        assert "late-reader" not in events
+        release_reader.set()
+        for t in (r0, w, r1):
+            t.join(timeout=5)
+        assert events.index("writer") < events.index("late-reader")
+
+    def test_sequential_reuse(self):
+        lock = RWLock()
+        for _ in range(3):
+            with lock.write():
+                pass
+            with lock.read():
+                pass
+        assert lock.readers == 0
+        assert not lock.write_locked
+
+
+class TestMisuse:
+    def test_unbalanced_read_release(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+
+    def test_unbalanced_write_release(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
