@@ -1,0 +1,142 @@
+"""Object vs. encoded decider hot loop (ROADMAP item 2).
+
+Measures the flat int/bitset deciders of :mod:`repro.automata.encode` /
+:mod:`repro.core.permission` against their object twins on the same
+contract x query sweep, with every registration-time artifact (seeds,
+encodings, bindings) prepared up front — i.e. exactly the per-check
+work the broker's steady state pays.  Both sides decide the identical
+pair set, and the conformance lattice's ``ndfs-encoded`` /
+``scc-encoded`` cells prove the answers bit-identical, so this is a
+pure representation comparison.
+
+Beyond the pytest-benchmark registration, the run writes the measured
+medians to ``BENCH_decider.json`` at the repository root: the committed
+copy is the tracked perf baseline (compare against it before accepting
+a decider change), and CI's bench-smoke step regenerates it and asserts
+the speedup floor below.
+
+The floor is deliberately conservative (shared CI runners are noisy);
+the committed baseline records the real local numbers (~13x NDFS,
+~5x SCC on the complex-contract sweep).
+"""
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.automata.encode import bind_query, encode_automaton
+from repro.automata.ltl2ba import translate
+from repro.bench.reporting import format_table, write_report
+from repro.core.permission import permits, permits_encoded
+from repro.core.seeds import compute_seeds
+from repro.ltl.ast import conj
+
+from .conftest import scaled
+
+#: CI assertion floor — far under the local medians so runner noise
+#: can't flake the build, but high enough to catch a regression that
+#: erases the representation win.
+MIN_SPEEDUP = {"ndfs": 2.0, "scc": 1.5}
+ROUNDS = 5
+
+BASELINE_PATH = Path(__file__).parent.parent / "BENCH_decider.json"
+
+
+def _sweep_fixtures(datasets):
+    contracts = []
+    for spec in datasets["complex_contracts"].generate(scaled(10)):
+        formula = conj(spec.clauses)
+        ba = translate(formula)
+        vocabulary = formula.variables()
+        encoded = encode_automaton(ba, vocabulary)
+        seeds = compute_seeds(ba)
+        contracts.append(
+            (ba, vocabulary, seeds, encoded, encoded.state_mask(seeds))
+        )
+    queries = []
+    for spec in datasets["medium_queries"].generate(scaled(6)):
+        ba = translate(conj(spec.clauses))
+        queries.append((ba, encode_automaton(ba)))
+    bindings = {
+        (ci, qi): bind_query(contract[3], query[1])
+        for ci, contract in enumerate(contracts)
+        for qi, query in enumerate(queries)
+    }
+    return contracts, queries, bindings
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_benchmark_decider_encoding(benchmark, datasets, results_dir):
+    contracts, queries, bindings = _sweep_fixtures(datasets)
+
+    def object_sweep(algorithm):
+        for ba, vocabulary, seeds, _, _ in contracts:
+            for query_ba, _ in queries:
+                permits(ba, query_ba, vocabulary,
+                        algorithm=algorithm, seeds=seeds)
+
+    def encoded_sweep(algorithm):
+        for ci, (_, _, _, encoded, seeds_mask) in enumerate(contracts):
+            for qi, (_, encoded_query) in enumerate(queries):
+                permits_encoded(
+                    encoded, encoded_query, bindings[ci, qi],
+                    algorithm=algorithm, seeds_mask=seeds_mask,
+                )
+
+    measured = {}
+    for algorithm in ("ndfs", "scc"):
+        object_median = statistics.median(
+            _time(lambda: object_sweep(algorithm)) for _ in range(ROUNDS)
+        )
+        encoded_median = statistics.median(
+            _time(lambda: encoded_sweep(algorithm)) for _ in range(ROUNDS)
+        )
+        measured[algorithm] = {
+            "object_seconds": round(object_median, 6),
+            "encoded_seconds": round(encoded_median, 6),
+            "speedup": round(object_median / encoded_median, 2),
+        }
+
+    doc = {
+        "benchmark": "decider hot loop, object vs encoded",
+        "sweep": {
+            "contracts": len(contracts),
+            "queries": len(queries),
+            "pairs": len(bindings),
+            "rounds": ROUNDS,
+            "datasets": ["complex_contracts", "medium_queries"],
+        },
+        "python": sys.version.split()[0],
+        "results": measured,
+    }
+    BASELINE_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    write_report(
+        results_dir / "decider_encoding.txt",
+        format_table(
+            ["algorithm", "object s", "encoded s", "speedup"],
+            [
+                [alg, row["object_seconds"], row["encoded_seconds"],
+                 f"{row['speedup']}x"]
+                for alg, row in measured.items()
+            ],
+            title="Decider hot loop: object vs flat int/bitset encoding",
+        ),
+    )
+
+    for algorithm, floor in MIN_SPEEDUP.items():
+        assert measured[algorithm]["speedup"] >= floor, (
+            f"{algorithm}: encoded decider only "
+            f"{measured[algorithm]['speedup']}x faster (floor {floor}x) — "
+            f"regression against BENCH_decider.json baseline?"
+        )
+
+    # the timed callable pytest-benchmark tracks: the default-algorithm
+    # encoded sweep (what a broker query actually runs per candidate)
+    benchmark(lambda: encoded_sweep("ndfs"))

@@ -50,7 +50,7 @@ from .core import Deadline, ExecutionBudget, StepBudget, find_witness, permits
 from .errors import ReproError
 from .ltl import Formula, Run, parse, satisfies
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AttributeFilter",

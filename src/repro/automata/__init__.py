@@ -21,6 +21,7 @@ from .bisim import (
     quotient_by_bisimulation,
 )
 from .buchi import BuchiAutomaton, BuchiBuilder, Transition
+from .encode import EncodedAutomaton, QueryBinding, bind_query, encode_automaton
 from .gba import GeneralizedBuchi
 from .hoa import from_hoa, to_hoa
 from .labels import (
@@ -65,6 +66,10 @@ __all__ = [
     "BuchiAutomaton",
     "BuchiBuilder",
     "Transition",
+    "EncodedAutomaton",
+    "QueryBinding",
+    "bind_query",
+    "encode_automaton",
     "GeneralizedBuchi",
     "from_hoa",
     "to_hoa",

@@ -1,0 +1,348 @@
+"""Flat integer/bitset encoding of Büchi automata (ROADMAP item 2).
+
+The object deciders in :mod:`repro.core.permission` walk
+:class:`~repro.automata.buchi.BuchiAutomaton` graphs whose every step
+hashes :class:`~repro.automata.labels.Label` / ``frozenset`` objects.
+This module re-encodes an automaton once — at registration time — into a
+form the hot loop can traverse with nothing but machine integers:
+
+* **events** become bit positions in a per-contract vocabulary index;
+* **labels** become ``(positive_mask, negative_mask)`` pairs of Python
+  ints, deduplicated into a per-automaton label-class table;
+* **states** become dense ints ``0..n-1``;
+* **adjacency** becomes a CSR-style triple of ``array('q')`` rows
+  (``offsets`` / ``trans_labels`` / ``trans_dsts``) preserving the exact
+  per-state transition order of :meth:`BuchiAutomaton.successors`;
+* **final states** become one bitset int.
+
+Definition-7 compatibility then collapses to bitwise tests: a query
+label is *admissible* iff every event bit it uses maps into the contract
+vocabulary, and two labels *conflict* iff
+``(c.pos & t.neg) | (c.neg & t.pos)`` is non-zero.
+:func:`bind_query` precomputes both per label *class* (not per
+transition), so the product search in
+:func:`repro.core.permission.permits_ndfs_encoded` /
+:func:`repro.core.permission.permits_scc_encoded` only ever shifts ints.
+
+Two invariants the rest of the system relies on:
+
+* **order preservation** — the CSR rows list each state's transitions in
+  the same order the object automaton yields them, so the encoded
+  deciders visit product pairs in exactly the object deciders' order and
+  report bit-identical :class:`~repro.core.permission.PermissionStats`;
+* **vocabulary soundness** — contract-label literals on events outside
+  the supplied vocabulary are dropped from the masks.  This is exact,
+  not an approximation: an admissible query label cannot cite such an
+  event (condition (i) of Definition 7), so the dropped literals can
+  never participate in a conflict with an admissible query label.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import AutomatonError
+from .buchi import BuchiAutomaton, State, _state_key
+from .labels import Label
+
+
+def _iter_bits(mask: int):
+    """Yield the set bit positions of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class EncodedAutomaton:
+    """A :class:`BuchiAutomaton` re-encoded into flat int/bitset form.
+
+    Instances are immutable value objects built by
+    :func:`encode_automaton` (or restored by :meth:`from_dict`).  The
+    encoding is purely structural — it keeps a back-reference
+    (``states``) from encoded ids to the original state values so
+    results can be translated back when needed.
+    """
+
+    __slots__ = (
+        "events", "event_index", "num_states", "initial", "final_mask",
+        "offsets", "trans_labels", "trans_dsts", "label_pos", "label_neg",
+        "states", "state_index",
+    )
+
+    def __init__(
+        self,
+        *,
+        events: tuple[str, ...],
+        num_states: int,
+        initial: int,
+        final_mask: int,
+        offsets: array,
+        trans_labels: array,
+        trans_dsts: array,
+        label_pos: tuple[int, ...],
+        label_neg: tuple[int, ...],
+        states: tuple[State, ...],
+    ):
+        self.events = events
+        self.event_index: dict[str, int] = {e: i for i, e in enumerate(events)}
+        self.num_states = num_states
+        self.initial = initial
+        self.final_mask = final_mask
+        self.offsets = offsets
+        self.trans_labels = trans_labels
+        self.trans_dsts = trans_dsts
+        self.label_pos = label_pos
+        self.label_neg = label_neg
+        self.states = states
+        self.state_index: dict[State, int] = {s: i for i, s in enumerate(states)}
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.trans_dsts)
+
+    @property
+    def num_label_classes(self) -> int:
+        return len(self.label_pos)
+
+    def state_mask(self, states: Iterable[State]) -> int:
+        """A bitset over encoded state ids for a set of *original* states
+        (e.g. a precomputed seed set)."""
+        mask = 0
+        for state in states:
+            mask |= 1 << self.state_index[state]
+        return mask
+
+    def is_final(self, state_id: int) -> bool:
+        return bool((self.final_mask >> state_id) & 1)
+
+    def successor_ids(self, state_id: int):
+        """Destination ids of ``state_id``'s transitions (CSR slice)."""
+        return self.trans_dsts[self.offsets[state_id]:self.offsets[state_id + 1]]
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (masks are arbitrary-precision ints, which JSON
+        carries natively)."""
+        return {
+            "events": list(self.events),
+            "states": list(self.states),
+            "initial": self.initial,
+            "final": [i for i in range(self.num_states) if self.is_final(i)],
+            "offsets": list(self.offsets),
+            "trans_labels": list(self.trans_labels),
+            "trans_dsts": list(self.trans_dsts),
+            "label_pos": list(self.label_pos),
+            "label_neg": list(self.label_neg),
+        }
+
+    @classmethod
+    def from_dict(cls, ba: BuchiAutomaton, data: Mapping) -> "EncodedAutomaton":
+        """Restore an encoding and structurally validate it against the
+        automaton it claims to encode.
+
+        The validation is cheap — state set, initial/final states,
+        transition counts and id ranges — and raises
+        :class:`~repro.errors.AutomatonError` on any mismatch so the
+        persistence layer's fallback ladder rebuilds the encoding from
+        the automaton instead of trusting a stale artifact.  (Bit-level
+        corruption of the masks is the checksum layer's job.)
+        """
+        try:
+            events = tuple(str(e) for e in data["events"])
+            states = tuple(data["states"])
+            initial = int(data["initial"])
+            final_ids = [int(i) for i in data["final"]]
+            offsets = array("q", data["offsets"])
+            trans_labels = array("q", data["trans_labels"])
+            trans_dsts = array("q", data["trans_dsts"])
+            label_pos = tuple(int(m) for m in data["label_pos"])
+            label_neg = tuple(int(m) for m in data["label_neg"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AutomatonError(f"malformed encoded automaton: {exc}") from exc
+
+        n = len(states)
+        if list(events) != sorted(set(events)):
+            raise AutomatonError("encoded events must be sorted and unique")
+        if set(states) != ba.states or len(states) != len(ba.states):
+            raise AutomatonError("encoded state table does not match automaton")
+        if not (0 <= initial < n) or states[initial] != ba.initial:
+            raise AutomatonError("encoded initial state does not match automaton")
+        if {states[i] for i in final_ids if 0 <= i < n} != ba.final or any(
+            not (0 <= i < n) for i in final_ids
+        ):
+            raise AutomatonError("encoded final states do not match automaton")
+        if len(offsets) != n + 1 or offsets[0] != 0 or offsets[-1] != len(trans_dsts):
+            raise AutomatonError("encoded offsets are inconsistent")
+        if any(offsets[i] > offsets[i + 1] for i in range(n)):
+            raise AutomatonError("encoded offsets are not monotone")
+        if len(trans_labels) != len(trans_dsts) or len(trans_dsts) != ba.num_transitions:
+            raise AutomatonError("encoded transition count does not match automaton")
+        if len(label_pos) != len(label_neg):
+            raise AutomatonError("encoded label table is ragged")
+        num_labels = len(label_pos)
+        if any(not (0 <= l < num_labels) for l in trans_labels):
+            raise AutomatonError("encoded transition cites unknown label class")
+        if any(not (0 <= d < n) for d in trans_dsts):
+            raise AutomatonError("encoded transition cites unknown state")
+
+        final_mask = 0
+        for i in final_ids:
+            final_mask |= 1 << i
+        return cls(
+            events=events,
+            num_states=n,
+            initial=initial,
+            final_mask=final_mask,
+            offsets=offsets,
+            trans_labels=trans_labels,
+            trans_dsts=trans_dsts,
+            label_pos=label_pos,
+            label_neg=label_neg,
+            states=states,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedAutomaton(states={self.num_states}, "
+            f"transitions={self.num_transitions}, "
+            f"label_classes={self.num_label_classes}, "
+            f"events={len(self.events)})"
+        )
+
+
+def _label_masks(label: Label, event_index: Mapping[str, int]) -> tuple[int, int]:
+    """The ``(positive_mask, negative_mask)`` of a label over an event
+    index; literals on unindexed events are dropped (see module notes on
+    vocabulary soundness)."""
+    pos_mask = 0
+    neg_mask = 0
+    for lit in label.literals:
+        bit = event_index.get(lit.event)
+        if bit is None:
+            continue
+        if lit.positive:
+            pos_mask |= 1 << bit
+        else:
+            neg_mask |= 1 << bit
+    return pos_mask, neg_mask
+
+
+def encode_automaton(
+    ba: BuchiAutomaton,
+    vocabulary: Iterable[str] | None = None,
+) -> EncodedAutomaton:
+    """Encode ``ba`` over ``vocabulary`` (defaults to the events its
+    labels mention).
+
+    For a *contract* automaton pass the contract's full spec vocabulary:
+    admissibility of query labels (Definition 7, condition (i)) is
+    decided against the encoded ``events``, and a spec may cite events
+    its reduced BA no longer mentions.  Query automata are encoded over
+    their own label events and rebased onto a contract's vocabulary by
+    :func:`bind_query`.
+    """
+    events = tuple(sorted(vocabulary if vocabulary is not None else ba.events()))
+    event_index = {e: i for i, e in enumerate(events)}
+
+    states = tuple(sorted(ba.states, key=_state_key))
+    state_index = {s: i for i, s in enumerate(states)}
+
+    label_ids: dict[tuple[int, int], int] = {}
+    label_pos: list[int] = []
+    label_neg: list[int] = []
+    offsets = array("q", [0])
+    trans_labels = array("q")
+    trans_dsts = array("q")
+    for state in states:
+        for label, dst in ba.successors(state):
+            masks = _label_masks(label, event_index)
+            label_id = label_ids.get(masks)
+            if label_id is None:
+                label_id = len(label_pos)
+                label_ids[masks] = label_id
+                label_pos.append(masks[0])
+                label_neg.append(masks[1])
+            trans_labels.append(label_id)
+            trans_dsts.append(state_index[dst])
+        offsets.append(len(trans_dsts))
+
+    final_mask = 0
+    for state in ba.final:
+        final_mask |= 1 << state_index[state]
+
+    return EncodedAutomaton(
+        events=events,
+        num_states=len(states),
+        initial=state_index[ba.initial],
+        final_mask=final_mask,
+        offsets=offsets,
+        trans_labels=trans_labels,
+        trans_dsts=trans_dsts,
+        label_pos=tuple(label_pos),
+        label_neg=tuple(label_neg),
+        states=states,
+    )
+
+
+@dataclass(frozen=True)
+class QueryBinding:
+    """A query encoding rebased onto one contract's vocabulary.
+
+    ``compat[q]`` is a bitset over the *contract's* label classes: bit
+    ``c`` is set iff query label class ``q`` is admissible and does not
+    conflict with contract label class ``c`` — i.e. the full Definition-7
+    label test, precomputed once per (contract, query) pair.
+    ``admissible[q]`` is kept separately for introspection; an
+    inadmissible class always has an all-zero compat row.
+    """
+
+    admissible: tuple[bool, ...]
+    compat: tuple[int, ...]
+
+
+def bind_query(
+    contract: EncodedAutomaton, query: EncodedAutomaton
+) -> QueryBinding:
+    """Precompute the per-label-class compatibility table between an
+    encoded contract and an encoded query."""
+    event_index = contract.event_index
+    query_events = query.events
+    c_pos = contract.label_pos
+    c_neg = contract.label_neg
+    num_contract_labels = len(c_pos)
+
+    admissible: list[bool] = []
+    compat: list[int] = []
+    for q_pos, q_neg in zip(query.label_pos, query.label_neg):
+        pos_mask = 0
+        neg_mask = 0
+        ok = True
+        for bit in _iter_bits(q_pos):
+            mapped = event_index.get(query_events[bit])
+            if mapped is None:
+                ok = False
+                break
+            pos_mask |= 1 << mapped
+        if ok:
+            for bit in _iter_bits(q_neg):
+                mapped = event_index.get(query_events[bit])
+                if mapped is None:
+                    ok = False
+                    break
+                neg_mask |= 1 << mapped
+        admissible.append(ok)
+        if not ok:
+            compat.append(0)
+            continue
+        row = 0
+        for c in range(num_contract_labels):
+            if not ((c_pos[c] & neg_mask) | (c_neg[c] & pos_mask)):
+                row |= 1 << c
+        compat.append(row)
+    return QueryBinding(admissible=tuple(admissible), compat=tuple(compat))

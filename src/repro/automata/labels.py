@@ -123,18 +123,20 @@ class Label:
 
     @classmethod
     def parse(cls, text: str) -> "Label":
-        """Parse ``"a & !b"`` / ``"a && !b"`` / ``"true"`` into a label."""
+        """Parse ``"a & !b"`` / ``"a && !b"`` / ``"true"`` into a label.
+
+        Raises ``ValueError`` on malformed conjunctions — a dangling
+        operator (``"a &"``), an empty conjunct (``"a & & b"``), or a
+        bare negation (``"!"``) — instead of silently building literals
+        with empty event names.
+        """
         text = text.strip()
         if text in ("true", "1", ""):
             return TRUE_LABEL
-        literals = []
-        for part in text.replace("&&", "&").split("&"):
-            part = part.strip()
-            if part.startswith("!") or part.startswith("~"):
-                literals.append(neg(part[1:].strip()))
-            else:
-                literals.append(pos(part))
-        return cls.of(literals)
+        return cls.of(
+            parse_literal(part)
+            for part in text.replace("&&", "&").split("&")
+        )
 
     # -- basic queries ------------------------------------------------------------
 
@@ -209,10 +211,10 @@ class Label:
         (i.e. ``other``'s literals are a subset of ``self``'s)."""
         return other.literals <= self.literals
 
-    def pick_snapshot(self, default_false: Iterable[str] = ()) -> Snapshot:
-        """A concrete snapshot satisfying the label: constrained events get
-        their required value, everything else (including ``default_false``)
-        is false."""
+    def pick_snapshot(self) -> Snapshot:
+        """A concrete snapshot satisfying the label: positively
+        constrained events happen, every other event — negatively
+        constrained or unmentioned — does not."""
         return frozenset(l.event for l in self.literals if l.positive)
 
     def __str__(self) -> str:

@@ -29,6 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..automata.buchi import BuchiAutomaton
+from ..automata.encode import EncodedAutomaton, encode_automaton
 from ..automata.ltl2ba import DEFAULT_STATE_BUDGET, translate
 from ..index.condition import Condition
 from ..index.pruning import pruning_condition
@@ -54,7 +55,8 @@ class CompiledQuery:
     for free.
     """
 
-    __slots__ = ("formula", "key", "query_ba", "literals", "_condition")
+    __slots__ = ("formula", "key", "query_ba", "literals", "_condition",
+                 "_encoded")
 
     def __init__(self, formula: Formula, key: str,
                  query_ba: BuchiAutomaton):
@@ -63,6 +65,7 @@ class CompiledQuery:
         self.query_ba = query_ba
         self.literals = query_ba.literals()
         self._condition: Condition | None = None
+        self._encoded: EncodedAutomaton | None = None
 
     @property
     def condition(self) -> Condition:
@@ -76,6 +79,17 @@ class CompiledQuery:
         if condition is None:
             condition = self._condition = pruning_condition(self.query_ba)
         return condition
+
+    @property
+    def encoded_query(self) -> EncodedAutomaton:
+        """The flat int encoding of the query BA (computed on first use,
+        same benign-race pattern as :attr:`condition`).  Encoded over the
+        query's own events; :func:`repro.automata.encode.bind_query`
+        rebases it onto each contract's vocabulary at check time."""
+        encoded = self._encoded
+        if encoded is None:
+            encoded = self._encoded = encode_automaton(self.query_ba)
+        return encoded
 
     @property
     def has_condition(self) -> bool:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from ..automata.buchi import BuchiAutomaton
+from ..automata.encode import EncodedAutomaton
 from ..ltl.ast import Formula, conj
 from ..projection.store import ProjectionStore
 
@@ -49,7 +50,10 @@ class Contract:
 
     ``vocabulary`` is copied out of the spec at registration so the hot
     permission path does not re-derive it from the formula on every
-    check.
+    check.  ``encoded`` / ``encoded_seeds_mask`` are the flat int/bitset
+    twins of ``ba`` / ``seeds`` (:mod:`repro.automata.encode`) the
+    encoded deciders walk; ``None`` means the object path is the only
+    one available for this contract.
     """
 
     contract_id: int
@@ -58,6 +62,8 @@ class Contract:
     seeds: frozenset
     vocabulary: frozenset = frozenset()
     projections: ProjectionStore | None = None
+    encoded: EncodedAutomaton | None = None
+    encoded_seeds_mask: int | None = None
 
     def __post_init__(self) -> None:
         if not self.vocabulary:

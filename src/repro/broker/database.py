@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..automata.buchi import BuchiAutomaton
+from ..automata.encode import encode_automaton
 from ..automata.ltl2ba import DEFAULT_STATE_BUDGET, translate
 from ..core.budget import Deadline, ExecutionBudget, StepBudget
 from ..core.rwlock import RWLock
@@ -41,6 +42,7 @@ from ..core.permission import (
     PermissionWitness,
     find_witness,
     permits,
+    permits_encoded,
 )
 from ..core.seeds import compute_seeds
 from ..errors import BrokerError, BudgetExceededError, QueryBudgetError
@@ -76,6 +78,11 @@ class BrokerConfig:
         use_prefilter: evaluate pruning conditions against the §4 index.
         use_projections: precompute and use the §5 simplified BAs.
         use_seeds: apply the §6.2.4 seed filter inside Algorithm 2.
+        use_encoded: run permission checks on the flat int/bitset
+            encoding built at registration
+            (:mod:`repro.automata.encode`) — bit-identical verdicts and
+            stats, substantially faster; contracts without an encoding
+            fall back to the object deciders.
         prefilter_depth: set-trie depth cap ``k``.
         projection_subset_cap: max projected-literal-subset size
             (``None`` = all subsets).
@@ -88,6 +95,7 @@ class BrokerConfig:
     use_prefilter: bool = True
     use_projections: bool = True
     use_seeds: bool = True
+    use_encoded: bool = True
     prefilter_depth: int = 2
     projection_subset_cap: int | None = 2
     permission_algorithm: str = "ndfs"
@@ -109,6 +117,7 @@ class RegistrationStats:
     prefilter_seconds: float = 0.0
     projection_seconds: float = 0.0
     seeds_seconds: float = 0.0
+    encode_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -117,6 +126,7 @@ class RegistrationStats:
             + self.prefilter_seconds
             + self.projection_seconds
             + self.seeds_seconds
+            + self.encode_seconds
         )
 
 
@@ -231,6 +241,18 @@ class ContractDatabase:
         seeds = prebuilt.seeds if prebuilt.seeds is not None else compute_seeds(ba)
         seeds_seconds = time.perf_counter() - start
 
+        # The flat int/bitset encoding is always built (it is cheap next
+        # to translation) so the encoded deciders can be toggled per
+        # query even on a database configured with use_encoded=False.
+        start = time.perf_counter()
+        encoded = (
+            prebuilt.encoded
+            if prebuilt.encoded is not None
+            else encode_automaton(ba, spec.vocabulary)
+        )
+        encoded_seeds_mask = encoded.state_mask(seeds)
+        encode_seconds = time.perf_counter() - start
+
         projections = None
         projection_seconds = 0.0
         if self.config.use_projections:
@@ -239,9 +261,15 @@ class ContractDatabase:
             else:
                 start = time.perf_counter()
                 projections = ProjectionStore(
-                    ba, max_subset_size=self.config.projection_subset_cap
+                    ba,
+                    max_subset_size=self.config.projection_subset_cap,
+                    vocabulary=spec.vocabulary,
                 )
                 projection_seconds = time.perf_counter() - start
+            if projections.vocabulary is None:
+                # prebuilt stores (process pool, snapshot restore) carry
+                # no vocabulary; assign it so quotients can be encoded
+                projections.vocabulary = spec.vocabulary
 
         with self._rwlock.write():
             contract_id = self._next_id
@@ -259,12 +287,15 @@ class ContractDatabase:
                 ba=ba,
                 seeds=seeds,
                 projections=projections,
+                encoded=encoded,
+                encoded_seeds_mask=encoded_seeds_mask,
             )
             self._contracts[contract_id] = contract
             stats = self.registration_stats
             stats.contracts += 1
             stats.translation_seconds += translation_seconds
             stats.seeds_seconds += seeds_seconds
+            stats.encode_seconds += encode_seconds
             stats.projection_seconds += projection_seconds
             stats.prefilter_seconds += prefilter_seconds
             self._dirty = True
@@ -480,11 +511,17 @@ class ContractDatabase:
             if options.use_projections is None
             else options.use_projections
         )
+        encoded_on = (
+            self.config.use_encoded
+            if options.use_encoded is None
+            else options.use_encoded
+        )
 
         stats = QueryStats(
             database_size=len(self._contracts),
             used_prefilter=prefilter_on,
             used_projections=projections_on,
+            used_encoded=encoded_on,
             cache_hit=cache_hit,
             deadline_seconds=options.deadline_seconds,
             step_budget=options.step_budget,
@@ -548,7 +585,8 @@ class ContractDatabase:
 
         def check(contract: Contract) -> tuple[Verdict, float, float]:
             return self._check_candidate(
-                contract, compiled, projections_on, make_budget()
+                contract, compiled, projections_on, make_budget(),
+                use_encoded=encoded_on,
             )
 
         if executor is None:
@@ -625,10 +663,17 @@ class ContractDatabase:
         compiled: CompiledQuery,
         projections_on: bool,
         budget: ExecutionBudget | None = None,
+        *,
+        use_encoded: bool = True,
     ) -> tuple[Verdict, float, float]:
         """One candidate's (selection, permission) check; returns the
         verdict plus the two phase durations so callers can run this from
         worker threads and still account stats in one place.
+
+        With ``use_encoded`` the search runs on the flat int encoding
+        (contract-level or per-quotient) whenever one is available,
+        falling back to the object deciders otherwise — the two paths
+        are verdict- and budget-identical by construction.
 
         With an exhausted budget the check is *cancelled* — it returns
         ``SKIPPED`` without selecting a projection or starting the
@@ -638,28 +683,49 @@ class ContractDatabase:
             return Verdict.SKIPPED, 0.0, 0.0
 
         start = time.perf_counter()
+        encoded = None
+        seeds_mask = None
         if projections_on and contract.projections is not None:
-            checked_ba, seeds = contract.projections.select_with_seeds(
-                compiled.literals
-            )
+            if use_encoded:
+                checked_ba, seeds, encoded, seeds_mask = (
+                    contract.projections.select_artifacts(compiled.literals)
+                )
+            else:
+                checked_ba, seeds = contract.projections.select_with_seeds(
+                    compiled.literals
+                )
         else:
             checked_ba = contract.ba
             seeds = None
         selection_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        if seeds is None and checked_ba is contract.ba:
-            seeds = contract.seeds
+        if checked_ba is contract.ba:
+            if seeds is None:
+                seeds = contract.seeds
+            if use_encoded and encoded is None:
+                encoded = contract.encoded
+                seeds_mask = contract.encoded_seeds_mask
         try:
-            outcome = permits(
-                checked_ba,
-                compiled.query_ba,
-                contract.vocabulary,
-                algorithm=self.config.permission_algorithm,
-                seeds=seeds,
-                use_seeds=self.config.use_seeds,
-                budget=budget,
-            )
+            if encoded is not None:
+                outcome = permits_encoded(
+                    encoded,
+                    compiled.encoded_query,
+                    algorithm=self.config.permission_algorithm,
+                    seeds_mask=seeds_mask,
+                    use_seeds=self.config.use_seeds,
+                    budget=budget,
+                )
+            else:
+                outcome = permits(
+                    checked_ba,
+                    compiled.query_ba,
+                    contract.vocabulary,
+                    algorithm=self.config.permission_algorithm,
+                    seeds=seeds,
+                    use_seeds=self.config.use_seeds,
+                    budget=budget,
+                )
         except BudgetExceededError:
             permission_seconds = time.perf_counter() - start
             return Verdict.TIMED_OUT, selection_seconds, permission_seconds

@@ -31,6 +31,7 @@ from .relational import MATCH_ALL, AttributeFilter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..automata.buchi import BuchiAutomaton
+    from ..automata.encode import EncodedAutomaton
     from ..projection.store import ProjectionStore
     from .planner import QueryPlanner
 
@@ -59,6 +60,12 @@ class QueryOptions:
             the single-contract surfaces; ``None`` = whole database).
         use_prefilter: engage the §4 index (``None`` = database config).
         use_projections: engage the §5 projections (``None`` = config).
+        use_encoded: run permission checks on the flat int/bitset
+            encoding (:mod:`repro.automata.encode`) instead of the
+            object automata (``None`` = database config).  Verdicts,
+            stats and budget behavior are identical either way; the
+            object path remains as the fallback for contracts without an
+            encoding.
         explain: extract a simultaneous-lasso witness per returned
             contract.
         use_planner: let a :class:`~repro.broker.planner.QueryPlanner`
@@ -86,6 +93,7 @@ class QueryOptions:
     contract_ids: tuple[int, ...] | None = None
     use_prefilter: bool | None = None
     use_projections: bool | None = None
+    use_encoded: bool | None = None
     explain: bool = False
     use_planner: bool = False
     planner: "QueryPlanner | None" = None
@@ -143,6 +151,7 @@ class PrebuiltArtifacts:
     ba: "BuchiAutomaton | None" = None
     seeds: frozenset | None = None
     projections: "ProjectionStore | None" = None
+    encoded: "EncodedAutomaton | None" = None
 
 
 #: Legacy keyword names each deprecated surface accepted, mapped to the

@@ -11,6 +11,9 @@ provides the library equivalent: a database directory holding
   name (duplicate names hold a list in registration order);
 * ``seeds.json``       — the §6.2.4 seed set per contract, as state ids
   of the stored (canonically numbered) automaton;
+* ``encoded.json``     — the flat int/bitset encoding of each stored
+  automaton (:mod:`repro.automata.encode`) the encoded deciders walk,
+  in the same canonical numbering;
 * ``projections.json`` — each contract's deduplicated bisimulation
   partitions and subset -> partition map (§5.2);
 * ``index.json``       — the §4 prefilter set-trie with its contract
@@ -49,6 +52,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..automata.encode import EncodedAutomaton, encode_automaton
 from ..automata.serialize import automaton_from_dict, automaton_to_dict
 from ..core import faults
 from ..errors import AutomatonError, BrokerError, IndexError_, ProjectionError
@@ -63,6 +67,7 @@ from .options import PrebuiltArtifacts
 _CONTRACTS_FILE = "contracts.json"
 _AUTOMATA_FILE = "automata.json"
 _SEEDS_FILE = "seeds.json"
+_ENCODED_FILE = "encoded.json"
 _PROJECTIONS_FILE = "projections.json"
 _INDEX_FILE = "index.json"
 _FORMAT_VERSION = 2
@@ -80,6 +85,7 @@ class LoadReport:
     contracts: int = 0
     automata_restored: int = 0
     seeds_restored: int = 0
+    encoded_restored: int = 0
     projections_restored: int = 0
     index_restored: bool = False
     #: names of contracts whose stored automaton was missing or stale and
@@ -194,6 +200,7 @@ def _save_locked(db: ContractDatabase, directory: Path, journal) -> Path:
     contract_docs = []
     automata_docs: dict[str, list] = {}
     seed_docs: dict[str, list] = {}
+    encoded_docs: dict[str, list] = {}
     projection_docs: dict[str, list] = {}
     for contract in contracts:
         contract_docs.append({
@@ -202,7 +209,8 @@ def _save_locked(db: ContractDatabase, directory: Path, journal) -> Path:
             "attributes": dict(contract.attributes),
         })
         # One numbering per contract keeps the stored automaton, its seed
-        # set and its partitions in the same dense-integer state space.
+        # set, its encoding and its partitions in the same dense-integer
+        # state space.
         numbering = contract.ba.canonical_numbering()
         canonical_ba = contract.ba.map_states(numbering.__getitem__)
         automata_docs.setdefault(contract.name, []).append(
@@ -210,6 +218,12 @@ def _save_locked(db: ContractDatabase, directory: Path, journal) -> Path:
         )
         seed_docs.setdefault(contract.name, []).append(
             sorted(numbering[s] for s in contract.seeds)
+        )
+        # Re-encoded against the canonical numbering (the in-memory
+        # encoding indexes the live automaton's states, which need not
+        # be JSON-representable).
+        encoded_docs.setdefault(contract.name, []).append(
+            encode_automaton(canonical_ba, contract.vocabulary).to_dict()
         )
         projection_docs.setdefault(contract.name, []).append(
             contract.projections.to_dict(numbering)
@@ -221,6 +235,7 @@ def _save_locked(db: ContractDatabase, directory: Path, journal) -> Path:
     payloads = [
         (_AUTOMATA_FILE, automata_docs),
         (_SEEDS_FILE, seed_docs),
+        (_ENCODED_FILE, encoded_docs),
         (_PROJECTIONS_FILE, projection_docs),
         (_INDEX_FILE, db.index.to_dict(id_map)),
     ]
@@ -363,6 +378,9 @@ def load_database(
         directory, _AUTOMATA_FILE, checksums, report
     )
     seeds_docs = _read_artifact(directory, _SEEDS_FILE, checksums, report)
+    encoded_docs = _read_artifact(
+        directory, _ENCODED_FILE, checksums, report
+    )
     projection_docs = None
     if config.use_projections:
         projection_docs = _read_artifact(
@@ -418,6 +436,7 @@ def load_database(
             )
 
         seeds = None
+        encoded = None
         projections = None
         if ba is not None:
             report.automata_restored += 1
@@ -437,6 +456,27 @@ def load_database(
                     report.warnings.append(
                         f"{spec.name!r}: stored seed set invalid; recomputing"
                     )
+            enc_doc = _nth(encoded_docs, spec.name, position)
+            if isinstance(enc_doc, dict):
+                try:
+                    candidate_enc = EncodedAutomaton.from_dict(ba, enc_doc)
+                except AutomatonError as exc:
+                    report.warnings.append(
+                        f"{spec.name!r}: stored encoding invalid ({exc}); "
+                        "re-encoding"
+                    )
+                else:
+                    # The encoding's event index *is* the admissibility
+                    # check of Definition 7, so a stale vocabulary would
+                    # silently change verdicts — reject it.
+                    if candidate_enc.events == tuple(sorted(spec.vocabulary)):
+                        encoded = candidate_enc
+                        report.encoded_restored += 1
+                    else:
+                        report.warnings.append(
+                            f"{spec.name!r}: stored encoding vocabulary "
+                            "differs from the specification; re-encoding"
+                        )
             proj_doc = _nth(projection_docs, spec.name, position)
             if config.use_projections and isinstance(proj_doc, dict):
                 if proj_doc.get("max_subset_size") == config.projection_subset_cap:
@@ -459,7 +499,7 @@ def load_database(
         contract = db.register(
             spec,
             prebuilt=PrebuiltArtifacts(
-                ba=ba, seeds=seeds, projections=projections
+                ba=ba, seeds=seeds, projections=projections, encoded=encoded
             ),
             update_index=not restore_index,
         )

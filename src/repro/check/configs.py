@@ -7,8 +7,12 @@ maybe`` (docs/DEVELOPMENT.md invariant 8).
 
 The lattice covers both deciders crossed with both index optimizations
 (8 exact configurations — any single-layer bug breaks at least one cell
-while the others pin the blame), plus five *mode* configurations that
-exercise the serving machinery around the deciders: a cache-warm repeat
+while the others pin the blame), two *encoded* configurations that run
+each decider on the flat int/bitset encoding
+(:mod:`repro.automata.encode`) and must agree with the oracle — and
+therefore with their object-decider twins — bit-for-bit, plus five
+*mode* configurations that exercise the serving machinery around the
+deciders: a cache-warm repeat
 (compilation-cache reuse), parallel ``query_many`` (thread-pool fan-out
 must be bit-identical to serial), a step-budgeted run under the MAYBE
 degradation policy, a save→load round trip (snapshot persistence must
@@ -53,6 +57,7 @@ class StackConfig:
     algorithm: str = "ndfs"
     use_prefilter: bool = True
     use_projections: bool = True
+    use_encoded: bool = False
     mode: str = "direct"
 
     @property
@@ -65,6 +70,7 @@ class StackConfig:
             permission_algorithm=self.algorithm,
             use_prefilter=self.use_prefilter,
             use_projections=self.use_projections,
+            use_encoded=self.use_encoded,
         )
 
 
@@ -88,14 +94,25 @@ def _base_lattice() -> list[StackConfig]:
 
 
 def config_lattice() -> tuple[StackConfig, ...]:
-    """The full default lattice (13 configurations)."""
+    """The full default lattice (15 configurations)."""
     return tuple(
         _base_lattice()
         + [
+            # the flat int/bitset deciders, with both index optimizations
+            # on — bit-identical to their object twins by construction,
+            # and this is where that claim is continuously re-proven
+            StackConfig(name="ndfs-encoded", algorithm="ndfs",
+                        use_encoded=True),
+            StackConfig(name="scc-encoded", algorithm="scc",
+                        use_encoded=True),
             StackConfig(name="cache-warm", mode="cache_warm"),
             StackConfig(name="parallel-x2", mode="parallel"),
             StackConfig(name="budget-maybe", mode="budget"),
-            StackConfig(name="save-load", mode="roundtrip"),
+            # roundtrip runs with the encoded deciders on, so the
+            # persisted encoded.json artifact is continuously proven to
+            # answer like the database that wrote it
+            StackConfig(name="save-load", mode="roundtrip",
+                        use_encoded=True),
             StackConfig(name="journal-replay", mode="journal"),
         ]
     )

@@ -145,7 +145,7 @@ class ConformanceRunner:
         profile: a :class:`~repro.check.generators.CheckProfile` or the
             name of one of :data:`~repro.check.generators.PROFILES`.
         configs: the :class:`StackConfig` tuple to sweep (default: the
-            full 13-point lattice).
+            full 15-point lattice).
         artifact_dir: where failure repro artifacts are written
             (``None`` = don't write artifacts).
         shrink: greedily minimize failing cases before reporting.

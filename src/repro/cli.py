@@ -356,8 +356,9 @@ def _cmd_save(args: argparse.Namespace) -> int:
     db = _load_or_build_db(args.specs, config)
     start = time.perf_counter()
     directory = save_database(db, args.out)
-    print(f"saved {len(db)} contracts (automata, seeds, projections, "
-          f"index) to {directory} in {time.perf_counter() - start:.1f}s")
+    print(f"saved {len(db)} contracts (automata, seeds, encodings, "
+          f"projections, index) to {directory} in "
+          f"{time.perf_counter() - start:.1f}s")
     return 0
 
 
@@ -371,6 +372,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
     print(f"  automata    : {report.automata_restored} restored, "
           f"{len(report.retranslated)} retranslated")
     print(f"  seeds       : {report.seeds_restored} restored")
+    print(f"  encodings   : {report.encoded_restored} restored")
     print(f"  projections : {report.projections_restored} restored")
     print(f"  index       : "
           f"{'restored' if report.index_restored else 'rebuilt'}")

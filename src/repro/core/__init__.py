@@ -17,11 +17,14 @@ from .permission import (
     WitnessStep,
     find_witness,
     permits,
+    permits_encoded,
     permits_ndfs,
+    permits_ndfs_encoded,
     permits_scc,
+    permits_scc_encoded,
 )
 from .rwlock import RWLock
-from .seeds import compute_seeds
+from .seeds import compute_seeds, compute_seeds_mask
 
 __all__ = [
     "Deadline",
@@ -35,7 +38,11 @@ __all__ = [
     "WitnessStep",
     "find_witness",
     "permits",
+    "permits_encoded",
     "permits_ndfs",
+    "permits_ndfs_encoded",
     "permits_scc",
+    "permits_scc_encoded",
     "compute_seeds",
+    "compute_seeds_mask",
 ]

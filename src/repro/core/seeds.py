@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..automata import graph
 from ..automata.buchi import BuchiAutomaton
+from ..automata.encode import EncodedAutomaton
 
 
 def compute_seeds(contract_ba: BuchiAutomaton) -> frozenset:
@@ -30,3 +31,21 @@ def compute_seeds(contract_ba: BuchiAutomaton) -> frozenset:
             reachable, contract_ba.successor_states, contract_ba.is_final
         )
     )
+
+
+def compute_seeds_mask(enc: EncodedAutomaton) -> int:
+    """:func:`compute_seeds` over an encoded automaton, as a bitset of
+    encoded state ids.
+
+    Equal to ``enc.state_mask(compute_seeds(ba))`` for the automaton
+    ``enc`` was built from — the same SCC analysis run directly on the
+    CSR adjacency, so the broker can rebuild seed masks from a restored
+    encoding without materializing the object automaton's seed set.
+    """
+    reachable = graph.reachable_from(enc.initial, enc.successor_ids)
+    mask = 0
+    for state_id in graph.states_on_accepting_cycles(
+        reachable, enc.successor_ids, enc.is_final
+    ):
+        mask |= 1 << state_id
+    return mask

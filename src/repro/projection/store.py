@@ -39,6 +39,7 @@ from ..automata.bisim import (
     quotient,
 )
 from ..automata.buchi import BuchiAutomaton
+from ..automata.encode import EncodedAutomaton, encode_automaton
 from ..automata.labels import Literal, parse_literal
 from ..core.seeds import compute_seeds
 from ..errors import ProjectionError
@@ -66,6 +67,11 @@ class ProjectionStore:
             literals — only sensible for small contracts).  Queries whose
             required literal set is larger than the cap simply fall back
             to the full automaton (§5.2).
+        vocabulary: the contract's full event vocabulary, needed to
+            encode materialized quotients for the flat int deciders
+            (:meth:`select_artifacts`).  ``None`` (e.g. a store built by
+            a process-pool worker) disables quotient encoding until the
+            broker assigns it at registration.
     """
 
     def __init__(
@@ -73,10 +79,12 @@ class ProjectionStore:
         ba: BuchiAutomaton,
         max_subset_size: int | None = 2,
         extra_subsets: Iterable[frozenset] = (),
+        vocabulary: frozenset | None = None,
     ):
         self.ba = ba
         self.literals = ba.literals()
         self.max_subset_size = max_subset_size
+        self.vocabulary = vocabulary
         self._extra_subsets = [
             frozenset(s) & self.literals for s in extra_subsets
         ]
@@ -93,6 +101,12 @@ class ProjectionStore:
         #: seeds (§6.2.4) of each materialized quotient, keyed like
         #: _quotients, so the permission algorithm never recomputes them.
         self._quotient_seeds: dict[tuple[int, frozenset[Literal]], frozenset] = {}
+        #: flat int encodings + seed masks of materialized quotients,
+        #: keyed like _quotients (only populated when a vocabulary is
+        #: known — see select_artifacts).
+        self._quotient_encodings: dict[
+            tuple[int, frozenset[Literal]], tuple[EncodedAutomaton, int]
+        ] = {}
         self._build()
 
     # -- registration-time computation -----------------------------------------
@@ -244,9 +258,11 @@ class ProjectionStore:
         store = cls.__new__(cls)
         store.ba = ba
         store.literals = ba.literals()
+        store.vocabulary = None
         store._extra_subsets = []
         store._quotients = {}
         store._quotient_seeds = {}
+        store._quotient_encodings = {}
         try:
             cap = data["max_subset_size"]
             store.max_subset_size = None if cap is None else int(cap)
@@ -314,6 +330,44 @@ class ProjectionStore:
         """Like :meth:`select`, also returning the cached §6.2.4 seed set
         of the chosen automaton (``None`` when the full BA is returned,
         whose seeds the caller — the broker — precomputed itself)."""
+        best = self._select_key(query_literals)
+        if best is None:
+            return self.ba, None
+        return self._materialize(*best)
+
+    def select_artifacts(
+        self, query_literals: Iterable[Literal]
+    ) -> tuple[
+        BuchiAutomaton, frozenset | None, EncodedAutomaton | None, int | None
+    ]:
+        """:meth:`select_with_seeds` plus the chosen quotient's flat int
+        encoding and seed mask for the encoded deciders.
+
+        Returns ``(ba, seeds, encoded, seeds_mask)``.  The trailing pair
+        is ``None`` when the full BA is selected (the broker holds the
+        contract-level encoding itself) or when no ``vocabulary`` is set
+        on the store (the caller then falls back to the object path).
+        Quotient encodings are cached alongside the quotients they
+        encode, so the cost is paid once per materialized projection.
+        """
+        best = self._select_key(query_literals)
+        if best is None:
+            return self.ba, None, None, None
+        ba, seeds = self._materialize(*best)
+        if self.vocabulary is None:
+            return ba, seeds, None, None
+        cached = self._quotient_encodings.get(best)
+        if cached is None:
+            encoded = encode_automaton(ba, self.vocabulary)
+            cached = (encoded, encoded.state_mask(seeds))
+            self._quotient_encodings[best] = cached
+        return ba, seeds, cached[0], cached[1]
+
+    def _select_key(
+        self, query_literals: Iterable[Literal]
+    ) -> tuple[int, frozenset[Literal]] | None:
+        """The ``(partition id, subset)`` of the smallest applicable
+        stored projection, or ``None`` for the full-automaton fallback."""
         needed = required_literals(query_literals, self.literals)
         best: tuple[int, frozenset[Literal]] | None = None
         best_blocks = self.ba.num_states + 1
@@ -325,8 +379,8 @@ class ProjectionStore:
                 best_blocks = blocks
                 best = (partition_id, subset)
         if best is None or best_blocks >= self.ba.num_states:
-            return self.ba, None
-        return self._materialize(*best)
+            return None
+        return best
 
     def _materialize(
         self, partition_id: int, subset: frozenset[Literal]

@@ -1,0 +1,194 @@
+"""Tests for the flat int/bitset encoding (:mod:`repro.automata.encode`).
+
+Structural properties of :func:`encode_automaton`, the
+``to_dict``/``from_dict`` persistence round trip (including the
+validation failures that drive the snapshot fallback ladder), and the
+Definition-7 bit tables :func:`bind_query` precomputes.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.buchi import BuchiAutomaton
+from repro.automata.encode import (
+    EncodedAutomaton,
+    bind_query,
+    encode_automaton,
+)
+from repro.automata.labels import TRUE_LABEL, Label
+from repro.automata.ltl2ba import translate
+from repro.core.seeds import compute_seeds, compute_seeds_mask
+from repro.errors import AutomatonError
+from repro.ltl.parser import parse
+
+from ..strategies import buchi_automata, formulas
+
+
+def ba_of(text: str) -> BuchiAutomaton:
+    return translate(parse(text))
+
+
+class TestEncoding:
+    def test_structure_mirrors_automaton(self):
+        ba = ba_of("G(a -> F b)")
+        enc = encode_automaton(ba)
+        assert enc.num_states == len(ba.states)
+        assert enc.num_transitions == ba.num_transitions
+        assert enc.states[enc.initial] == ba.initial
+        assert {enc.states[i] for i in range(enc.num_states)
+                if enc.is_final(i)} == ba.final
+        assert enc.events == tuple(sorted(ba.events()))
+
+    def test_csr_preserves_successor_order(self):
+        """The hot-loop parity argument rests on this: the CSR rows list
+        each state's transitions in ``BuchiAutomaton.successors`` order."""
+        ba = ba_of("(a U b) && G(c -> F a)")
+        enc = encode_automaton(ba)
+        for sid in range(enc.num_states):
+            object_dsts = [
+                enc.state_index[dst]
+                for _, dst in ba.successors(enc.states[sid])
+            ]
+            assert list(enc.successor_ids(sid)) == object_dsts
+
+    def test_label_classes_deduplicated(self):
+        ba = ba_of("G a")
+        enc = encode_automaton(ba)
+        distinct = {
+            label for state in ba.states for label, _ in ba.successors(state)
+        }
+        assert enc.num_label_classes == len(distinct)
+
+    def test_vocabulary_can_widen_events(self):
+        ba = ba_of("F a")
+        enc = encode_automaton(ba, frozenset({"a", "zz"}))
+        assert enc.events == ("a", "zz")
+        assert enc.event_index["zz"] == 1
+
+    def test_out_of_vocabulary_literals_dropped(self):
+        """Contract literals on events outside the vocabulary vanish
+        from the masks (sound: admissible queries can't cite them)."""
+        ba = ba_of("G(a && !b)")
+        enc = encode_automaton(ba, frozenset({"a"}))
+        bit = 1 << enc.event_index["a"]
+        assert all(m & ~bit == 0 for m in enc.label_pos)
+        assert all(m == 0 for m in enc.label_neg)
+
+    def test_state_mask_matches_seed_mask(self):
+        ba = ba_of("G(a -> F b)")
+        enc = encode_automaton(ba)
+        assert enc.state_mask(compute_seeds(ba)) == compute_seeds_mask(enc)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ba=buchi_automata())
+    def test_random_automata_encode_consistently(self, ba):
+        enc = encode_automaton(ba)
+        assert enc.num_transitions == ba.num_transitions
+        for sid in range(enc.num_states):
+            assert list(enc.successor_ids(sid)) == [
+                enc.state_index[dst]
+                for _, dst in ba.successors(enc.states[sid])
+            ]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        ba = ba_of("G(a -> F(b || c))")
+        enc = encode_automaton(ba)
+        restored = EncodedAutomaton.from_dict(ba, enc.to_dict())
+        assert restored.events == enc.events
+        assert restored.states == enc.states
+        assert restored.final_mask == enc.final_mask
+        assert list(restored.offsets) == list(enc.offsets)
+        assert list(restored.trans_labels) == list(enc.trans_labels)
+        assert list(restored.trans_dsts) == list(enc.trans_dsts)
+        assert restored.label_pos == enc.label_pos
+        assert restored.label_neg == enc.label_neg
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("offsets"),
+            lambda d: d.update(states=d["states"][:-1]),
+            lambda d: d.update(initial=len(d["states"])),
+            lambda d: d.update(final=[len(d["states"])]),
+            lambda d: d.update(offsets=[1] + d["offsets"][1:]),
+            lambda d: d.update(trans_dsts=d["trans_dsts"][:-1]),
+            lambda d: d.update(
+                trans_labels=[len(d["label_pos"])] + d["trans_labels"][1:]
+            ),
+            lambda d: d.update(label_neg=d["label_neg"] + [0]),
+            lambda d: d.update(events=list(reversed(d["events"]))),
+        ],
+        ids=[
+            "missing-key", "dropped-state", "bad-initial", "bad-final",
+            "bad-offset-origin", "short-dsts", "unknown-label-class",
+            "ragged-label-table", "unsorted-events",
+        ],
+    )
+    def test_from_dict_rejects_corruption(self, mutate):
+        """Every structural mismatch must raise ``AutomatonError`` so the
+        snapshot loader falls back to re-encoding."""
+        ba = ba_of("G(a -> F b)")
+        doc = encode_automaton(ba).to_dict()
+        mutate(doc)
+        with pytest.raises(AutomatonError):
+            EncodedAutomaton.from_dict(ba, doc)
+
+
+class TestBindQuery:
+    def test_admissible_query(self):
+        contract = encode_automaton(ba_of("G(a -> F b)"))
+        query = encode_automaton(ba_of("F b"))
+        binding = bind_query(contract, query)
+        assert all(binding.admissible)
+
+    def test_out_of_vocabulary_query_label_inadmissible(self):
+        contract = encode_automaton(ba_of("F a"))
+        query = encode_automaton(ba_of("F(a && F c)"))
+        binding = bind_query(contract, query)
+        c_bit = query.event_index["c"]
+        for lid in range(query.num_label_classes):
+            cites_c = bool(
+                ((query.label_pos[lid] | query.label_neg[lid]) >> c_bit) & 1
+            )
+            assert binding.admissible[lid] == (not cites_c)
+            if cites_c:
+                assert binding.compat[lid] == 0
+
+    def test_compat_bits_match_definition_7(self):
+        """Row bit ``c`` is set iff contract class ``c`` and the query
+        class share no complementary literal pair."""
+        contract = encode_automaton(ba_of("G(a && !b) || G b"))
+        query = encode_automaton(ba_of("F(b && a)"))
+        binding = bind_query(contract, query)
+        for qid in range(query.num_label_classes):
+            if not binding.admissible[qid]:
+                continue
+            q_pos = _remap(query, contract, query.label_pos[qid])
+            q_neg = _remap(query, contract, query.label_neg[qid])
+            for cid in range(contract.num_label_classes):
+                expected = not (
+                    (contract.label_pos[cid] & q_neg)
+                    | (contract.label_neg[cid] & q_pos)
+                )
+                assert bool((binding.compat[qid] >> cid) & 1) == expected
+
+    def test_true_label_compatible_with_everything(self):
+        contract = encode_automaton(ba_of("G(a -> F b)"))
+        query = encode_automaton(
+            BuchiAutomaton.make(0, [(0, TRUE_LABEL, 0)], [0])
+        )
+        binding = bind_query(contract, query)
+        true_id = query.trans_labels[0]
+        assert binding.admissible[true_id]
+        full = (1 << contract.num_label_classes) - 1
+        assert binding.compat[true_id] == full
+
+
+def _remap(query, contract, mask):
+    out = 0
+    for name, bit in query.event_index.items():
+        if (mask >> bit) & 1:
+            out |= 1 << contract.event_index[name]
+    return out

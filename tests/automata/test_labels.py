@@ -57,6 +57,16 @@ class TestLabelConstruction:
         assert Label.parse("a && !b") == Label.of([pos("a"), neg("b")])
         assert Label.parse("~b") == Label.of([neg("b")])
 
+    @pytest.mark.parametrize(
+        "text", ["a &", "& a", "!", "~", "a & & b", "a && && b", "! & a"]
+    )
+    def test_parse_rejects_malformed(self, text):
+        """Regression: dangling operators, empty conjuncts and bare
+        negations must raise instead of silently building a literal
+        with an empty event name (which no snapshot can ever satisfy)."""
+        with pytest.raises(ValueError):
+            Label.parse(text)
+
     def test_str_sorted(self):
         assert str(Label.of([neg("b"), pos("a")])) == "a & !b"
         assert str(TRUE_LABEL) == "true"
@@ -126,6 +136,12 @@ class TestLabelAlgebra:
     def test_pick_snapshot(self):
         label = Label.parse("a & !b & c")
         assert label.pick_snapshot() == frozenset({"a", "c"})
+
+    def test_pick_snapshot_takes_no_arguments(self):
+        """Regression: the dead ``default_false`` parameter is gone —
+        it was never read, so passing it silently did nothing."""
+        with pytest.raises(TypeError):
+            Label.parse("a").pick_snapshot(default_false=True)
 
 
 class TestExpansion:

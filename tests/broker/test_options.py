@@ -115,6 +115,42 @@ class TestCoercion:
             coerce_query_options("query", 42, {})
 
 
+class TestEncodedToggle:
+    """``use_encoded`` three-way resolution: per-query option overrides
+    the ``BrokerConfig`` default, ``None`` inherits it, and both paths
+    return identical answers (the encoded decider is bit-identical)."""
+
+    def test_config_default_is_encoded(self, airfare_db):
+        outcome = airfare_db.query(QUERY, QueryOptions(explain=True))
+        assert outcome.stats.used_encoded
+
+    def test_per_query_override_disables(self, airfare_db):
+        outcome = airfare_db.query(
+            QUERY, QueryOptions(use_encoded=False, explain=True)
+        )
+        assert not outcome.stats.used_encoded
+
+    def test_per_query_override_enables_on_object_database(self):
+        db = ContractDatabase(BrokerConfig(use_encoded=False))
+        for spec in all_ticket_specs():
+            db.register(spec)
+        cold = db.query(QUERY, QueryOptions(explain=True))
+        assert not cold.stats.used_encoded
+        hot = db.query(QUERY, QueryOptions(use_encoded=True, explain=True))
+        assert hot.stats.used_encoded
+        assert hot.contract_ids == cold.contract_ids
+
+    def test_answers_identical_both_ways(self, airfare_db):
+        for info in QUERIES.values():
+            encoded = airfare_db.query(
+                info["ltl"], QueryOptions(use_encoded=True)
+            )
+            plain = airfare_db.query(
+                info["ltl"], QueryOptions(use_encoded=False)
+            )
+            assert encoded.contract_names == plain.contract_names
+
+
 class TestOutcomeShape:
     def test_outcome_is_a_query_result(self, airfare_db):
         outcome = airfare_db.query(QUERY)

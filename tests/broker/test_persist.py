@@ -13,7 +13,8 @@ from repro.workload.airfare import QUERIES
 from repro.workload.generator import WorkloadGenerator
 
 ARTIFACT_FILES = [
-    "automata.json", "seeds.json", "projections.json", "index.json",
+    "automata.json", "seeds.json", "encoded.json", "projections.json",
+    "index.json",
 ]
 
 
@@ -107,6 +108,7 @@ class TestSnapshotRestore:
         assert report.contracts == len(airfare_db)
         assert report.automata_restored == report.contracts
         assert report.seeds_restored == report.contracts
+        assert report.encoded_restored == report.contracts
         assert report.projections_restored == report.contracts
         assert report.index_restored
         assert report.retranslated == []
@@ -137,6 +139,44 @@ class TestSnapshotRestore:
             assert restored.num_subsets == original.num_subsets
             assert restored.num_distinct_partitions == (
                 original.num_distinct_partitions
+            )
+
+    def test_restored_encoding_matches_computed(self, saved_airfare):
+        from repro.automata.encode import encode_automaton
+
+        reloaded = load_database(saved_airfare)
+        for contract in reloaded.contracts():
+            assert contract.encoded is not None
+            fresh = encode_automaton(contract.ba, contract.vocabulary)
+            assert contract.encoded.events == fresh.events
+            assert contract.encoded.final_mask == fresh.final_mask
+            assert list(contract.encoded.trans_dsts) == list(fresh.trans_dsts)
+            assert contract.encoded.label_pos == fresh.label_pos
+            assert contract.encoded.label_neg == fresh.label_neg
+            assert contract.encoded_seeds_mask == (
+                contract.encoded.state_mask(contract.seeds)
+            )
+
+    def test_invalid_encoding_re_encoded_with_warning(self, saved_airfare,
+                                                      airfare_db):
+        """A structurally stale ``encoded.json`` entry (here: a dropped
+        transition) is rejected by validation and rebuilt, and the
+        database still answers exactly like the original."""
+        docs = json.loads((saved_airfare / "encoded.json").read_text())
+        first = next(iter(docs.values()))[0]
+        first["trans_dsts"] = first["trans_dsts"][:-1]
+        first["trans_labels"] = first["trans_labels"][:-1]
+        (saved_airfare / "encoded.json").write_text(json.dumps(docs))
+        _rehash_artifact(saved_airfare, "encoded.json")
+
+        reloaded = load_database(saved_airfare)
+        report = reloaded.load_report
+        assert report.encoded_restored == report.contracts - 1
+        assert any("re-encoding" in w for w in report.warnings)
+        assert all(c.encoded is not None for c in reloaded.contracts())
+        for info in QUERIES.values():
+            assert set(reloaded.query(info["ltl"]).contract_names) == set(
+                airfare_db.query(info["ltl"]).contract_names
             )
 
     def test_manifest_checksums_cover_every_artifact(self, saved_airfare):

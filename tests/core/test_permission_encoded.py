@@ -1,0 +1,181 @@
+"""Differential tests: encoded deciders vs. their object twins.
+
+The encoded hot loops (:func:`permits_ndfs_encoded` /
+:func:`permits_scc_encoded`) claim *bit-identical* behavior — same
+verdict, same :class:`PermissionStats`, same budget trip point — as the
+object deciders they replace.  These tests re-prove that claim on the
+paper fixtures, on random LTL formulas, and on random non-LTL-shaped
+automata, including under a step budget.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.buchi import BuchiAutomaton
+from repro.automata.encode import bind_query, encode_automaton
+from repro.automata.ltl2ba import translate
+from repro.core.budget import ExecutionBudget, StepBudget
+from repro.core.permission import (
+    PermissionStats,
+    permits_encoded,
+    permits_ndfs,
+    permits_ndfs_encoded,
+    permits_scc,
+    permits_scc_encoded,
+)
+from repro.core.seeds import compute_seeds, compute_seeds_mask
+from repro.errors import BudgetExceededError
+from repro.ltl.parser import parse
+
+from ..strategies import formulas
+
+
+def ba_of(text: str) -> BuchiAutomaton:
+    return translate(parse(text))
+
+
+PAIRS = [
+    ("G(a -> F b)", "F b"),
+    ("G(a -> F b)", "F(b && F a)"),
+    ("(a U b) && G(c -> F a)", "F c"),
+    ("F a", "F(a && F c)"),
+    ("G a", "G(a && b)"),
+]
+
+
+def assert_twins_agree(contract, query, *, use_seeds=True):
+    """Run every object/encoded decider pair and demand identical
+    verdicts and identical stats, field for field."""
+    enc_c = encode_automaton(contract)
+    enc_q = encode_automaton(query)
+
+    for use in (use_seeds,):
+        s_obj, s_enc = PermissionStats(), PermissionStats()
+        got_obj = permits_ndfs(contract, query, use_seeds=use, stats=s_obj)
+        got_enc = permits_ndfs_encoded(enc_c, enc_q, use_seeds=use, stats=s_enc)
+        assert got_obj == got_enc
+        assert dataclasses.asdict(s_obj) == dataclasses.asdict(s_enc)
+
+    s_obj, s_enc = PermissionStats(), PermissionStats()
+    got_obj = permits_scc(contract, query, stats=s_obj)
+    got_enc = permits_scc_encoded(enc_c, enc_q, stats=s_enc)
+    assert got_obj == got_enc
+    assert dataclasses.asdict(s_obj) == dataclasses.asdict(s_enc)
+    return got_obj
+
+
+class TestFixtureParity:
+    @pytest.mark.parametrize("contract,query", PAIRS)
+    def test_verdict_and_stats_identical(self, contract, query):
+        assert_twins_agree(ba_of(contract), ba_of(query))
+
+    @pytest.mark.parametrize("contract,query", PAIRS)
+    def test_parity_without_seed_filter(self, contract, query):
+        assert_twins_agree(ba_of(contract), ba_of(query), use_seeds=False)
+
+    def test_airfare_outcomes(self, airfare_contracts):
+        q = ba_of("F(missedFlight && F(refund || dateChange))")
+        enc_q = encode_automaton(q)
+        expected = {"Ticket A": True, "Ticket B": True, "Ticket C": False}
+        for name, want in expected.items():
+            c = airfare_contracts[name]
+            enc_c = encode_automaton(c.ba, c.vocabulary)
+            assert permits_ndfs_encoded(enc_c, enc_q) is want
+            assert permits_scc_encoded(enc_c, enc_q) is want
+
+
+class TestStepParity:
+    """Satellite 3: after the memoization fix, the SCC decider charges
+    each unique product pair once — exactly like the NDFS outer search —
+    so on a fully explored (non-permitted) product both deciders report
+    the same ``pairs_visited``."""
+
+    def test_ndfs_scc_pairs_visited_agree_when_not_permitted(self):
+        contract = ba_of("G(a -> F b)")
+        query = ba_of("F(b && F c)")  # c outside the contract vocabulary
+        s_ndfs, s_scc = PermissionStats(), PermissionStats()
+        assert not permits_ndfs(contract, query, use_seeds=False, stats=s_ndfs)
+        assert not permits_scc(contract, query, stats=s_scc)
+        assert s_ndfs.pairs_visited == s_scc.pairs_visited
+
+    def test_encoded_scc_charges_each_pair_once(self):
+        contract = encode_automaton(ba_of("G(a -> F b)"))
+        query = encode_automaton(ba_of("F(b && F c)"))
+        stats = PermissionStats()
+        assert not permits_scc_encoded(contract, query, stats=stats)
+        # with triple-charging, pairs_visited would exceed the product
+        assert stats.pairs_visited <= contract.num_states * query.num_states
+
+
+class TestBudgetParity:
+    def test_budget_trips_at_identical_step(self):
+        """An encoded check under a step budget must exhaust at exactly
+        the object check's trip point — MAYBE degradation must not
+        depend on which decider ran."""
+        contract, query = ba_of("G(a -> F b)"), ba_of("G F b")
+        enc_c, enc_q = encode_automaton(contract), encode_automaton(query)
+
+        probe = PermissionStats()
+        permits_ndfs(contract, query, use_seeds=False, stats=probe)
+        assert probe.search_steps > 1
+        cap = probe.search_steps - 1
+
+        for run in (
+            lambda b, s: permits_ndfs(
+                contract, query, use_seeds=False, stats=s, budget=b
+            ),
+            lambda b, s: permits_ndfs_encoded(
+                enc_c, enc_q, use_seeds=False, stats=s, budget=b
+            ),
+        ):
+            stats = PermissionStats()
+            budget = ExecutionBudget(steps=StepBudget(cap))
+            with pytest.raises(BudgetExceededError):
+                run(budget, stats)
+            assert stats.budget_exhausted
+            assert budget.exhausted_reason == "steps"
+            assert stats.search_steps == cap + 1
+
+    def test_scc_budget_parity(self):
+        contract, query = ba_of("G(a -> F b)"), ba_of("G F b")
+        enc_c, enc_q = encode_automaton(contract), encode_automaton(query)
+        s_obj, s_enc = PermissionStats(), PermissionStats()
+        budget_obj = ExecutionBudget(steps=StepBudget(2))
+        budget_enc = ExecutionBudget(steps=StepBudget(2))
+        with pytest.raises(BudgetExceededError):
+            permits_scc(contract, query, stats=s_obj, budget=budget_obj)
+        with pytest.raises(BudgetExceededError):
+            permits_scc_encoded(enc_c, enc_q, stats=s_enc, budget=budget_enc)
+        assert dataclasses.asdict(s_obj) == dataclasses.asdict(s_enc)
+
+
+class TestPrecomputedArtifacts:
+    def test_binding_and_seeds_mask_reuse(self):
+        """Passing precomputed binding/seeds_mask (the broker's fast
+        path) answers exactly like computing them on the fly."""
+        contract, query = ba_of("G(a -> F b)"), ba_of("F b")
+        enc_c, enc_q = encode_automaton(contract), encode_automaton(query)
+        binding = bind_query(enc_c, enc_q)
+        mask = enc_c.state_mask(compute_seeds(contract))
+        assert mask == compute_seeds_mask(enc_c)
+        assert permits_ndfs_encoded(
+            enc_c, enc_q, binding, seeds_mask=mask
+        ) == permits_ndfs_encoded(enc_c, enc_q)
+
+    def test_dispatcher(self):
+        enc_c = encode_automaton(ba_of("G(a -> F b)"))
+        enc_q = encode_automaton(ba_of("F b"))
+        assert permits_encoded(enc_c, enc_q, algorithm="ndfs")
+        assert permits_encoded(enc_c, enc_q, algorithm="scc")
+        with pytest.raises(ValueError):
+            permits_encoded(enc_c, enc_q, algorithm="bogus")
+
+
+class TestPropertyParity:
+    @settings(max_examples=40, deadline=None)
+    @given(spec=formulas(max_depth=3), q=formulas(max_depth=3))
+    def test_random_formulas_bit_identical(self, spec, q):
+        contract, query = translate(spec), translate(q)
+        assert_twins_agree(contract, query)
