@@ -1,0 +1,199 @@
+"""Object vs. encoded streaming monitor hot loop (ROADMAP item 3).
+
+Replays one deterministic event stream over a fleet of complex
+contracts twice: once through per-contract
+:class:`~repro.broker.monitor.ContractMonitor` objects (the object-graph
+walk), once through the :class:`~repro.stream.FleetMonitor` engine
+(packed-int frontiers, memoized snapshot tables, live pruning baked into
+the successor masks).  The conformance lattice's ``monitor-stream`` /
+``monitor-unknown`` cells prove the two sides verdict-identical on every
+prefix, so this is a pure representation comparison.
+
+The stream is a round-robin interleaving of per-contract *allowed*
+traces (random walks over each automaton's live states), so every
+monitor stays ACTIVE for the whole replay — a violated monitor
+short-circuits to a near-free return on both sides, which would measure
+dispatch rather than the frontier step this benchmark is about.
+
+All monitors are constructed outside the timed region — construction
+(liveness analysis, row compilation) is registration-time work the
+steady state never repays.  Each round replays the full stream from the
+initial frontiers.
+
+Beyond the pytest-benchmark registration, the run writes the measured
+medians to ``BENCH_monitor.json`` at the repository root: the committed
+copy is the tracked perf baseline, and CI's bench-smoke step regenerates
+it and asserts the speedup floor below.
+
+The floor is deliberately conservative (shared CI runners are noisy);
+the committed baseline records the real local number (>=10x events/sec
+on the complex-contract fleet).
+"""
+
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.automata import graph
+from repro.automata.encode import encode_automaton
+from repro.automata.ltl2ba import translate
+from repro.bench.reporting import format_table, write_report
+from repro.broker.monitor import ContractMonitor
+from repro.ltl.ast import conj
+from repro.stream import FleetMonitor
+
+from .conftest import scaled
+
+#: CI assertion floor — far under the local median so runner noise
+#: can't flake the build, but high enough to catch a regression that
+#: erases the representation win.
+MIN_SPEEDUP = 3.0
+ROUNDS = 5
+#: events per contract per replay
+TRACE_LENGTH = 120
+
+BASELINE_PATH = Path(__file__).parent.parent / "BENCH_monitor.json"
+
+
+def _allowed_trace(ba, rng, length):
+    """A random walk over the automaton's live states, emitting for each
+    step a snapshot that satisfies the chosen label (its positive
+    literals) — a history the contract allows, so the monitor's frontier
+    never empties."""
+    reachable = graph.reachable_from(ba.initial, ba.successor_states)
+    cores = graph.states_on_accepting_cycles(
+        reachable, ba.successor_states, ba.is_final
+    )
+    live = graph.backward_reachable(cores, reachable, ba.successor_states)
+    state = ba.initial
+    trace = []
+    for _ in range(length):
+        options = [
+            (label, dst) for label, dst in ba.successors(state)
+            if dst in live
+        ]
+        label, state = rng.choice(options)
+        trace.append(frozenset(
+            lit.event for lit in label.literals if lit.positive
+        ))
+    return trace
+
+
+def _fleet_fixtures(datasets):
+    rng = random.Random("bench-monitor")
+    length = scaled(TRACE_LENGTH)
+    contracts = []
+    traces = []
+    for i, spec in enumerate(
+        datasets["complex_contracts"].generate(scaled(30))
+    ):
+        formula = conj(spec.clauses)
+        ba = translate(formula)
+        vocab = formula.variables()
+        contracts.append((f"contract-{i}", ba, vocab,
+                          encode_automaton(ba, vocab)))
+        traces.append(_allowed_trace(ba, rng, length))
+    # round-robin interleaving: the stream a shared event bus delivers
+    stream = [
+        (contracts[i][0], traces[i][t])
+        for t in range(length)
+        for i in range(len(contracts))
+    ]
+    return contracts, stream
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_benchmark_monitor_stream(benchmark, datasets, results_dir):
+    contracts, stream = _fleet_fixtures(datasets)
+
+    def object_replay(monitors):
+        for name, snap in stream:
+            monitors[name].advance(snap)
+
+    def fleet_replay(fleet):
+        for name, snap in stream:
+            fleet.advance(name, snap)
+
+    # construction stays outside the timed region on both sides: a
+    # fresh object fleet per round, one engine reset to its initial
+    # frontiers per round (reset keeps the compiled tables, exactly the
+    # broker's steady state)
+    object_times = []
+    for _ in range(ROUNDS):
+        monitors = {
+            name: ContractMonitor(ba, vocab)
+            for name, ba, vocab, _ in contracts
+        }
+        object_times.append(_time(lambda: object_replay(monitors)))
+    object_median = statistics.median(object_times)
+
+    fleet = FleetMonitor()
+    for name, _, _, encoded in contracts:
+        fleet.add_contract(name, encoded)
+    fleet_times = []
+    for _ in range(ROUNDS):
+        fleet.reset()
+        fleet_times.append(_time(lambda: fleet_replay(fleet)))
+        assert len(fleet.active_contracts) == len(contracts), (
+            "allowed traces must keep the whole fleet ACTIVE"
+        )
+    fleet_median = statistics.median(fleet_times)
+
+    speedup = object_median / fleet_median
+    measured = {
+        "object_seconds": round(object_median, 6),
+        "encoded_seconds": round(fleet_median, 6),
+        "object_events_per_second": round(len(stream) / object_median, 1),
+        "encoded_events_per_second": round(len(stream) / fleet_median, 1),
+        "speedup": round(speedup, 2),
+    }
+
+    doc = {
+        "benchmark": "streaming monitor hot loop, object vs encoded fleet",
+        "sweep": {
+            "contracts": len(contracts),
+            "stream_events": len(stream),
+            "events_per_contract": len(stream) // len(contracts),
+            "rounds": ROUNDS,
+            "datasets": ["complex_contracts"],
+        },
+        "python": sys.version.split()[0],
+        "results": measured,
+    }
+    BASELINE_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    write_report(
+        results_dir / "monitor_stream.txt",
+        format_table(
+            ["path", "seconds", "events/s"],
+            [
+                ["object monitors", measured["object_seconds"],
+                 measured["object_events_per_second"]],
+                ["encoded fleet", measured["encoded_seconds"],
+                 measured["encoded_events_per_second"]],
+                ["speedup", f"{measured['speedup']}x", ""],
+            ],
+            title="Streaming monitor: object-graph walk vs encoded frontiers",
+        ),
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"encoded fleet only {measured['speedup']}x faster than object "
+        f"monitors (floor {MIN_SPEEDUP}x) — regression against "
+        f"BENCH_monitor.json baseline?"
+    )
+
+    # the timed callable pytest-benchmark tracks: the engine replay
+    # (what `contract-broker monitor` runs per event)
+    def tracked():
+        fleet.reset()
+        fleet_replay(fleet)
+
+    benchmark(tracked)

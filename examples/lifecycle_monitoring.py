@@ -71,3 +71,20 @@ print("\nThe same permission semantics as the broker applies to futures: "
       "asking Ticket A's monitor about class upgrades "
       f"-> {monitor.can_still('F classUpgrade')} (event not in the "
       "contract vocabulary).")
+
+print("\n=== the whole fleet on one event bus (encoded engine) ===")
+# At fleet scale the broker streams events through encoded bitset
+# frontiers instead of per-contract object walks: db.monitor_fleet()
+# reuses the registration-time encodings, watch queries compile to one
+# precomputed mask each, and alerts fire exactly on verdict flips.
+fleet = db.monitor_fleet(watches={"refundable": "F refund"})
+report = fleet.ingest([
+    {"events": ["purchase"]},                            # broadcast
+    {"contract": "Ticket A", "events": ["dateChange"]},  # addressed
+    {"events": ["refund"]},                              # broadcast
+])
+print(f"{report.events} events, {report.deliveries} deliveries, "
+      f"{len(report.alerts)} alert(s):")
+for alert in report.alerts:
+    print(f"  {alert.describe()}")
+print("still active:", ", ".join(fleet.active_contracts) or "(none)")

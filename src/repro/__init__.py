@@ -11,6 +11,8 @@ declarative LTL clauses over a common event vocabulary:
 * :mod:`repro.index` — the prefiltering index (§4);
 * :mod:`repro.projection` — the bisimulation optimization (§5);
 * :mod:`repro.broker` — the end-to-end contract database;
+* :mod:`repro.stream` — fleet-scale streaming monitoring over encoded
+  frontiers, with watch queries and alerts;
 * :mod:`repro.workload` — the synthetic workload generator (§7.2);
 * :mod:`repro.bench` — the harness regenerating the paper's tables and
   figures.
@@ -49,8 +51,9 @@ from .broker import (
 from .core import Deadline, ExecutionBudget, StepBudget, find_witness, permits
 from .errors import ReproError
 from .ltl import Formula, Run, parse, satisfies
+from .stream import Alert, FleetMonitor, MonitorOptions, MonitorStatus
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AttributeFilter",
@@ -76,5 +79,9 @@ __all__ = [
     "Run",
     "parse",
     "satisfies",
+    "Alert",
+    "FleetMonitor",
+    "MonitorOptions",
+    "MonitorStatus",
     "__version__",
 ]

@@ -23,7 +23,7 @@ Quick tour::
 from .analytics import Comparison, Relation, compare
 from .cache import CacheStats, CompiledQuery, QueryCompilationCache
 from .contract import Contract, ContractSpec
-from .monitor import ContractMonitor, MonitorStatus
+from .monitor import ContractMonitor, MonitorOptions, MonitorStatus
 from .vocabulary import EventVocabulary
 from .persist import load_database, save_database
 from .journal import Journal, JournalReplayReport, open_database
@@ -59,6 +59,7 @@ __all__ = [
     "ContractSpec",
     "ContractMonitor",
     "EventVocabulary",
+    "MonitorOptions",
     "MonitorStatus",
     "load_database",
     "save_database",

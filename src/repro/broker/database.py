@@ -27,6 +27,7 @@ through :meth:`ContractDatabase.query_many`.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field, replace
@@ -171,6 +172,9 @@ class ContractDatabase:
         # contract map missing its index entry.
         self._rwlock = RWLock()
         self._journal = None
+        #: lazily created default fleet monitor (see :meth:`ingest`)
+        self._fleet = None
+        self._fleet_lock = threading.Lock()
 
     # -- registration ---------------------------------------------------------------
 
@@ -760,6 +764,54 @@ class ContractDatabase:
         return self._run_query(
             query, resolved.evolve(use_planner=True, planner=planner)
         )
+
+    # -- streaming monitoring --------------------------------------------------------
+
+    def monitor_fleet(self, options=None, watches=None):
+        """A :class:`~repro.stream.engine.FleetMonitor` over the
+        currently registered contracts, fed by this database's metrics
+        registry (``monitor.*`` instruments).
+
+        The fleet is a *snapshot* taken under the read lock: contracts
+        registered afterwards are not monitored by it (build a new fleet
+        to pick them up).  Contract names key the fleet; a duplicate
+        name is disambiguated as ``name#<contract_id>``.
+
+        Args:
+            options: a :class:`~repro.stream.options.MonitorOptions`.
+            watches: optional fleet-wide watch queries to register up
+                front, as a ``{name: query}`` mapping.
+        """
+        from ..stream.engine import FleetMonitor
+
+        fleet = FleetMonitor(options=options, metrics=self.metrics)
+        with self._rwlock.read():
+            contracts = sorted(self._contracts.items())
+        taken = set()
+        for contract_id, contract in contracts:
+            name = contract.name
+            if name in taken:
+                name = f"{name}#{contract_id}"
+            taken.add(name)
+            encoded = contract.encoded
+            if encoded is None:
+                encoded = encode_automaton(contract.ba, contract.vocabulary)
+            fleet.add_contract(name, encoded, contract_id=contract_id)
+        if watches:
+            for watch_name, query in dict(watches).items():
+                fleet.register_watch(watch_name, query)
+        return fleet
+
+    def ingest(self, events, options=None):
+        """Batch-feed stream records to the database's default fleet
+        monitor (created lazily via :meth:`monitor_fleet` on first use,
+        so monitor state survives across batches).  Returns the
+        :class:`~repro.stream.engine.IngestReport`."""
+        with self._fleet_lock:
+            if self._fleet is None:
+                self._fleet = self.monitor_fleet(options)
+            fleet = self._fleet
+        return fleet.ingest(events)
 
     def permits_contract(self, contract_id: int, query: str | Formula) -> bool:
         """Deprecated alias: single-contract permission check (full BA,

@@ -22,23 +22,17 @@ the automaton: the reachable state set becomes the new initial frontier.
 
 from __future__ import annotations
 
-import enum
 from typing import Iterable
 
 from ..automata.buchi import BuchiAutomaton, Transition
 from ..automata import graph
 from ..core.permission import permits
+from ..errors import MonitorError
 from ..ltl.runs import Snapshot
+from ..stream.options import MonitorOptions, MonitorStatus
 from .contract import Contract
 
-
-class MonitorStatus(enum.Enum):
-    """Verdict about the observed history."""
-
-    #: Some allowed sequence extends the history.
-    ACTIVE = "active"
-    #: No allowed sequence extends the history: the contract is violated.
-    VIOLATED = "violated"
+__all__ = ["ContractMonitor", "MonitorOptions", "MonitorStatus"]
 
 
 class ContractMonitor:
@@ -54,9 +48,11 @@ class ContractMonitor:
     """
 
     def __init__(self, ba: BuchiAutomaton,
-                 vocabulary: frozenset[str] | None = None):
+                 vocabulary: frozenset[str] | None = None,
+                 options: MonitorOptions | None = None):
         self._ba = ba
         self._vocabulary = vocabulary if vocabulary is not None else ba.events()
+        self._options = options or MonitorOptions()
         # states that can still contribute to an accepting run
         reachable = graph.reachable_from(ba.initial, ba.successor_states)
         cores = graph.states_on_accepting_cycles(
@@ -69,32 +65,65 @@ class ContractMonitor:
             frozenset({ba.initial}) if ba.initial in self._live else frozenset()
         )
         self._history: list[Snapshot] = []
+        #: index of the first violating snapshot; ``-1`` when the
+        #: contract is unsatisfiable before any event; ``None`` while ACTIVE
+        self._violation_index: int | None = (
+            None if self._frontier else -1
+        )
+        #: observed events outside the contract vocabulary (counting mode)
+        self.unknown_events = 0
 
     @classmethod
-    def for_contract(cls, contract: Contract) -> "ContractMonitor":
+    def for_contract(cls, contract: Contract,
+                     options: MonitorOptions | None = None) -> "ContractMonitor":
         """Monitor a registered broker contract."""
-        return cls(contract.ba, contract.vocabulary)
+        return cls(contract.ba, contract.vocabulary, options)
 
     # -- observation ------------------------------------------------------------
 
     def advance(self, snapshot: Iterable[str]) -> MonitorStatus:
-        """Consume one observed snapshot and return the updated status."""
-        snap = frozenset(snapshot)
-        self._history.append(snap)
+        """Consume one observed snapshot and return the updated status.
+
+        Violation is absorbing *and terminal for bookkeeping*: once the
+        frontier is empty further snapshots return immediately — the
+        history stops growing (a violated monitor on an unbounded stream
+        must not leak) and unknown events are no longer accounted.
+
+        Events outside the contract vocabulary are counted on
+        :attr:`unknown_events` (they cannot affect the verdict — labels
+        only cite vocabulary events) or, under
+        ``MonitorOptions.strict_vocabulary``, rejected with
+        :class:`~repro.errors.MonitorError` before any state changes.
+        """
         if not self._frontier:
-            return self.status
+            return MonitorStatus.VIOLATED
+        snap = frozenset(snapshot)
+        unknown = snap - self._vocabulary
+        if unknown:
+            if self._options.strict_vocabulary:
+                raise MonitorError(
+                    f"snapshot cites events outside the contract "
+                    f"vocabulary: {sorted(unknown)}"
+                )
+            self.unknown_events += len(unknown)
+        self._history.append(snap)
         next_frontier: set = set()
         for state in self._frontier:
             for label, dst in self._ba.successors(state):
                 if dst in self._live and label.satisfied_by(snap):
                     next_frontier.add(dst)
         self._frontier = frozenset(next_frontier)
+        if not self._frontier:
+            self._violation_index = len(self._history) - 1
         return self.status
 
     def advance_all(self, snapshots: Iterable[Iterable[str]]) -> MonitorStatus:
-        """Consume a batch of snapshots."""
+        """Consume a batch of snapshots, stopping at the first one that
+        violates the contract (the remainder is not consumed); its
+        position is then available as :attr:`violation_index`."""
         for snap in snapshots:
-            self.advance(snap)
+            if self.advance(snap) is MonitorStatus.VIOLATED:
+                break
         return self.status
 
     # -- verdicts ----------------------------------------------------------------
@@ -108,6 +137,13 @@ class ContractMonitor:
     @property
     def history(self) -> tuple[Snapshot, ...]:
         return tuple(self._history)
+
+    @property
+    def violation_index(self) -> int | None:
+        """Index (into :attr:`history`) of the first violating snapshot;
+        ``-1`` when the contract was unsatisfiable before any event;
+        ``None`` while the contract is still ACTIVE."""
+        return self._violation_index
 
     @property
     def possible_states(self) -> frozenset:
@@ -131,8 +167,16 @@ class ContractMonitor:
 
     def _continuation_automaton(self) -> BuchiAutomaton:
         """The contract BA with the current frontier as initial states
-        (joined under a fresh initial that copies their first steps)."""
+        (joined under a fresh initial that copies their first steps).
+
+        The fresh key is grown until it is provably disjoint from the
+        automaton's own state keys — contracts restored from snapshots
+        or renamed can legitimately contain a ``("monitor-init",)``
+        state, and a collision would silently merge the continuation's
+        entry point with a real state."""
         fresh = ("monitor-init",)
+        while fresh in self._ba.states:
+            fresh = fresh + ("monitor-init",)
         transitions = [
             Transition(fresh, label, dst)
             for state in self._frontier

@@ -19,6 +19,15 @@ degradation policy, a save→load round trip (snapshot persistence must
 answer like the database that produced it), and a journal replay
 (snapshot + write-ahead-journal tail recovery must answer like the
 database whose mutations it replays).
+
+Two *monitor* cells check the streaming side: every contract is run
+over a deterministic generated event trace through both the object
+:class:`~repro.broker.monitor.ContractMonitor` and the encoded
+:class:`~repro.stream.engine.FleetMonitor`, and their per-prefix
+verdict transcripts (status, watch-query satisfiability, violation
+index, unknown-event count) must match character for character —
+invariant 13.  ``monitor-unknown`` salts the trace with events outside
+every vocabulary to pin the unknown-event accounting.
 """
 
 from __future__ import annotations
@@ -50,7 +59,13 @@ class StackConfig:
       query the loaded copy;
     * ``"journal"`` — register half the contracts, snapshot, register
       the rest (which land only in the write-ahead journal), reopen the
-      directory so the tail is replayed, query the recovered copy.
+      directory so the tail is replayed, query the recovered copy;
+    * ``"monitor"`` — stream a deterministic generated event trace
+      through the encoded fleet monitor; the expected answer is the
+      object monitor's per-prefix verdict transcript on the same trace
+      (the case query doubles as the watch query);
+    * ``"monitor_unknown"`` — the same, with out-of-vocabulary events
+      salted into the trace (exercises unknown-event accounting).
     """
 
     name: str
@@ -94,7 +109,7 @@ def _base_lattice() -> list[StackConfig]:
 
 
 def config_lattice() -> tuple[StackConfig, ...]:
-    """The full default lattice (15 configurations)."""
+    """The full default lattice (17 configurations)."""
     return tuple(
         _base_lattice()
         + [
@@ -114,6 +129,12 @@ def config_lattice() -> tuple[StackConfig, ...]:
             StackConfig(name="save-load", mode="roundtrip",
                         use_encoded=True),
             StackConfig(name="journal-replay", mode="journal"),
+            # the encoded streaming monitor vs the object monitor on a
+            # deterministic generated trace (invariant 13)
+            StackConfig(name="monitor-stream", mode="monitor",
+                        use_encoded=True),
+            StackConfig(name="monitor-unknown", mode="monitor_unknown",
+                        use_encoded=True),
         ]
     )
 

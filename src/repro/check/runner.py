@@ -26,11 +26,13 @@ long fuzz run can be watched like any other broker workload.
 
 from __future__ import annotations
 
+import random
 import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..automata.encode import encode_automaton
 from ..automata.ltl2ba import translate
 from ..broker.database import ContractDatabase
 from ..broker.options import Degradation, PrebuiltArtifacts, QueryOptions
@@ -41,6 +43,36 @@ from .configs import BUDGET_CONFIG_STEPS, StackConfig, config_lattice
 from .generators import PROFILES, CheckProfile, generate_case
 from .oracle import OracleLimitError, oracle_permits
 from .shrink import shrink_case
+
+#: Modes whose expected answer is the *object monitor's* transcript on
+#: a generated event trace, not the oracle's permitted set.
+MONITOR_MODES = ("monitor", "monitor_unknown")
+
+#: Length of the generated trace the monitor cells replay per case.
+MONITOR_TRACE_LENGTH = 6
+
+#: Events guaranteed outside every generated vocabulary, salted into
+#: the ``monitor_unknown`` trace.
+MONITOR_ALIEN_EVENTS = ("zz-alpha", "zz-beta")
+
+
+def _transcript(
+    name: str,
+    statuses: list[bool],
+    watch: list[bool],
+    violation_index: int | None,
+    unknown_events: int,
+) -> str:
+    """One contract's monitor verdicts packed into a comparable string:
+    ``A``/``V`` per prefix, ``1``/``0`` watch satisfiability per prefix
+    (both starting with the empty prefix), the violation index and the
+    unknown-event count."""
+    status_chars = "".join("A" if active else "V" for active in statuses)
+    watch_chars = "".join("1" if sat else "0" for sat in watch)
+    return (
+        f"{name}|status={status_chars}|watch={watch_chars}"
+        f"|violation={violation_index}|unknown={unknown_events}"
+    )
 
 
 @dataclass
@@ -145,7 +177,7 @@ class ConformanceRunner:
         profile: a :class:`~repro.check.generators.CheckProfile` or the
             name of one of :data:`~repro.check.generators.PROFILES`.
         configs: the :class:`StackConfig` tuple to sweep (default: the
-            full 15-point lattice).
+            full 17-point lattice).
         artifact_dir: where failure repro artifacts are written
             (``None`` = don't write artifacts).
         shrink: greedily minimize failing cases before reporting.
@@ -193,10 +225,23 @@ class ConformanceRunner:
         cannot be materialized."""
         specs, bas, query_ba = self._materialize(case)
         expected = self._expected_names(case, specs, bas, query_ba)
+        monitor_expected: dict[str, frozenset[str]] = {}
         failures: list[Disagreement] = []
         for config in configs if configs is not None else self.configs:
+            if config.mode in MONITOR_MODES:
+                # the monitor cells compare against the object monitor's
+                # transcripts, not the oracle's permitted set
+                config_expected = monitor_expected.get(config.mode)
+                if config_expected is None:
+                    config_expected = self._monitor_transcripts(
+                        case, specs, bas, query_ba, config.mode,
+                        implementation="object",
+                    )
+                    monitor_expected[config.mode] = config_expected
+            else:
+                config_expected = expected
             failures.extend(
-                self._check_config(case, specs, bas, expected, config)
+                self._check_config(case, specs, bas, config_expected, config)
             )
             self.metrics.inc("check.configs_run")
         return failures
@@ -234,6 +279,12 @@ class ConformanceRunner:
     ) -> list[tuple[str, tuple[str, ...], tuple[str, ...]]]:
         """Execute one configuration; returns ``(label, permitted,
         maybe)`` answer tuples (cache-warm yields two)."""
+        if config.mode in MONITOR_MODES:
+            got = self._monitor_transcripts(
+                case, specs, bas, translate(case.query_formula()),
+                config.mode, implementation="encoded",
+            )
+            return [(config.mode, tuple(sorted(got)), ())]
         options = QueryOptions(attribute_filter=case.filter.build())
         if config.mode == "journal":
             # snapshot + journal-tail recovery must agree with the
@@ -301,6 +352,90 @@ class ConformanceRunner:
                 ("roundtrip", outcome.contract_names, outcome.maybe_names)
             ]
         raise ReproError(f"unknown configuration mode {config.mode!r}")
+
+    # -- monitor cells ----------------------------------------------------------------
+
+    def _monitor_trace(self, case, specs, mode) -> list[frozenset[str]]:
+        """The deterministic event trace a monitor cell replays: fully
+        determined by the case id and mode (string seeding hashes the
+        seed bytes, so this is stable across processes — unlike
+        ``hash()``).  ``monitor_unknown`` adds events guaranteed to be
+        outside every contract vocabulary."""
+        vocabulary: set[str] = set(case.query_formula().variables())
+        for spec in specs:
+            vocabulary |= spec.vocabulary
+        pool = sorted(vocabulary)
+        if mode == "monitor_unknown":
+            pool += list(MONITOR_ALIEN_EVENTS)
+        rng = random.Random(f"{case.case_id}|{mode}")
+        return [
+            frozenset(event for event in pool if rng.random() < 0.35)
+            for _ in range(MONITOR_TRACE_LENGTH)
+        ]
+
+    def _monitor_transcripts(
+        self, case, specs, bas, query_ba, mode, *, implementation
+    ) -> frozenset[str]:
+        """Per-contract verdict transcripts over the generated trace:
+        one string per contract packing the status and watch-query
+        satisfiability after every prefix (including the empty one),
+        the violation index and the unknown-event count.  Computed from
+        the object monitor (``implementation="object"``, the expected
+        side) or the encoded fleet engine (``"encoded"``, the side
+        under test) — invariant 13 says the two sets are identical."""
+        trace = self._monitor_trace(case, specs, mode)
+        transcripts = set()
+        if implementation == "object":
+            from ..broker.monitor import ContractMonitor, MonitorStatus
+
+            for spec in specs:
+                monitor = ContractMonitor(bas[spec.name], spec.vocabulary)
+                statuses = [monitor.status is MonitorStatus.ACTIVE]
+                watch = [monitor.can_still(query_ba)]
+                for snapshot in trace:
+                    statuses.append(
+                        monitor.advance(snapshot) is MonitorStatus.ACTIVE
+                    )
+                    watch.append(monitor.can_still(query_ba))
+                transcripts.add(_transcript(
+                    spec.name, statuses, watch,
+                    monitor.violation_index, monitor.unknown_events,
+                ))
+            return frozenset(transcripts)
+
+        from ..stream.engine import FleetMonitor
+        from ..stream.options import MonitorStatus
+
+        fleet = FleetMonitor()
+        for spec in specs:
+            fleet.add_contract(
+                spec.name, encode_automaton(bas[spec.name], spec.vocabulary)
+            )
+        fleet.register_watch("case-query", query_ba)
+        statuses = {
+            spec.name: [fleet.status(spec.name) is MonitorStatus.ACTIVE]
+            for spec in specs
+        }
+        watch = {
+            spec.name: [fleet.watch_satisfiable(spec.name, "case-query")]
+            for spec in specs
+        }
+        for snapshot in trace:
+            fleet.broadcast(snapshot)
+            for spec in specs:
+                statuses[spec.name].append(
+                    fleet.status(spec.name) is MonitorStatus.ACTIVE
+                )
+                watch[spec.name].append(
+                    fleet.watch_satisfiable(spec.name, "case-query")
+                )
+        for spec in specs:
+            monitor = fleet.monitor(spec.name)
+            transcripts.add(_transcript(
+                spec.name, statuses[spec.name], watch[spec.name],
+                monitor.violation_index, monitor.unknown_events,
+            ))
+        return frozenset(transcripts)
 
     def _check_config(
         self,

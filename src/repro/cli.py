@@ -17,6 +17,10 @@ modules exchanging text files:
 * ``contract-broker query``     — the runtime module: loads a spec file
   or a built database and evaluates one or more queries, reporting
   per-phase statistics;
+* ``contract-broker monitor``   — the streaming module: replays a JSONL
+  event log (or stdin) through the encoded fleet monitor, printing an
+  alert whenever a contract is violated or a watch query stops being
+  satisfiable;
 * ``contract-broker compare``   — behavioral diff of two contracts,
   with witness sequences;
 * ``contract-broker metrics``   — run a query workload (optionally
@@ -140,6 +144,29 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--projection-cap", type=int, default=2)
     _add_budget_flags(query)
     query.set_defaults(handler=_cmd_query)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="replay a JSONL event log (or stream stdin) through the "
+             "fleet monitor and print alerts",
+    )
+    mon.add_argument("specs", type=Path,
+                     help="spec file or built database directory")
+    mon.add_argument("--events", type=Path, default=None,
+                     help="JSONL event log, one "
+                          '{"events": [...], "contract": name-or-null} '
+                          "record per line ('-' or omitted = stdin)")
+    mon.add_argument("--watch", action="append", default=[],
+                     dest="watches",
+                     help="fleet-wide watch query, 'name=LTL' or bare "
+                          "LTL (repeatable)")
+    mon.add_argument("--strict-vocabulary", action="store_true",
+                     help="reject snapshots citing events outside a "
+                          "contract's vocabulary instead of counting "
+                          "them")
+    mon.add_argument("--json", action="store_true",
+                     help="emit alerts and the final summary as JSON")
+    mon.set_defaults(handler=_cmd_monitor)
 
     met = sub.add_parser(
         "metrics",
@@ -408,6 +435,69 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"  DEGRADED: {s.timed_out} timed out, "
                   f"{s.skipped} skipped; "
                   f"maybe: {list(outcome.maybe_names)}")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .stream.engine import read_event_log
+    from .stream.options import MonitorOptions, MonitorStatus
+
+    db = _load_or_build_db(args.specs, BrokerConfig())
+    fleet = db.monitor_fleet(
+        MonitorOptions(strict_vocabulary=args.strict_vocabulary)
+    )
+    for spec_text in args.watches:
+        name, _, formula = spec_text.partition("=")
+        if not formula:
+            name = formula = spec_text
+        fleet.register_watch(name.strip(), formula.strip())
+    # watches registered on an already-doomed contract alert immediately
+    emitted = list(fleet.alerts)
+    for alert in emitted:
+        print(json.dumps(alert.to_dict()) if args.json
+              else alert.describe())
+
+    if args.events is None or str(args.events) == "-":
+        handle = sys.stdin
+    else:
+        handle = args.events.open("r", encoding="utf-8")
+    events = deliveries = 0
+    try:
+        # one record per ingest call so alerts stream out as the log
+        # unfolds (stdin may be a live pipe)
+        for event in read_event_log(handle):
+            report = fleet.ingest([event])
+            events += 1
+            deliveries += report.deliveries
+            for alert in report.alerts:
+                emitted.append(alert)
+                print(json.dumps(alert.to_dict()) if args.json
+                      else alert.describe())
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+    violated = sum(
+        1 for name in fleet.contracts
+        if fleet.status(name) is MonitorStatus.VIOLATED
+    )
+    summary = {
+        "events": events,
+        "deliveries": deliveries,
+        "contracts": len(fleet.contracts),
+        "active": len(fleet.active_contracts),
+        "violated": violated,
+        "alerts": len(emitted),
+        "unknown_events": fleet.unknown_event_count,
+    }
+    if args.json:
+        print(json.dumps({"summary": summary}, sort_keys=True))
+    else:
+        print(f"monitored {summary['contracts']} contracts over "
+              f"{events} events ({deliveries} deliveries): "
+              f"{summary['active']} active, {violated} violated, "
+              f"{len(emitted)} alert(s), "
+              f"{summary['unknown_events']} unknown event(s)")
     return 0
 
 

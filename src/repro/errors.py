@@ -75,6 +75,13 @@ class QueryBudgetError(BrokerError):
     (callers that prefer an exception over a degraded answer)."""
 
 
+class MonitorError(ReproError):
+    """Raised on invalid monitoring operations — e.g. a snapshot citing
+    events outside the contract vocabulary while the monitor runs with
+    ``MonitorOptions.strict_vocabulary``, or advancing an unknown
+    contract in a fleet engine."""
+
+
 class WorkloadError(ReproError):
     """Raised on invalid workload-generation parameters."""
 

@@ -1,0 +1,58 @@
+"""Fleet-scale streaming monitoring over encoded frontiers (ROADMAP item 3).
+
+The object-graph :class:`~repro.broker.monitor.ContractMonitor` answers
+"is this one contract still satisfiable after what we observed?" by
+walking :class:`~repro.automata.buchi.BuchiAutomaton` objects per event.
+That is the right tool for inspecting a single contract; it is the wrong
+hot path for a broker tracking thousands of live contracts against a
+shared event stream.
+
+This package re-expresses the monitor on the flat int/bitset encoding of
+:mod:`repro.automata.encode` (the PR-6 decider core):
+
+* a contract's nondeterministic **frontier** becomes one packed int over
+  :class:`~repro.automata.encode.EncodedAutomaton` state ids;
+* one event becomes a **table lookup** — snapshots map to satisfied
+  label-class bitsets, label classes map to per-state successor masks —
+  so the advance is a handful of dict hits plus bitwise OR, with the
+  eager live-state pruning of the object monitor baked into the masks;
+* a **watch query** ("can this ticket still be refunded?") becomes a
+  single precomputed *winning mask*: the set of contract states from
+  which a simultaneous lasso with the query automaton still exists.
+  ``can_still`` collapses to ``frontier & mask != 0`` per event, instead
+  of a product search per call.
+
+:class:`FleetMonitor` scales this to a contract fleet: broadcast or
+per-contract event ingestion, a watch-query registry, and
+:class:`Alert` records emitted the moment a contract flips to VIOLATED
+or a watch flips to no-longer-satisfiable.  The conformance lattice's
+``monitor-stream`` / ``monitor-unknown`` cells prove the encoded
+verdicts bit-identical to the object monitor on generated traces
+(docs/DEVELOPMENT.md invariant 13).
+"""
+
+from .encoded import EncodedMonitor, compile_step_rows, live_state_mask, winning_mask
+from .engine import (
+    Alert,
+    Event,
+    FleetMonitor,
+    IngestReport,
+    parse_event,
+    read_event_log,
+)
+from .options import MonitorOptions, MonitorStatus
+
+__all__ = [
+    "Alert",
+    "EncodedMonitor",
+    "Event",
+    "FleetMonitor",
+    "IngestReport",
+    "MonitorOptions",
+    "MonitorStatus",
+    "compile_step_rows",
+    "live_state_mask",
+    "parse_event",
+    "read_event_log",
+    "winning_mask",
+]

@@ -1,0 +1,383 @@
+"""The encoded-frontier monitor core.
+
+One :class:`EncodedMonitor` tracks one contract.  All per-event work
+happens on machine integers:
+
+* the **frontier** (the set of automaton states consistent with the
+  observed history, live states only) is one packed int;
+* a snapshot is interned once into a vocabulary bitmask, the mask into
+  the bitset of *satisfied label classes*, and that bitset into a
+  per-state table of combined successor masks — three memo layers, so a
+  repeated snapshot advances the frontier with a single dict hit and a
+  few bitwise ORs;
+* live-state pruning (states that can still contribute to an accepting
+  run) is baked into the successor masks at compile time, exactly
+  mirroring the eager pruning of the object monitor.
+
+Watch queries reduce to one precomputed int as well: see
+:func:`winning_mask`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..automata import graph
+from ..automata.buchi import BuchiAutomaton
+from ..automata.encode import (
+    EncodedAutomaton,
+    QueryBinding,
+    _iter_bits,
+    bind_query,
+    encode_automaton,
+)
+from ..errors import MonitorError
+from .options import MonitorOptions, MonitorStatus
+
+#: Memo-size cap: a streaming workload normally sees a small set of
+#: distinct snapshots, but an adversarial stream must not grow the
+#: tables without bound.  On overflow the memo is simply dropped and
+#: rebuilt — correctness never depends on it.
+_MEMO_CAP = 4096
+
+
+def live_state_mask(enc: EncodedAutomaton) -> int:
+    """Bitset of *live* state ids: reachable from the initial state and
+    able to reach a cycle through a final state.  Only these states can
+    contribute to an accepting run, so the frontier is restricted to
+    them (emptiness — i.e. violation — is then detected as early as the
+    object monitor does)."""
+    reachable = graph.reachable_from(enc.initial, enc.successor_ids)
+    cores = graph.states_on_accepting_cycles(
+        reachable, enc.successor_ids, enc.is_final
+    )
+    live = graph.backward_reachable(cores, reachable, enc.successor_ids)
+    mask = 0
+    for state in live:
+        mask |= 1 << state
+    return mask
+
+
+def compile_step_rows(
+    enc: EncodedAutomaton, live_mask: int
+) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Per-state transition rows ``((label_class, dst_mask), ...)`` with
+    destinations restricted to ``live_mask`` and merged per label class.
+    This is the compile-time half of the advance: at stream time a row
+    entry participates iff its label class is satisfied by the
+    snapshot."""
+    rows = []
+    for state in range(enc.num_states):
+        by_class: dict[int, int] = {}
+        for ti in range(enc.offsets[state], enc.offsets[state + 1]):
+            dst = enc.trans_dsts[ti]
+            if not (live_mask >> dst) & 1:
+                continue
+            label_class = enc.trans_labels[ti]
+            by_class[label_class] = by_class.get(label_class, 0) | (1 << dst)
+        rows.append(tuple(sorted(by_class.items())))
+    return tuple(rows)
+
+
+def _as_encoded_query(query) -> EncodedAutomaton:
+    """Coerce an LTL string / formula / BA / prebuilt encoding into an
+    encoded query automaton (over its own label events, as
+    :func:`~repro.automata.encode.bind_query` expects)."""
+    from ..automata.ltl2ba import translate
+    from ..ltl.ast import Formula
+    from ..ltl.parser import parse
+
+    if isinstance(query, EncodedAutomaton):
+        return query
+    if isinstance(query, BuchiAutomaton):
+        return encode_automaton(query)
+    if isinstance(query, Formula):
+        return encode_automaton(translate(query))
+    return encode_automaton(translate(parse(query)))
+
+
+def winning_mask(
+    contract: EncodedAutomaton,
+    query: EncodedAutomaton,
+    binding: QueryBinding | None = None,
+    *,
+    live_mask: int | None = None,
+    rows: tuple[tuple[tuple[int, int], ...], ...] | None = None,
+) -> int:
+    """Bitset of contract states from which ``query`` is still
+    permitted: state ``s`` is set iff the compatibility product holds a
+    simultaneous lasso starting at ``(s, query.initial)``.
+
+    This is the whole trick behind O(1) watch queries: the object
+    monitor's ``can_still`` builds a continuation automaton whose fresh
+    initial state copies the frontier's first steps, then runs a full
+    product search.  But a lasso from that fresh state enters the real
+    product after one step, so permission from a frontier ``{s1..sk}``
+    is exactly ``∃ i: lasso from (s_i, q0)`` — i.e.
+    ``frontier & winning_mask != 0``.  (Restricting to live contract
+    states loses nothing: every contract state on a witness lasso can
+    itself reach an accepting cycle, hence is live.)
+
+    The mask is computed once per (contract, query) pair by the same
+    SCC characterization :func:`repro.core.permission.permits_scc_encoded`
+    uses: an accepting knot is a cyclic SCC containing both a
+    query-final and a contract-final pair.
+    """
+    if live_mask is None:
+        live_mask = live_state_mask(contract)
+    if rows is None:
+        rows = compile_step_rows(contract, live_mask)
+    if binding is None:
+        binding = bind_query(contract, query)
+    nq = query.num_states
+    compat = binding.compat
+    q_off, q_lab, q_dst = query.offsets, query.trans_labels, query.trans_dsts
+
+    cache: dict[int, list[int]] = {}
+
+    def expand(pair: int) -> list[int]:
+        cached = cache.get(pair)
+        if cached is None:
+            c, q = divmod(pair, nq)
+            seen_local: dict[int, None] = {}
+            for qi in range(q_off[q], q_off[q + 1]):
+                row = compat[q_lab[qi]]
+                if not row:
+                    continue
+                dq = q_dst[qi]
+                for label_class, dst_mask in rows[c]:
+                    if (row >> label_class) & 1:
+                        for dst in _iter_bits(dst_mask):
+                            seen_local[dst * nq + dq] = None
+            cached = list(seen_local)
+            cache[pair] = cached
+        return cached
+
+    q0 = query.initial
+    starts = [s * nq + q0 for s in _iter_bits(live_mask)]
+    reachable: set[int] = set(starts)
+    stack = list(starts)
+    while stack:
+        pair = stack.pop()
+        for succ in expand(pair):
+            if succ not in reachable:
+                reachable.add(succ)
+                stack.append(succ)
+
+    query_final = query.final_mask
+    contract_final = contract.final_mask
+    accepting: set[int] = set()
+    for component in graph.strongly_connected_components(reachable, expand):
+        has_query_final = any((query_final >> (p % nq)) & 1 for p in component)
+        has_contract_final = any(
+            (contract_final >> (p // nq)) & 1 for p in component
+        )
+        if not (has_query_final and has_contract_final):
+            continue
+        if graph.is_cyclic_component(component, expand):
+            accepting.update(component)
+    winners = graph.backward_reachable(accepting, reachable, expand)
+
+    mask = 0
+    for state in _iter_bits(live_mask):
+        if state * nq + q0 in winners:
+            mask |= 1 << state
+    return mask
+
+
+class EncodedMonitor:
+    """One contract's streaming monitor over the flat encoding.
+
+    Verdict-equivalent to :class:`repro.broker.monitor.ContractMonitor`
+    on every prefix (invariant 13) — ``status``, ``can_still``,
+    ``violation_index`` and ``unknown_events`` all agree — but the
+    per-event cost is a few dict hits and bitwise ORs instead of an
+    object-graph walk.
+
+    The encoding must cover the contract's full spec vocabulary
+    (``encode_automaton(ba, spec.vocabulary)``), exactly as the broker
+    builds it at registration time.
+    """
+
+    __slots__ = (
+        "encoded", "options", "live_mask", "rows",
+        "_frontier", "_initial_frontier", "_events_seen",
+        "_violation_index", "unknown_events",
+        "_snap_memo", "_sat_tables", "_watch_memo",
+    )
+
+    def __init__(
+        self,
+        encoded: EncodedAutomaton,
+        options: MonitorOptions | None = None,
+    ):
+        self.encoded = encoded
+        self.options = options or MonitorOptions()
+        self.live_mask = live_state_mask(encoded)
+        self.rows = compile_step_rows(encoded, self.live_mask)
+        initial_bit = 1 << encoded.initial
+        self._initial_frontier = initial_bit & self.live_mask
+        self._frontier = self._initial_frontier
+        self._events_seen = 0
+        #: index of the first violating snapshot; ``-1`` when the
+        #: contract is unsatisfiable from the start; ``None`` while ACTIVE
+        self._violation_index: int | None = (
+            None if self._frontier else -1
+        )
+        self.unknown_events = 0
+        # snapshot -> (per-state step table, unknown-event count)
+        self._snap_memo: dict[frozenset, tuple[tuple[int, ...], int]] = {}
+        # satisfied-label-class bitset -> per-state step table (shared
+        # across snapshots that satisfy the same classes)
+        self._sat_tables: dict[int, tuple[int, ...]] = {}
+        # query string -> winning mask
+        self._watch_memo: dict[str, int] = {}
+
+    # -- observation ------------------------------------------------------------
+
+    def advance(self, snapshot: Iterable[str]) -> MonitorStatus:
+        """Consume one snapshot and return the updated status.
+
+        Violation is absorbing: once the frontier is empty the call
+        returns immediately — no table work, no history, no
+        unknown-event accounting (mirroring the object monitor's
+        short-circuit)."""
+        if not self._frontier:
+            return MonitorStatus.VIOLATED
+        snap = (
+            snapshot if isinstance(snapshot, frozenset)
+            else frozenset(snapshot)
+        )
+        entry = self._snap_memo.get(snap)
+        if entry is None:
+            entry = self._compile_snapshot(snap)
+        table, unknown = entry
+        self.unknown_events += unknown
+        frontier = self._frontier
+        new = 0
+        while frontier:
+            low = frontier & -frontier
+            new |= table[low.bit_length() - 1]
+            frontier ^= low
+        self._frontier = new
+        self._events_seen += 1
+        if not new:
+            self._violation_index = self._events_seen - 1
+            return MonitorStatus.VIOLATED
+        return MonitorStatus.ACTIVE
+
+    def _compile_snapshot(
+        self, snap: frozenset
+    ) -> tuple[tuple[int, ...], int]:
+        """The memo-miss path: intern a snapshot into its step table."""
+        event_index = self.encoded.event_index
+        mask = 0
+        unknown = 0
+        for event in snap:
+            bit = event_index.get(event)
+            if bit is None:
+                unknown += 1
+            else:
+                mask |= 1 << bit
+        if unknown and self.options.strict_vocabulary:
+            bad = sorted(e for e in snap if e not in event_index)
+            raise MonitorError(
+                f"snapshot cites events outside the contract "
+                f"vocabulary: {bad}"
+            )
+        sat = 0
+        for label_class, (pos, neg) in enumerate(
+            zip(self.encoded.label_pos, self.encoded.label_neg)
+        ):
+            if (pos & mask) == pos and not (neg & mask):
+                sat |= 1 << label_class
+        table = self._sat_tables.get(sat)
+        if table is None:
+            table = tuple(
+                self._combined_mask(row, sat) for row in self.rows
+            )
+            if len(self._sat_tables) >= _MEMO_CAP:
+                self._sat_tables.clear()
+            self._sat_tables[sat] = table
+        if len(self._snap_memo) >= _MEMO_CAP:
+            self._snap_memo.clear()
+        entry = (table, unknown)
+        self._snap_memo[snap] = entry
+        return entry
+
+    @staticmethod
+    def _combined_mask(row: tuple[tuple[int, int], ...], sat: int) -> int:
+        combined = 0
+        for label_class, dst_mask in row:
+            if (sat >> label_class) & 1:
+                combined |= dst_mask
+        return combined
+
+    def reset(self) -> None:
+        """Return to the initial frontier, keeping the compiled tables
+        and memos (they are history-independent)."""
+        self._frontier = self._initial_frontier
+        self._events_seen = 0
+        self._violation_index = None if self._frontier else -1
+        self.unknown_events = 0
+
+    # -- verdicts ----------------------------------------------------------------
+
+    @property
+    def frontier(self) -> int:
+        """The packed state bitset consistent with the history."""
+        return self._frontier
+
+    @property
+    def possible_states(self) -> frozenset:
+        """The frontier translated back to original state values."""
+        return frozenset(
+            self.encoded.states[i] for i in _iter_bits(self._frontier)
+        )
+
+    @property
+    def status(self) -> MonitorStatus:
+        if not self._frontier:
+            return MonitorStatus.VIOLATED
+        return MonitorStatus.ACTIVE
+
+    @property
+    def violated(self) -> bool:
+        return not self._frontier
+
+    @property
+    def events_seen(self) -> int:
+        """Snapshots consumed (post-violation snapshots are not)."""
+        return self._events_seen
+
+    @property
+    def violation_index(self) -> int | None:
+        """Index of the first violating snapshot, ``-1`` for a contract
+        unsatisfiable before any event, ``None`` while ACTIVE."""
+        return self._violation_index
+
+    def watch_mask(self, query) -> int:
+        """The :func:`winning_mask` of a query against this contract,
+        memoized for string queries (the common registry case)."""
+        if isinstance(query, str):
+            cached = self._watch_memo.get(query)
+            if cached is not None:
+                return cached
+        mask = winning_mask(
+            self.encoded,
+            _as_encoded_query(query),
+            live_mask=self.live_mask,
+            rows=self.rows,
+        )
+        if isinstance(query, str):
+            if len(self._watch_memo) >= _MEMO_CAP:
+                self._watch_memo.clear()
+            self._watch_memo[query] = mask
+        return mask
+
+    def can_still(self, query) -> bool:
+        """Can the history still extend to an allowed sequence whose
+        future satisfies ``query``?  Equivalent to the object monitor's
+        ``can_still`` (same permission semantics, contract vocabulary),
+        evaluated as a single bitwise AND."""
+        return bool(self._frontier & self.watch_mask(query))

@@ -1,0 +1,429 @@
+"""The fleet engine: many contracts, one event stream, a watch-query
+registry, and alert records.
+
+Events arrive either addressed to one contract or broadcast to the
+whole fleet (the common case for a shared event bus).  Each delivery is
+one :meth:`EncodedMonitor.advance` — a few dict hits and bitwise ORs —
+and the engine emits an :class:`Alert` exactly when a verdict *flips*:
+
+* a contract's frontier empties → ``"violated"`` (absorbing; the
+  contract leaves the active set and costs nothing from then on);
+* a registered watch query's winning mask no longer intersects the
+  frontier → ``"watch-unsatisfiable"``.
+
+All ``monitor.*`` metrics feed a
+:class:`~repro.obs.metrics.MetricsRegistry`, so a fleet can be watched
+exactly like the query path (``monitor.events``, ``monitor.violations``,
+``monitor.watch_flips``, ``monitor.unknown_events``, plus batch latency
+and size histograms).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Iterator
+
+from ..automata.encode import EncodedAutomaton
+from ..errors import MonitorError
+from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry
+from .encoded import EncodedMonitor, _as_encoded_query
+from .options import MonitorOptions, MonitorStatus
+
+
+@dataclass(frozen=True)
+class Event:
+    """One stream record: a snapshot addressed to one contract
+    (``contract`` = its name) or broadcast to the fleet (``None``)."""
+
+    events: frozenset[str]
+    contract: str | None = None
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A verdict flip.
+
+    ``event_index`` is the per-contract index of the triggering snapshot
+    (``-1`` when the flip happened at registration time, before any
+    event — e.g. a watch query that was never satisfiable)."""
+
+    kind: str  #: ``"violated"`` or ``"watch-unsatisfiable"``
+    contract: str
+    contract_id: int | None
+    watch: str | None
+    event_index: int
+    events: frozenset[str]
+
+    def describe(self) -> str:
+        suffix = f" watch={self.watch!r}" if self.watch else ""
+        return (
+            f"ALERT {self.kind} contract={self.contract!r}{suffix} "
+            f"event={self.event_index} events={sorted(self.events)}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "contract": self.contract,
+            "contract_id": self.contract_id,
+            "watch": self.watch,
+            "event_index": self.event_index,
+            "events": sorted(self.events),
+        }
+
+
+@dataclass
+class IngestReport:
+    """The outcome of one :meth:`FleetMonitor.ingest` batch."""
+
+    #: stream records consumed
+    events: int = 0
+    #: contract-monitor advances performed (a broadcast fans out)
+    deliveries: int = 0
+    alerts: list[Alert] = field(default_factory=list)
+    #: unknown-event observations across the batch (counting mode)
+    unknown_events: int = 0
+
+    @property
+    def violations(self) -> list[Alert]:
+        return [a for a in self.alerts if a.kind == "violated"]
+
+
+class _WatchState:
+    """One (contract, watch) cell: the precomputed winning mask and the
+    last satisfiability verdict (so alerts fire on *flips*, not on
+    every event).
+
+    Satisfiability is not monotone: the query restarts at its initial
+    state on every prefix, so a frontier can move out of the winning
+    region and later back into it.  The current verdict is therefore
+    always ``frontier & mask``; ``satisfiable`` only remembers the
+    previous one for edge detection, and a watch that recovers re-arms
+    (a later loss emits a fresh alert)."""
+
+    __slots__ = ("name", "mask", "satisfiable")
+
+    def __init__(self, name: str, mask: int, satisfiable: bool):
+        self.name = name
+        self.mask = mask
+        self.satisfiable = satisfiable
+
+
+class FleetMonitor:
+    """Streaming monitor over a fleet of encoded contracts.
+
+    Contracts are added by name (usually via
+    :meth:`repro.broker.database.ContractDatabase.monitor_fleet`); watch
+    queries are registered per contract or fleet-wide.  All mutating
+    entry points are serialized by an internal lock, so one fleet can be
+    fed from multiple threads.
+    """
+
+    def __init__(
+        self,
+        options: MonitorOptions | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.options = options or MonitorOptions()
+        self.metrics = metrics or MetricsRegistry()
+        self._monitors: dict[str, EncodedMonitor] = {}
+        self._ids: dict[str, int | None] = {}
+        self._active: dict[str, EncodedMonitor] = {}
+        self._watches: dict[str, list[_WatchState]] = {}
+        #: fleet-wide watches, re-applied to contracts added later
+        self._fleet_watches: list[tuple[str, EncodedAutomaton]] = []
+        self._alerts: list[Alert] = []
+        self._lock = threading.Lock()
+
+    # -- registry ---------------------------------------------------------------
+
+    def add_contract(
+        self,
+        name: str,
+        encoded: EncodedAutomaton,
+        *,
+        contract_id: int | None = None,
+    ) -> EncodedMonitor:
+        """Start monitoring a contract from its registration-time
+        encoding (which must cover the spec vocabulary)."""
+        with self._lock:
+            if name in self._monitors:
+                raise MonitorError(f"contract {name!r} is already monitored")
+            monitor = EncodedMonitor(encoded, self.options)
+            self._monitors[name] = monitor
+            self._ids[name] = contract_id
+            self._watches[name] = []
+            if monitor.violated:
+                # unsatisfiable from the start: alert immediately
+                self._emit(Alert(
+                    kind="violated", contract=name, contract_id=contract_id,
+                    watch=None, event_index=-1, events=frozenset(),
+                ))
+            else:
+                self._active[name] = monitor
+            for watch_name, query in self._fleet_watches:
+                self._attach_watch(name, watch_name, query)
+            return monitor
+
+    def register_watch(
+        self,
+        name: str,
+        query,
+        contracts: Iterable[str] | None = None,
+    ) -> None:
+        """Register a watch query under ``name``: an LTL string /
+        formula / BA / prebuilt encoding whose continued satisfiability
+        is tracked per event.  ``contracts=None`` makes it fleet-wide
+        (it also attaches to contracts added later)."""
+        encoded_query = _as_encoded_query(query)
+        with self._lock:
+            if contracts is None:
+                self._fleet_watches.append((name, encoded_query))
+                targets = list(self._monitors)
+            else:
+                targets = list(contracts)
+            for contract_name in targets:
+                if contract_name not in self._monitors:
+                    raise MonitorError(
+                        f"cannot watch unknown contract {contract_name!r}"
+                    )
+                self._attach_watch(contract_name, name, encoded_query)
+
+    def _attach_watch(
+        self, contract_name: str, watch_name: str, query: EncodedAutomaton
+    ) -> None:
+        cells = self._watches[contract_name]
+        if any(cell.name == watch_name for cell in cells):
+            raise MonitorError(
+                f"watch {watch_name!r} is already registered on "
+                f"contract {contract_name!r}"
+            )
+        monitor = self._monitors[contract_name]
+        mask = monitor.watch_mask(query)
+        satisfiable = bool(monitor.frontier & mask)
+        cells.append(_WatchState(watch_name, mask, satisfiable))
+        if not satisfiable:
+            # never (or no longer) satisfiable at registration time
+            self._emit(Alert(
+                kind="watch-unsatisfiable", contract=contract_name,
+                contract_id=self._ids[contract_name], watch=watch_name,
+                event_index=monitor.events_seen - 1, events=frozenset(),
+            ))
+
+    # -- ingestion --------------------------------------------------------------
+
+    def advance(self, contract: str, snapshot: Iterable[str]) -> list[Alert]:
+        """Deliver one snapshot to one contract; returns the alerts it
+        triggered (also accumulated on :attr:`alerts`)."""
+        snap = (
+            snapshot if isinstance(snapshot, frozenset)
+            else frozenset(snapshot)
+        )
+        with self._lock:
+            return self._deliver(contract, snap)
+
+    def broadcast(self, snapshot: Iterable[str]) -> list[Alert]:
+        """Deliver one snapshot to every active contract."""
+        snap = (
+            snapshot if isinstance(snapshot, frozenset)
+            else frozenset(snapshot)
+        )
+        with self._lock:
+            emitted: list[Alert] = []
+            for name in list(self._active):
+                emitted.extend(self._deliver(name, snap))
+            return emitted
+
+    def ingest(self, events: Iterable) -> IngestReport:
+        """Consume a batch of stream records — :class:`Event` instances,
+        ``{"events": [...], "contract": ...}`` dicts (the JSONL record
+        shape), or ``(contract_or_None, snapshot)`` pairs — and return
+        an :class:`IngestReport`.  This is the bulk API the broker's
+        :meth:`~repro.broker.database.ContractDatabase.ingest` exposes.
+        """
+        report = IngestReport()
+        started = time.perf_counter()
+        unknown_before = self.unknown_event_count
+        with self._lock:
+            for record in events:
+                event = _coerce_event(record)
+                report.events += 1
+                if event.contract is None:
+                    for name in list(self._active):
+                        report.deliveries += 1
+                        report.alerts.extend(
+                            self._deliver(name, event.events)
+                        )
+                else:
+                    report.deliveries += 1
+                    report.alerts.extend(
+                        self._deliver(event.contract, event.events)
+                    )
+        report.unknown_events = self.unknown_event_count - unknown_before
+        elapsed = time.perf_counter() - started
+        self.metrics.inc("monitor.batches")
+        self.metrics.observe("monitor.batch_seconds", elapsed)
+        self.metrics.observe(
+            "monitor.batch_events", report.events, COUNT_BUCKETS
+        )
+        return report
+
+    def _deliver(self, name: str, snap: frozenset) -> list[Alert]:
+        monitor = self._monitors.get(name)
+        if monitor is None:
+            raise MonitorError(f"unknown contract {name!r}")
+        if monitor.violated:
+            return []
+        unknown_before = monitor.unknown_events
+        status = monitor.advance(snap)
+        self.metrics.inc("monitor.events")
+        new_unknown = monitor.unknown_events - unknown_before
+        if new_unknown:
+            self.metrics.inc("monitor.unknown_events", new_unknown)
+        emitted: list[Alert] = []
+        contract_id = self._ids[name]
+        if status is MonitorStatus.VIOLATED:
+            self._active.pop(name, None)
+            self._emit(Alert(
+                kind="violated", contract=name, contract_id=contract_id,
+                watch=None, event_index=monitor.violation_index,
+                events=snap,
+            ), emitted)
+            # a violated contract satisfies no future: close out the
+            # watch cells (flips are subsumed by the violation alert)
+            for cell in self._watches[name]:
+                cell.satisfiable = False
+        else:
+            frontier = monitor.frontier
+            for cell in self._watches[name]:
+                satisfiable = bool(frontier & cell.mask)
+                if cell.satisfiable and not satisfiable:
+                    self._emit(Alert(
+                        kind="watch-unsatisfiable", contract=name,
+                        contract_id=contract_id, watch=cell.name,
+                        event_index=monitor.events_seen - 1, events=snap,
+                    ), emitted)
+                cell.satisfiable = satisfiable
+        return emitted
+
+    def _emit(self, alert: Alert, batch: list[Alert] | None = None) -> None:
+        self._alerts.append(alert)
+        if batch is not None:
+            batch.append(alert)
+        self.metrics.inc("monitor.alerts")
+        if alert.kind == "violated":
+            self.metrics.inc("monitor.violations")
+        else:
+            self.metrics.inc("monitor.watch_flips")
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def contracts(self) -> tuple[str, ...]:
+        return tuple(self._monitors)
+
+    @property
+    def active_contracts(self) -> tuple[str, ...]:
+        return tuple(self._active)
+
+    @property
+    def alerts(self) -> tuple[Alert, ...]:
+        return tuple(self._alerts)
+
+    @property
+    def unknown_event_count(self) -> int:
+        return sum(m.unknown_events for m in self._monitors.values())
+
+    def monitor(self, name: str) -> EncodedMonitor:
+        try:
+            return self._monitors[name]
+        except KeyError:
+            raise MonitorError(f"unknown contract {name!r}") from None
+
+    def status(self, name: str) -> MonitorStatus:
+        return self.monitor(name).status
+
+    def watch_satisfiable(self, name: str, watch: str) -> bool:
+        """The current verdict of a registered watch on one contract
+        (recomputed from the live frontier — satisfiability can recover
+        after a loss, see :class:`_WatchState`)."""
+        monitor = self.monitor(name)
+        for cell in self._watches.get(name, ()):
+            if cell.name == watch:
+                return bool(monitor.frontier & cell.mask)
+        raise MonitorError(
+            f"no watch {watch!r} registered on contract {name!r}"
+        )
+
+    def can_still(self, name: str, query) -> bool:
+        """Ad-hoc satisfiability probe (no registration, no alerts)."""
+        return self.monitor(name).can_still(query)
+
+    def reset(self) -> None:
+        """Rewind every monitor to its initial frontier and clear the
+        accumulated alerts; registered watches stay registered (their
+        verdicts are recomputed from the initial frontier)."""
+        with self._lock:
+            self._alerts.clear()
+            self._active.clear()
+            for name, monitor in self._monitors.items():
+                monitor.reset()
+                if not monitor.violated:
+                    self._active[name] = monitor
+                for cell in self._watches[name]:
+                    cell.satisfiable = bool(monitor.frontier & cell.mask)
+
+
+def _coerce_event(record) -> Event:
+    if isinstance(record, Event):
+        return record
+    if isinstance(record, dict):
+        return parse_event(record)
+    if isinstance(record, tuple) and len(record) == 2:
+        contract, snapshot = record
+        return Event(events=frozenset(snapshot), contract=contract)
+    raise MonitorError(
+        f"cannot interpret stream record of type {type(record).__name__}"
+    )
+
+
+def parse_event(doc: dict) -> Event:
+    """Parse one JSONL stream record: ``{"events": [...]}`` with an
+    optional ``"contract"`` name (absent or ``null`` = broadcast)."""
+    try:
+        events = doc["events"]
+    except (KeyError, TypeError):
+        raise MonitorError(
+            f"stream record must carry an 'events' list: {doc!r}"
+        ) from None
+    if isinstance(events, str) or not isinstance(events, (list, tuple, set, frozenset)):
+        raise MonitorError(
+            f"'events' must be a list of event names: {events!r}"
+        )
+    contract = doc.get("contract")
+    if contract is not None and not isinstance(contract, str):
+        raise MonitorError(f"'contract' must be a name or null: {contract!r}")
+    return Event(events=frozenset(str(e) for e in events), contract=contract)
+
+
+def read_event_log(lines: Iterable[str] | IO[str]) -> Iterator[Event]:
+    """Iterate the events of a JSONL log (one record per line; blank
+    lines and ``#`` comments are skipped)."""
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise MonitorError(
+                f"event log line {lineno} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(doc, dict):
+            raise MonitorError(
+                f"event log line {lineno} must be a JSON object"
+            )
+        yield parse_event(doc)

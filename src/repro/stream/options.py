@@ -1,0 +1,43 @@
+"""Monitoring verdicts and options shared by the object monitor
+(:class:`repro.broker.monitor.ContractMonitor`) and the encoded
+streaming engine (:mod:`repro.stream.engine`).
+
+They live here — below the broker in the layering — so both monitor
+implementations agree on one vocabulary-handling policy and one status
+enum, which is what lets the conformance lattice compare their verdicts
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MonitorStatus(enum.Enum):
+    """Verdict about the observed history."""
+
+    #: Some allowed sequence extends the history.
+    ACTIVE = "active"
+    #: No allowed sequence extends the history: the contract is violated.
+    VIOLATED = "violated"
+
+
+@dataclass(frozen=True)
+class MonitorOptions:
+    """Policy knobs shared by every monitor implementation.
+
+    Attributes:
+        strict_vocabulary: how to treat snapshot events outside the
+            contract vocabulary.  ``False`` (the default) *counts* them —
+            on the monitor's ``unknown_events`` attribute and the
+            ``monitor.unknown_events`` metric — and otherwise ignores
+            them, which is verdict-preserving: contract labels only ever
+            cite vocabulary events, so an unknown event can neither
+            satisfy nor block a transition.  ``True`` raises
+            :class:`~repro.errors.MonitorError` before the monitor's
+            state is touched, for deployments where a typo'd event name
+            must not masquerade as a healthy stream.
+    """
+
+    strict_vocabulary: bool = False

@@ -1,0 +1,1 @@
+"""Tests for the streaming monitor engine (:mod:`repro.stream`)."""

@@ -1,0 +1,166 @@
+"""Differential tests: the encoded monitor must be verdict-equivalent
+to the object-graph :class:`~repro.broker.monitor.ContractMonitor` on
+every prefix of every trace (DEVELOPMENT.md invariant 13).
+
+The conformance lattice's ``monitor-stream`` / ``monitor-unknown``
+cells replay this comparison inside the harness; these tests drive the
+same property straight from hypothesis so failures shrink to minimal
+formulas and traces.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.encode import encode_automaton
+from repro.automata.ltl2ba import translate
+from repro.broker.monitor import ContractMonitor
+from repro.check.strategies import EVENTS, contract_specs, formulas, snapshots
+from repro.errors import MonitorError
+from repro.ltl.parser import parse
+from repro.stream import (
+    EncodedMonitor,
+    FleetMonitor,
+    MonitorOptions,
+    MonitorStatus,
+)
+
+#: events guaranteed to be outside every generated contract vocabulary
+ALIEN_EVENTS = ("zz-alpha", "zz-beta")
+
+
+def traces(events=EVENTS, max_len=6, alien=False):
+    pool = events + ALIEN_EVENTS if alien else events
+    return st.lists(snapshots(pool), max_size=max_len)
+
+
+def build_pair(spec, options=None):
+    ba = translate(spec.formula)
+    obj = ContractMonitor(ba, spec.vocabulary, options)
+    enc = EncodedMonitor(
+        encode_automaton(ba, spec.vocabulary), options
+    )
+    return obj, enc
+
+
+def assert_verdict_parity(obj, enc, query_ba, query_enc, trace):
+    """Invariant 13, spelled out: status, can_still, violation index and
+    unknown-event count agree at the empty prefix and after every
+    event."""
+    assert obj.status == enc.status
+    assert obj.can_still(query_ba) == enc.can_still(query_enc)
+    for snap in trace:
+        assert obj.advance(snap) == enc.advance(snap)
+        assert obj.status == enc.status
+        assert obj.can_still(query_ba) == enc.can_still(query_enc)
+        assert obj.violation_index == enc.violation_index
+        assert obj.unknown_events == enc.unknown_events
+
+
+class TestEncodedMatchesObject:
+    @given(contract_specs(), formulas(max_depth=3), traces())
+    @settings(max_examples=40, deadline=None)
+    def test_verdict_parity_on_every_prefix(self, spec, query, trace):
+        obj, enc = build_pair(spec)
+        query_ba = translate(query)
+        assert_verdict_parity(
+            obj, enc, query_ba, encode_automaton(query_ba), trace
+        )
+
+    @given(contract_specs(), traces(alien=True))
+    @settings(max_examples=30, deadline=None)
+    def test_unknown_event_parity(self, spec, trace):
+        obj, enc = build_pair(spec)
+        for snap in trace:
+            assert obj.advance(snap) == enc.advance(snap)
+            assert obj.unknown_events == enc.unknown_events
+            assert obj.violation_index == enc.violation_index
+
+    @given(contract_specs(), traces(alien=True))
+    @settings(max_examples=30, deadline=None)
+    def test_strict_mode_raises_in_lockstep(self, spec, trace):
+        options = MonitorOptions(strict_vocabulary=True)
+        obj, enc = build_pair(spec, options)
+        for snap in trace:
+            try:
+                obj_status = obj.advance(snap)
+            except MonitorError:
+                obj_status = "raised"
+            try:
+                enc_status = enc.advance(snap)
+            except MonitorError:
+                enc_status = "raised"
+            assert obj_status == enc_status
+            # a strict rejection leaves both sides' state untouched
+            assert obj.status == enc.status
+            assert len(obj.history) == enc.events_seen
+
+    @pytest.mark.slow
+    @given(contract_specs(max_clauses=3, max_depth=4),
+           formulas(max_depth=4), traces(max_len=10, alien=True))
+    @settings(max_examples=200, deadline=None)
+    def test_verdict_parity_heavy(self, spec, query, trace):
+        obj, enc = build_pair(spec)
+        query_ba = translate(query)
+        assert_verdict_parity(
+            obj, enc, query_ba, encode_automaton(query_ba), trace
+        )
+
+
+class TestFleetMatchesObject:
+    @given(st.lists(contract_specs(), min_size=1, max_size=3), traces())
+    @settings(max_examples=25, deadline=None)
+    def test_broadcast_parity(self, specs, trace):
+        by_name = {}
+        for spec in specs:
+            by_name.setdefault(spec.name, spec)
+        fleet = FleetMonitor()
+        objects = {}
+        for name, spec in by_name.items():
+            ba = translate(spec.formula)
+            fleet.add_contract(
+                name, encode_automaton(ba, spec.vocabulary)
+            )
+            objects[name] = ContractMonitor(ba, spec.vocabulary)
+        for snap in trace:
+            fleet.broadcast(snap)
+            for name, obj in objects.items():
+                obj.advance(snap)
+                assert fleet.status(name) == obj.status
+        # every violation alert points at the object monitor's index
+        for alert in fleet.alerts:
+            if alert.kind == "violated":
+                assert (alert.event_index
+                        == objects[alert.contract].violation_index)
+
+
+class TestBugfixRegressionTraces:
+    """Pinned traces distilled from conformance-sweep counterexamples."""
+
+    def test_watch_satisfiability_is_not_latched(self):
+        # found by the monitor-stream lattice cell: the watch verdict
+        # recovered on the object side but stayed latched-false on the
+        # encoded side until watch_satisfiable was made live
+        spec_formula = parse("c W (b -> x)")
+        vocabulary = frozenset({"b", "c", "x"})
+        ba = translate(spec_formula)
+        obj = ContractMonitor(ba, vocabulary)
+        enc = EncodedMonitor(encode_automaton(ba, vocabulary))
+        query_ba = translate(parse("c W (b -> x)"))
+        query_enc = encode_automaton(query_ba)
+        trace = [frozenset({"b"}), frozenset({"b", "c", "x"}), frozenset()]
+        verdicts = []
+        for snap in trace:
+            obj.advance(snap)
+            enc.advance(snap)
+            assert obj.can_still(query_ba) == enc.can_still(query_enc)
+            verdicts.append(enc.can_still(query_enc))
+        assert obj.status == enc.status
+
+    def test_empty_trace_parity(self):
+        spec_formula = parse("false")
+        ba = translate(spec_formula)
+        obj = ContractMonitor(ba, frozenset({"a"}))
+        enc = EncodedMonitor(encode_automaton(ba, frozenset({"a"})))
+        assert obj.status == enc.status == MonitorStatus.VIOLATED
+        assert obj.violation_index == enc.violation_index == -1
