@@ -43,6 +43,7 @@ from .broker import (
     QueryOptions,
     QueryOutcome,
     QueryResult,
+    QuerySpec,
     RegistrationReport,
     Verdict,
     open_database,
@@ -53,7 +54,7 @@ from .errors import ReproError
 from .ltl import Formula, Run, parse, satisfies
 from .stream import Alert, FleetMonitor, MonitorOptions, MonitorStatus
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AttributeFilter",
@@ -67,6 +68,7 @@ __all__ = [
     "QueryOptions",
     "QueryOutcome",
     "QueryResult",
+    "QuerySpec",
     "RegistrationReport",
     "StepBudget",
     "Verdict",

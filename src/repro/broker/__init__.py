@@ -29,7 +29,12 @@ from .persist import load_database, save_database
 from .journal import Journal, JournalReplayReport, open_database
 from .parallel import query_many, register_many
 from .registration import Quarantine, QuarantinedSpec, RegistrationReport
-from .planner import QueryPlan, QueryPlanner
+from .planner import (
+    CostModel,
+    PlannedStage,
+    QueryPlan,
+    QueryPlanner,
+)
 from .database import BrokerConfig, ContractDatabase, RegistrationStats
 from .options import Degradation, PrebuiltArtifacts, QueryOptions
 from .query import QueryOutcome, QueryResult, QueryStats, Verdict
@@ -37,6 +42,7 @@ from .relational import (
     MATCH_ALL,
     AttributeCondition,
     AttributeFilter,
+    OpaqueCondition,
     contains,
     eq,
     ge,
@@ -46,6 +52,8 @@ from .relational import (
     lt,
     ne,
 )
+from .spec import QuerySpec
+from .stats import AttributeStatistics, DatabaseStatistics
 
 __all__ = [
     "Comparison",
@@ -69,8 +77,13 @@ __all__ = [
     "Quarantine",
     "QuarantinedSpec",
     "RegistrationReport",
+    "CostModel",
+    "PlannedStage",
     "QueryPlan",
     "QueryPlanner",
+    "QuerySpec",
+    "AttributeStatistics",
+    "DatabaseStatistics",
     "register_many",
     "BrokerConfig",
     "ContractDatabase",
@@ -85,6 +98,7 @@ __all__ = [
     "MATCH_ALL",
     "AttributeCondition",
     "AttributeFilter",
+    "OpaqueCondition",
     "contains",
     "eq",
     "ge",

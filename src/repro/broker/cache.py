@@ -40,6 +40,9 @@ from ..ltl.rewrite import simplify
 #: Default number of distinct compiled queries kept (LRU).
 DEFAULT_CACHE_CAPACITY = 128
 
+#: Default number of chosen query plans kept (LRU).
+DEFAULT_PLAN_CACHE_CAPACITY = 256
+
 
 def normalized_query_key(formula: Formula) -> str:
     """The cache key: the simplified-NNF rendering of ``formula``."""
@@ -196,3 +199,70 @@ class QueryCompilationCache:
     def __contains__(self, formula: Formula) -> bool:
         with self._lock:
             return normalized_query_key(formula) in self._entries
+
+
+class QueryPlanCache:
+    """LRU cache of chosen :class:`~repro.broker.planner.QueryPlan`\\ s,
+    living alongside the compilation cache.
+
+    The database keys entries by ``(compiled-query key, attribute-filter
+    cache key, statistics version, planner)``: distinct filters hash to
+    distinct entries (the pre-1.8 callable filters could not be hashed
+    at all, so every filter collided on one warm entry), and the
+    statistics-version component means a register/deregister implicitly
+    invalidates every cached plan — a stale plan can cost time, never
+    answers, but there is no reason to keep one.  Filters containing
+    opaque legacy conditions have no cache key and are planned fresh on
+    every query.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key):
+        """The cached plan for ``key``, or ``None`` (counts the miss)."""
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return plan
+            self._misses += 1
+            return None
+
+    def put(self, key, plan) -> None:
+        with self._lock:
+            if self.capacity <= 0:
+                return
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept — they are lifetime
+        totals)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

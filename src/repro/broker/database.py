@@ -51,13 +51,20 @@ from ..index.prefilter import PrefilterIndex
 from ..ltl.ast import Formula
 from ..ltl.parser import parse
 from ..ltl.printer import format_formula
-from ..obs.metrics import COUNT_BUCKETS, RATIO_BUCKETS, MetricsRegistry
+from ..obs.metrics import (
+    COST_BUCKETS,
+    COUNT_BUCKETS,
+    RATIO_BUCKETS,
+    MetricsRegistry,
+)
 from ..projection.store import ProjectionStore
 from .cache import (
     DEFAULT_CACHE_CAPACITY,
+    DEFAULT_PLAN_CACHE_CAPACITY,
     CacheStats,
     CompiledQuery,
     QueryCompilationCache,
+    QueryPlanCache,
 )
 from .contract import Contract, ContractSpec
 from .options import (
@@ -66,9 +73,12 @@ from .options import (
     QueryOptions,
     coerce_query_options,
 )
+from .planner import ATTR_FIRST, PREFILTER_FIRST, QueryPlan, QueryPlanner
 from .query import QueryOutcome, QueryResult, QueryStats, Verdict
 from .registration import Quarantine
 from .relational import MATCH_ALL, AttributeFilter
+from .spec import QuerySpec
+from .stats import DatabaseStatistics
 
 
 @dataclass(frozen=True)
@@ -91,6 +101,9 @@ class BrokerConfig:
         state_budget: translation state cap per formula.
         query_cache_capacity: distinct compiled queries kept in the LRU
             compilation cache (``0`` disables caching).
+        plan_cache_capacity: chosen query plans kept in the LRU plan
+            cache — keyed by (query, filter, statistics version), so
+            repeated planned queries skip re-planning (``0`` disables).
     """
 
     use_prefilter: bool = True
@@ -102,6 +115,7 @@ class BrokerConfig:
     permission_algorithm: str = "ndfs"
     state_budget: int = DEFAULT_STATE_BUDGET
     query_cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    plan_cache_capacity: int = DEFAULT_PLAN_CACHE_CAPACITY
 
     def unoptimized(self) -> "BrokerConfig":
         """A copy with both indexing optimizations off (the paper's
@@ -155,6 +169,13 @@ class ContractDatabase:
             capacity=self.config.query_cache_capacity,
             state_budget=self.config.state_budget,
         )
+        self._plan_cache = QueryPlanCache(
+            capacity=self.config.plan_cache_capacity
+        )
+        #: incrementally maintained planner statistics (attribute value
+        #: histograms + automaton/projection aggregates); updated under
+        #: the write lock on every register/deregister.
+        self.statistics = DatabaseStatistics()
         self.metrics = MetricsRegistry()
         #: set by the persistence layer after a snapshot load
         #: (:class:`repro.broker.persist.LoadReport`); ``None`` otherwise.
@@ -295,6 +316,7 @@ class ContractDatabase:
                 encoded_seeds_mask=encoded_seeds_mask,
             )
             self._contracts[contract_id] = contract
+            self.statistics.add_contract(contract)
             stats = self.registration_stats
             stats.contracts += 1
             stats.translation_seconds += translation_seconds
@@ -353,9 +375,11 @@ class ContractDatabase:
     def deregister(self, contract_id: int) -> None:
         """Remove a contract from the database and the index."""
         with self._rwlock.write():
-            if contract_id not in self._contracts:
+            contract = self._contracts.get(contract_id)
+            if contract is None:
                 raise BrokerError(f"no contract with id {contract_id}")
             del self._contracts[contract_id]
+            self.statistics.remove_contract(contract)
             self._index.remove_contract(contract_id)
             self.registration_stats.contracts -= 1
             self._dirty = True
@@ -370,6 +394,10 @@ class ContractDatabase:
     def query_cache(self) -> QueryCompilationCache:
         return self._query_cache
 
+    @property
+    def plan_cache(self) -> QueryPlanCache:
+        return self._plan_cache
+
     def cache_stats(self) -> CacheStats:
         """Counters of the query compilation cache."""
         return self._query_cache.stats()
@@ -383,12 +411,18 @@ class ContractDatabase:
 
     def query(
         self,
-        query: str | Formula,
+        query: str | Formula | QuerySpec,
         options: QueryOptions | AttributeFilter | None = None,
         **legacy,
     ) -> QueryOutcome:
         """All contracts that match the attribute filter and *permit* the
         temporal query (Definition 1).
+
+        The first argument is the LTL query (text or parsed
+        :class:`~repro.ltl.ast.Formula`), or a whole declarative
+        :class:`~repro.broker.spec.QuerySpec` — a self-contained query
+        document carrying its own filter and options
+        (``db.query(QuerySpec.from_file("spec.json"))``).
 
         The second argument is a :class:`QueryOptions` carrying every
         evaluation knob — relational filter, optimization toggles,
@@ -405,6 +439,13 @@ class ContractDatabase:
             query(q, use_projections=b)        -> query(q, QueryOptions(use_projections=b))
             query(q, explain=True)             -> query(q, QueryOptions(explain=True))
         """
+        if isinstance(query, QuerySpec):
+            if options is not None or legacy:
+                raise TypeError(
+                    "query(spec) carries its own filter and options; "
+                    "pass nothing else"
+                )
+            return self._run_query(query.query, query.to_options())
         resolved = coerce_query_options("query", options, legacy)
         return self._run_query(query, resolved)
 
@@ -439,28 +480,104 @@ class ContractDatabase:
         options: QueryOptions,
         executor=None,
     ) -> QueryOutcome:
-        """Compile (through the cache) and evaluate one query."""
+        """Compile (through the cache), plan (if asked) and evaluate one
+        query.  Planning and evaluation share one read-lock acquisition,
+        so the statistics a plan was priced from cannot be mutated
+        between planning and execution."""
         start = time.perf_counter()
         formula = parse(query) if isinstance(query, str) else query
         compiled, cache_hit = self._query_cache.compile(formula)
         translation_seconds = time.perf_counter() - start
-        if options.use_planner:
-            from .planner import QueryPlanner
-
-            planner = options.planner or QueryPlanner()
-            options = planner.apply(
-                options, compiled.query_ba, condition=compiled.condition
+        with self._rwlock.read():
+            plan = None
+            if options.use_planner:
+                plan, options = self._plan_locked(compiled, options)
+            return self._query_compiled_locked(
+                compiled,
+                options,
+                formula=formula,
+                translation_seconds=translation_seconds,
+                cache_hit=cache_hit,
+                executor=executor,
+                plan=plan,
             )
-        return self._query_compiled(
-            compiled,
-            options,
-            formula=formula,
-            translation_seconds=translation_seconds,
-            cache_hit=cache_hit,
-            executor=executor,
-        )
 
-    def _query_compiled(
+    def _plan_locked(
+        self, compiled: CompiledQuery, options: QueryOptions
+    ) -> tuple[QueryPlan, QueryOptions]:
+        """Choose (or fetch from the plan cache) a plan for this query
+        and resolve it into concrete execution options.  Caller holds
+        the read lock — the planner reads the live statistics and index.
+        """
+        planner = options.planner or QueryPlanner()
+        filter_key = options.attribute_filter.cache_key()
+        cache_key = None
+        plan = None
+        if filter_key is not None:
+            cache_key = (
+                compiled.key, filter_key, self.statistics.version, planner,
+            )
+            plan = self._plan_cache.get(cache_key)
+            self.metrics.inc(
+                "planner.cache.hits" if plan is not None
+                else "planner.cache.misses"
+            )
+        if plan is None:
+            plan = planner.plan(
+                compiled.query_ba,
+                condition=compiled.condition,
+                database=self,
+                attribute_filter=options.attribute_filter,
+            )
+            if cache_key is not None:
+                self._plan_cache.put(cache_key, plan)
+        self._record_plan(plan)
+        return plan, QueryPlanner.resolve(options, plan)
+
+    def _record_plan(self, plan: QueryPlan) -> None:
+        metrics = self.metrics
+        metrics.inc("planner.plans")
+        metrics.inc(
+            "planner.prefilter_on" if plan.use_prefilter
+            else "planner.prefilter_off"
+        )
+        metrics.inc(
+            "planner.projections_on" if plan.use_projections
+            else "planner.projections_off"
+        )
+        if plan.order == PREFILTER_FIRST:
+            metrics.inc("planner.order.prefilter_first")
+        else:
+            metrics.inc("planner.order.attr_first")
+        if plan.source == "cost":
+            metrics.observe("planner.est_cost", plan.cost,
+                            buckets=COST_BUCKETS)
+
+    def plan_query(
+        self,
+        query: str | Formula | QuerySpec,
+        options: QueryOptions | None = None,
+    ) -> QueryPlan:
+        """The plan the cost-based planner would choose for this query —
+        no evaluation, just the inspectable :class:`QueryPlan` (the
+        ``contract-broker explain`` surface).  Accepts a
+        :class:`~repro.broker.spec.QuerySpec` like :meth:`query`."""
+        if isinstance(query, QuerySpec):
+            if options is not None:
+                raise TypeError(
+                    "plan_query(spec) carries its own options; "
+                    "pass nothing else"
+                )
+            options = query.to_options()
+            query = query.query
+        options = coerce_query_options("plan_query", options, {})
+        formula = parse(query) if isinstance(query, str) else query
+        compiled, _ = self._query_cache.compile(formula)
+        with self._rwlock.read():
+            plan, _ = self._plan_locked(compiled, options)
+        return plan
+
+    def _query_compiled_locked(
         self,
         compiled: CompiledQuery,
         options: QueryOptions,
@@ -469,6 +586,7 @@ class ContractDatabase:
         translation_seconds: float = 0.0,
         cache_hit: bool = False,
         executor=None,
+        plan: QueryPlan | None = None,
     ) -> QueryOutcome:
         """Evaluate an already-compiled query (the internal entry every
         public query path funnels through).
@@ -481,30 +599,10 @@ class ContractDatabase:
         already gone return ``SKIPPED`` immediately (cooperative
         cancellation), so an exhausted query drains the pool quickly.
 
-        The whole evaluation holds the database's read lock: any number
-        of queries run concurrently, but none can interleave with a
-        mutation (invariant 11).
+        The whole evaluation holds the database's read lock (taken by
+        :meth:`_run_query`): any number of queries run concurrently, but
+        none can interleave with a mutation (invariant 11).
         """
-        with self._rwlock.read():
-            return self._query_compiled_locked(
-                compiled,
-                options,
-                formula=formula,
-                translation_seconds=translation_seconds,
-                cache_hit=cache_hit,
-                executor=executor,
-            )
-
-    def _query_compiled_locked(
-        self,
-        compiled: CompiledQuery,
-        options: QueryOptions,
-        *,
-        formula: Formula | None = None,
-        translation_seconds: float = 0.0,
-        cache_hit: bool = False,
-        executor=None,
-    ) -> QueryOutcome:
         prefilter_on = (
             self.config.use_prefilter
             if options.use_prefilter is None
@@ -521,6 +619,12 @@ class ContractDatabase:
             else options.use_encoded
         )
 
+        order = (
+            options.stage_order
+            if prefilter_on and options.stage_order is not None
+            else ATTR_FIRST
+        )
+
         stats = QueryStats(
             database_size=len(self._contracts),
             used_prefilter=prefilter_on,
@@ -529,6 +633,9 @@ class ContractDatabase:
             cache_hit=cache_hit,
             deadline_seconds=options.deadline_seconds,
             step_budget=options.step_budget,
+            stage_order=order,
+            planned=plan is not None,
+            plan_summary=str(plan) if plan is not None else "",
         )
         stats.translation_seconds = translation_seconds
         overall_start = time.perf_counter()
@@ -547,22 +654,43 @@ class ContractDatabase:
             if options.contract_ids is not None
             else None
         )
-        relational = [
-            c for c in self._contracts.values()
-            if (restrict is None or c.contract_id in restrict)
-            and options.attribute_filter.matches(c.attributes)
-        ]
-        stats.relational_matches = len(relational)
-        relational_ids = {c.contract_id for c in relational}
-
-        if prefilter_on:
+        if order == PREFILTER_FIRST:
+            # Prune first, filter the survivors: the candidate set is
+            # the same intersection as attr-first, just computed in the
+            # cheaper order for a selective condition and a wide filter.
             start = time.perf_counter()
             condition = compiled.condition
             stats.pruning_condition = str(condition)
-            candidate_ids = self._index.evaluate(condition) & relational_ids
+            pruned = self._index.evaluate(condition)
             stats.prefilter_seconds = time.perf_counter() - start
+            relational = [
+                self._contracts[cid] for cid in pruned
+                if (restrict is None or cid in restrict)
+                and options.attribute_filter.matches(
+                    self._contracts[cid].attributes
+                )
+            ]
+            stats.relational_matches = len(relational)
+            candidate_ids = {c.contract_id for c in relational}
         else:
-            candidate_ids = relational_ids
+            relational = [
+                c for c in self._contracts.values()
+                if (restrict is None or c.contract_id in restrict)
+                and options.attribute_filter.matches(c.attributes)
+            ]
+            stats.relational_matches = len(relational)
+            relational_ids = {c.contract_id for c in relational}
+
+            if prefilter_on:
+                start = time.perf_counter()
+                condition = compiled.condition
+                stats.pruning_condition = str(condition)
+                candidate_ids = (
+                    self._index.evaluate(condition) & relational_ids
+                )
+                stats.prefilter_seconds = time.perf_counter() - start
+            else:
+                candidate_ids = relational_ids
         stats.candidates = len(candidate_ids)
 
         candidates = [self._contracts[cid] for cid in sorted(candidate_ids)]
@@ -994,6 +1122,15 @@ class ContractDatabase:
             "size": cache.size,
             "capacity": cache.capacity,
             "hit_rate": cache.hit_rate,
+        }
+        plans = self._plan_cache.stats()
+        snapshot["plan_cache"] = {
+            "hits": plans.hits,
+            "misses": plans.misses,
+            "evictions": plans.evictions,
+            "size": plans.size,
+            "capacity": plans.capacity,
+            "hit_rate": plans.hit_rate,
         }
         return snapshot
 

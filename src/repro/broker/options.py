@@ -69,9 +69,17 @@ class QueryOptions:
         explain: extract a simultaneous-lasso witness per returned
             contract.
         use_planner: let a :class:`~repro.broker.planner.QueryPlanner`
-            choose ``use_prefilter``/``use_projections`` per query.
+            choose ``use_prefilter``/``use_projections``/``stage_order``
+            per query (cost-based on the database's statistics).
         planner: the planner instance ``use_planner`` consults
             (``None`` = a default-constructed one).
+        stage_order: relative order of the relational and prefilter
+            stages — ``"attr_first"`` (default) runs the attribute
+            filter before the index, ``"prefilter_first"`` evaluates the
+            pruning condition first and filters only the survivors.
+            Orders never change answers, only time (the candidate set is
+            the same intersection either way); normally set by the
+            planner rather than by hand.  ``None`` = ``"attr_first"``.
         deadline_seconds: wall-clock budget for the whole evaluation
             (prefilter + selection + permission + witnesses), measured
             from the moment the compiled query starts evaluating.
@@ -97,6 +105,7 @@ class QueryOptions:
     explain: bool = False
     use_planner: bool = False
     planner: "QueryPlanner | None" = None
+    stage_order: str | None = None
     deadline_seconds: float | None = None
     contract_deadline_seconds: float | None = None
     step_budget: int | None = None
@@ -105,6 +114,11 @@ class QueryOptions:
     workers: int = 1
 
     def __post_init__(self) -> None:
+        if self.stage_order not in (None, "attr_first", "prefilter_first"):
+            raise ValueError(
+                f"stage_order must be None, 'attr_first' or "
+                f"'prefilter_first', got {self.stage_order!r}"
+            )
         for name in ("deadline_seconds", "contract_deadline_seconds"):
             value = getattr(self, name)
             if value is not None and value < 0:

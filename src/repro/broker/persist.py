@@ -17,7 +17,11 @@ provides the library equivalent: a database directory holding
 * ``projections.json`` — each contract's deduplicated bisimulation
   partitions and subset -> partition map (§5.2);
 * ``index.json``       — the §4 prefilter set-trie with its contract
-  sets, contract ids renumbered to dense save-order positions.
+  sets, contract ids renumbered to dense save-order positions;
+* ``stats.json``       — the planner's database statistics (attribute
+  value histograms, cardinality aggregates).  Loading re-registers
+  every contract, which rebuilds the statistics exactly; the artifact
+  is a consistency check on that rebuild, never a substitute for it.
 
 The §7.4 experiments show registration-side cost (translation, index
 building, all-subsets partitioning) dominating query cost, so the v2
@@ -70,6 +74,7 @@ _SEEDS_FILE = "seeds.json"
 _ENCODED_FILE = "encoded.json"
 _PROJECTIONS_FILE = "projections.json"
 _INDEX_FILE = "index.json"
+_STATS_FILE = "stats.json"
 _FORMAT_VERSION = 2
 
 
@@ -88,6 +93,9 @@ class LoadReport:
     encoded_restored: int = 0
     projections_restored: int = 0
     index_restored: bool = False
+    #: true when ``stats.json`` agreed with the statistics rebuilt during
+    #: registration (the rebuilt values are authoritative either way)
+    stats_restored: bool = False
     #: names of contracts whose stored automaton was missing or stale and
     #: were re-translated from their clauses
     retranslated: list = field(default_factory=list)
@@ -238,6 +246,7 @@ def _save_locked(db: ContractDatabase, directory: Path, journal) -> Path:
         (_ENCODED_FILE, encoded_docs),
         (_PROJECTIONS_FILE, projection_docs),
         (_INDEX_FILE, db.index.to_dict(id_map)),
+        (_STATS_FILE, db.statistics.to_dict()),
     ]
     for filename, payload in payloads:
         text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -535,6 +544,19 @@ def load_database(
                     )
                 db.adopt_index(index)
                 report.index_restored = True
+
+    # Registration above rebuilt the statistics from scratch; the stored
+    # snapshot only corroborates them.  On disagreement the rebuilt
+    # values win — plans must reflect the database actually loaded.
+    stats_doc = _read_artifact(directory, _STATS_FILE, checksums, report)
+    if stats_doc is not None:
+        if db.statistics.matches_snapshot(stats_doc):
+            report.stats_restored = True
+        else:
+            report.warnings.append(
+                f"{_STATS_FILE}: disagrees with the statistics rebuilt "
+                "from the specifications; keeping the rebuilt values"
+            )
 
     report.contracts = len(db)
     report.load_seconds = time.perf_counter() - start

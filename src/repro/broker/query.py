@@ -46,6 +46,12 @@ class QueryStats:
     Under an execution budget ``candidates`` always equals
     ``checked + timed_out + skipped``; without one, every candidate is
     checked and the two budget counters stay zero.
+
+    ``stage_order`` records how the relational and prefilter stages were
+    ordered.  With ``"prefilter_first"`` the attribute filter runs only
+    on the index's survivors, so ``relational_matches`` counts attribute
+    matches *among* them (and equals ``candidates``); the candidate set
+    itself is the same intersection either way.
     """
 
     translation_seconds: float = 0.0  # cache-lookup time on a cache hit
@@ -68,6 +74,9 @@ class QueryStats:
     used_encoded: bool = False
     cache_hit: bool = False
     pruning_condition: str = ""
+    stage_order: str = "attr_first"
+    planned: bool = False
+    plan_summary: str = ""
 
     @property
     def pruning_ratio(self) -> float:

@@ -5,30 +5,216 @@ The paper scopes itself to the temporal side of the broker and assumes
 attributes" (§1, point a): a complete system first narrows a much larger
 database by attributes (route, date, price, ...) and only then checks
 temporal permission.  This module is that substrate — a small in-memory
-attribute store with typed predicates, enough to build the end-to-end
+attribute store with typed conditions, enough to build the end-to-end
 examples the paper's introduction motivates and to bound the contract
 sets the temporal machinery sees.
+
+Conditions are **data**, not code: an :class:`AttributeCondition` is an
+``(attribute, op, value)`` triple, so a filter can be serialized
+(:meth:`AttributeCondition.to_dict`), hashed into a plan-cache key
+(:meth:`AttributeFilter.cache_key`) and cost-estimated from per-attribute
+statistics (:mod:`repro.broker.stats`).  The pre-1.8 form — a bare
+``Callable`` predicate plus a description string — still constructs (it
+comes back as an :class:`OpaqueCondition` behind a
+:class:`DeprecationWarning`), but such a condition is opaque: it cannot
+be persisted, cached or estimated, only evaluated.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..errors import BrokerError
 
 Predicate = Callable[[Any], bool]
 
+#: Operators the condition AST understands.  ``in`` tests the attribute
+#: against a collection of allowed values; ``contains`` tests a
+#: collection-valued attribute for one member.
+CONDITION_OPS = ("==", "!=", "<", "<=", ">", ">=", "in", "contains")
 
-@dataclass(frozen=True)
+
+def apply_operator(op: str, actual: Any, value: Any) -> bool:
+    """Evaluate one comparison operator (no TypeError shielding — the
+    caller decides whether incomparable values mean "no match" or "skip")."""
+    if op == "==":
+        return actual == value
+    if op == "!=":
+        return actual != value
+    if op == "<":
+        return actual < value
+    if op == "<=":
+        return actual <= value
+    if op == ">":
+        return actual > value
+    if op == ">=":
+        return actual >= value
+    if op == "in":
+        return actual in value
+    if op == "contains":
+        return value in actual
+    raise BrokerError(f"unknown condition operator {op!r}")
+
+
+def _normalize_membership(value: Any) -> tuple:
+    """A deterministic tuple of the allowed values of an ``in`` condition
+    (sorted by repr so equal value *sets* produce equal cache keys)."""
+    if isinstance(value, (str, bytes)):
+        raise BrokerError(
+            "the 'in' operator takes a collection of allowed values, "
+            f"got the scalar {value!r}"
+        )
+    seen = []
+    for v in value:
+        if not any(v == s for s in seen):
+            seen.append(v)
+    return tuple(sorted(seen, key=repr))
+
+
+def _is_legacy_call(args: tuple, kwargs: dict) -> bool:
+    """Whether an ``AttributeCondition(...)`` call uses the pre-1.8
+    ``(attribute, description, predicate)`` convention."""
+    if "predicate" in kwargs or "description" in kwargs:
+        return True
+    return (
+        len(args) == 3
+        and callable(args[2])
+        and args[1] not in CONDITION_OPS
+    )
+
+
 class AttributeCondition:
-    """One attribute predicate, e.g. ``price <= 500``.
+    """One attribute condition, e.g. ``price <= 500``, as data.
 
-    Missing attributes never match (a contract that does not declare a
-    price cannot satisfy a price bound).
+    ``op`` is one of :data:`CONDITION_OPS`; ``value`` is the comparison
+    operand (a collection for ``in``, normalized to a deterministic
+    tuple).  Missing attributes never match (a contract that does not
+    declare a price cannot satisfy a price bound), and neither do
+    incomparable values (``TypeError`` is a no-match, not an error).
+
+    The legacy ``AttributeCondition(attribute, description, predicate)``
+    construction still works: it warns and produces an
+    :class:`OpaqueCondition`, which evaluates identically but cannot be
+    serialized, plan-cached or cost-estimated.
     """
 
-    attribute: str
-    description: str
-    predicate: Predicate
+    __slots__ = ("attribute", "op", "value")
+
+    def __new__(cls, *args: Any, **kwargs: Any):
+        if cls is AttributeCondition and _is_legacy_call(args, kwargs):
+            warnings.warn(
+                "constructing AttributeCondition from a bare callable "
+                "predicate is deprecated; use the (attribute, op, value) "
+                "form or the eq/ne/lt/le/gt/ge/is_in/contains factories "
+                "so the condition can be serialized and cost-estimated",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return object.__new__(OpaqueCondition)
+        return object.__new__(cls)
+
+    def __init__(self, attribute: str, op: str, value: Any = None):
+        if op not in CONDITION_OPS:
+            raise BrokerError(
+                f"unknown condition operator {op!r}; expected one of "
+                f"{list(CONDITION_OPS)}"
+            )
+        if op == "in":
+            value = _normalize_membership(value)
+        self.attribute = attribute
+        self.op = op
+        self.value = value
+
+    @property
+    def estimable(self) -> bool:
+        """Whether selectivity statistics can price this condition."""
+        return True
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        if self.attribute not in attributes:
+            return False
+        try:
+            return bool(
+                apply_operator(self.op, attributes[self.attribute], self.value)
+            )
+        except TypeError:
+            return False
+
+    def cache_key(self):
+        """A hashable, deterministic identity for plan/compilation cache
+        keys (falls back to ``repr`` for unhashable operands)."""
+        try:
+            hash(self.value)
+        except TypeError:
+            return (self.attribute, self.op, repr(self.value))
+        return (self.attribute, self.op, self.value)
+
+    def to_dict(self) -> dict:
+        """A JSON-able ``{"attribute", "op", "value"}`` document."""
+        value = list(self.value) if self.op == "in" else self.value
+        return {"attribute": self.attribute, "op": self.op, "value": value}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "AttributeCondition":
+        """Rebuild a condition from :meth:`to_dict` output (or any
+        mapping with ``attribute``/``op``/``value`` keys)."""
+        missing = {"attribute", "op"} - set(doc)
+        if missing:
+            raise BrokerError(
+                f"attribute condition document is missing {sorted(missing)}"
+            )
+        return cls(doc["attribute"], doc["op"], doc.get("value"))
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, AttributeCondition):
+            return NotImplemented
+        if isinstance(other, OpaqueCondition):
+            return False
+        return (
+            self.attribute == other.attribute
+            and self.op == other.op
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AttributeCondition({self.attribute!r}, {self.op!r}, "
+                f"{self.value!r})")
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+class OpaqueCondition(AttributeCondition):
+    """A legacy callable-predicate condition.
+
+    Evaluates exactly like its pre-1.8 ancestor (missing attribute and
+    ``TypeError`` are no-matches) but is opaque to the rest of the stack:
+    ``estimable`` is False (the planner assumes a default selectivity),
+    ``cache_key()`` is ``None`` (a filter containing one is never
+    plan-cached) and ``to_dict()`` refuses (a closure cannot round-trip
+    through JSON).
+    """
+
+    __slots__ = ("description", "predicate")
+
+    def __init__(self, attribute: str, description: str = "",
+                 predicate: Predicate | None = None):
+        self.attribute = attribute
+        self.op = "opaque"
+        self.value = None
+        self.description = description
+        self.predicate = predicate if predicate is not None else (
+            lambda _v: False
+        )
+
+    @property
+    def estimable(self) -> bool:
+        return False
 
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         if self.attribute not in attributes:
@@ -38,52 +224,85 @@ class AttributeCondition:
         except TypeError:
             return False
 
+    def cache_key(self):
+        return None
+
+    def to_dict(self) -> dict:
+        raise BrokerError(
+            f"cannot serialize the opaque condition {self}: it wraps a "
+            "bare callable; rebuild it with the (attribute, op, value) AST"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        return self is other
+
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"OpaqueCondition({self.attribute!r}, "
+                f"{self.description!r})")
+
     def __str__(self) -> str:
         return f"{self.attribute} {self.description}"
 
 
 def eq(attribute: str, value: Any) -> AttributeCondition:
     """``attribute == value``."""
-    return AttributeCondition(attribute, f"== {value!r}", lambda v: v == value)
+    return AttributeCondition(attribute, "==", value)
 
 
 def ne(attribute: str, value: Any) -> AttributeCondition:
     """``attribute != value``."""
-    return AttributeCondition(attribute, f"!= {value!r}", lambda v: v != value)
+    return AttributeCondition(attribute, "!=", value)
 
 
 def lt(attribute: str, value: Any) -> AttributeCondition:
     """``attribute < value``."""
-    return AttributeCondition(attribute, f"< {value!r}", lambda v: v < value)
+    return AttributeCondition(attribute, "<", value)
 
 
 def le(attribute: str, value: Any) -> AttributeCondition:
     """``attribute <= value``."""
-    return AttributeCondition(attribute, f"<= {value!r}", lambda v: v <= value)
+    return AttributeCondition(attribute, "<=", value)
 
 
 def gt(attribute: str, value: Any) -> AttributeCondition:
     """``attribute > value``."""
-    return AttributeCondition(attribute, f"> {value!r}", lambda v: v > value)
+    return AttributeCondition(attribute, ">", value)
 
 
 def ge(attribute: str, value: Any) -> AttributeCondition:
     """``attribute >= value``."""
-    return AttributeCondition(attribute, f">= {value!r}", lambda v: v >= value)
+    return AttributeCondition(attribute, ">=", value)
 
 
 def is_in(attribute: str, values: Iterable[Any]) -> AttributeCondition:
     """``attribute in values``."""
-    allowed = frozenset(values)
-    return AttributeCondition(
-        attribute, f"in {sorted(map(repr, allowed))}", lambda v: v in allowed
-    )
+    return AttributeCondition(attribute, "in", tuple(values))
 
 
 def contains(attribute: str, value: Any) -> AttributeCondition:
     """``value in attribute`` (for collection-valued attributes)."""
-    return AttributeCondition(
-        attribute, f"contains {value!r}", lambda v: value in v
+    return AttributeCondition(attribute, "contains", value)
+
+
+def condition_from_doc(doc: Any) -> AttributeCondition:
+    """Build a condition from either document shape a query spec may
+    use: a ``{"attribute", "op", "value"}`` mapping or an
+    ``[attribute, op, value]`` triple."""
+    if isinstance(doc, Mapping):
+        return AttributeCondition.from_dict(doc)
+    if isinstance(doc, Sequence) and not isinstance(doc, (str, bytes)):
+        if len(doc) != 3:
+            raise BrokerError(
+                f"filter condition {doc!r} is not an "
+                "[attribute, op, value] triple"
+            )
+        attribute, op, value = doc
+        return AttributeCondition(attribute, op, value)
+    raise BrokerError(
+        f"cannot build an attribute condition from {doc!r}; expected a "
+        "mapping or an [attribute, op, value] triple"
     )
 
 
@@ -99,6 +318,37 @@ class AttributeFilter:
 
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         return all(c.matches(attributes) for c in self.conditions)
+
+    @property
+    def estimable(self) -> bool:
+        """Whether every condition can be priced by the statistics."""
+        return all(c.estimable for c in self.conditions)
+
+    def cache_key(self):
+        """A hashable identity for plan-cache keys, or ``None`` when any
+        condition is opaque (a closure has no stable identity across
+        calls, so such filters are planned fresh every time)."""
+        keys = []
+        for condition in self.conditions:
+            key = condition.cache_key()
+            if key is None:
+                return None
+            keys.append(key)
+        return tuple(keys)
+
+    def to_list(self) -> list[list[Any]]:
+        """The JSON-able ``[[attribute, op, value], ...]`` form shared
+        with the conformance harness's ``FilterSpec``."""
+        return [
+            [c.attribute, c.op, list(c.value) if c.op == "in" else c.value]
+            for c in self.conditions
+        ]
+
+    @classmethod
+    def from_list(cls, items: Iterable[Any]) -> "AttributeFilter":
+        """Rebuild a filter from :meth:`to_list` output (triples and/or
+        ``{"attribute", "op", "value"}`` mappings)."""
+        return cls(tuple(condition_from_doc(item) for item in items))
 
     def __str__(self) -> str:
         if not self.conditions:

@@ -1,0 +1,171 @@
+"""Declarative query documents: the serializable query API.
+
+A :class:`QuerySpec` is a whole broker query as data — the LTL query
+text, the relational filter, and the execution options — loadable from
+a JSON (or YAML, when PyYAML is importable) document::
+
+    {
+      "query": "F(missedFlight && F(refund || dateChange))",
+      "filter": [["price", "<=", 500], ["route", "==", "SAN-NYC"]],
+      "options": {"use_planner": true, "deadline_seconds": 0.5}
+    }
+
+and executed directly: ``db.query(QuerySpec.from_file("spec.json"))``
+(the ``contract-broker query --spec`` and ``explain --spec`` commands
+are thin wrappers over exactly this).  Filter entries may equivalently
+be ``{"attribute": ..., "op": ..., "value": ...}`` mappings.
+
+Everything round-trips: the filter is the serializable condition AST of
+:mod:`repro.broker.relational`, the options map onto
+:class:`~repro.broker.options.QueryOptions` fields, and
+:meth:`QuerySpec.to_dict` emits only non-default options, so a spec
+survives ``from_dict(to_dict(spec))`` unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import BrokerError
+from .options import Degradation, QueryOptions
+from .relational import MATCH_ALL, AttributeFilter
+
+#: QueryOptions fields a spec's ``options`` mapping may set (the
+#: JSON-able subset — programmatic fields like ``planner`` and
+#: ``contract_ids`` stay out of the document format).
+SPEC_OPTION_KEYS = frozenset({
+    "use_prefilter",
+    "use_projections",
+    "use_encoded",
+    "use_planner",
+    "stage_order",
+    "explain",
+    "deadline_seconds",
+    "contract_deadline_seconds",
+    "step_budget",
+    "budget_check_interval",
+    "degradation",
+    "workers",
+})
+
+_SPEC_KEYS = frozenset({"query", "filter", "options"})
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One broker query as a self-contained, serializable document."""
+
+    query: str
+    filter: AttributeFilter = MATCH_ALL
+    options: QueryOptions = QueryOptions()
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "QuerySpec":
+        """Build a spec from a ``{"query", "filter", "options"}``
+        document; raises :class:`~repro.errors.BrokerError` on unknown
+        keys or malformed entries (a typo'd option must not silently run
+        an unconfigured query)."""
+        if not isinstance(doc, Mapping):
+            raise BrokerError(
+                f"query spec must be a mapping, got {type(doc).__name__}"
+            )
+        unknown = set(doc) - _SPEC_KEYS
+        if unknown:
+            raise BrokerError(
+                f"unknown query-spec key(s) {sorted(unknown)}; expected "
+                f"{sorted(_SPEC_KEYS)}"
+            )
+        query = doc.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise BrokerError(
+                "query spec needs a non-empty LTL 'query' string"
+            )
+        attribute_filter = AttributeFilter.from_list(doc.get("filter") or [])
+        options = cls._options_from_doc(doc.get("options") or {})
+        return cls(query=query, filter=attribute_filter, options=options)
+
+    @staticmethod
+    def _options_from_doc(doc: Mapping[str, Any]) -> QueryOptions:
+        if not isinstance(doc, Mapping):
+            raise BrokerError(
+                f"query-spec 'options' must be a mapping, got "
+                f"{type(doc).__name__}"
+            )
+        unknown = set(doc) - SPEC_OPTION_KEYS
+        if unknown:
+            raise BrokerError(
+                f"unknown query option(s) {sorted(unknown)}; expected a "
+                f"subset of {sorted(SPEC_OPTION_KEYS)}"
+            )
+        fields = dict(doc)
+        if "degradation" in fields:
+            value = fields["degradation"]
+            try:
+                fields["degradation"] = Degradation(value)
+            except ValueError:
+                raise BrokerError(
+                    f"unknown degradation policy {value!r}; expected one "
+                    f"of {[d.value for d in Degradation]}"
+                ) from None
+        try:
+            return QueryOptions(**fields)
+        except (TypeError, ValueError) as exc:
+            raise BrokerError(f"invalid query options: {exc}") from exc
+
+    @classmethod
+    def from_file(cls, path) -> "QuerySpec":
+        """Load a spec from a JSON file (YAML for ``.yaml``/``.yml``
+        paths, when PyYAML is available)."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise BrokerError(f"cannot read query spec {path}: {exc}") from exc
+        if path.suffix.lower() in (".yaml", ".yml"):
+            try:
+                import yaml
+            except ImportError:
+                raise BrokerError(
+                    f"cannot load {path}: PyYAML is not installed; use a "
+                    "JSON spec instead"
+                ) from None
+            try:
+                doc = yaml.safe_load(text)
+            except yaml.YAMLError as exc:
+                raise BrokerError(
+                    f"malformed YAML query spec {path}: {exc}"
+                ) from exc
+        else:
+            try:
+                doc = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise BrokerError(
+                    f"malformed JSON query spec {path}: {exc}"
+                ) from exc
+        return cls.from_dict(doc)
+
+    def to_dict(self) -> dict:
+        """The JSON-able document form (only non-default options are
+        emitted, so ``from_dict`` round-trips)."""
+        doc: dict[str, Any] = {"query": self.query}
+        if self.filter.conditions:
+            doc["filter"] = self.filter.to_list()
+        defaults = QueryOptions()
+        options: dict[str, Any] = {}
+        for key in sorted(SPEC_OPTION_KEYS):
+            value = getattr(self.options, key)
+            if value != getattr(defaults, key):
+                options[key] = (
+                    value.value if isinstance(value, Degradation) else value
+                )
+        if options:
+            doc["options"] = options
+        return doc
+
+    def to_options(self) -> QueryOptions:
+        """The effective :class:`QueryOptions` — the spec's options with
+        its filter folded in."""
+        return self.options.evolve(attribute_filter=self.filter)

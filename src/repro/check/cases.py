@@ -8,9 +8,9 @@ repro artifact and replayed later without the generator or its seed.
 
 Formulas are stored as LTL *text* (``format_formula`` output, re-parsed
 on materialization); attribute filters are stored as ``(attribute, op,
-value)`` triples (:class:`FilterSpec`) because the production
-:class:`~repro.broker.relational.AttributeFilter` carries opaque
-predicates that cannot round-trip through JSON.
+value)`` triples (:class:`FilterSpec`), the same wire shape the
+relational condition AST itself serializes to
+(:meth:`~repro.broker.relational.AttributeFilter.to_list`).
 """
 
 from __future__ import annotations
@@ -19,30 +19,9 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..broker.contract import ContractSpec
-from ..broker.relational import (
-    AttributeFilter,
-    eq,
-    ge,
-    gt,
-    is_in,
-    le,
-    lt,
-    ne,
-)
-from ..errors import ReproError
+from ..broker.relational import AttributeFilter
 from ..ltl.ast import Formula
 from ..ltl.parser import parse
-
-#: Operator spellings a :class:`FilterSpec` condition may use.
-_FILTER_OPS = {
-    "==": eq,
-    "!=": ne,
-    "<": lt,
-    "<=": le,
-    ">": gt,
-    ">=": ge,
-    "in": lambda attr, value: is_in(attr, value),
-}
 
 
 @dataclass(frozen=True)
@@ -52,18 +31,19 @@ class FilterSpec:
     ``conditions`` is a tuple of ``(attribute, op, value)`` triples; the
     ``in`` operator takes a list value.  :meth:`build` materializes the
     equivalent :class:`~repro.broker.relational.AttributeFilter`.
+
+    Since the relational layer's conditions became data
+    (:class:`~repro.broker.relational.AttributeCondition`), this class
+    is a thin adapter over ``AttributeFilter.from_list`` — kept so
+    recorded case artifacts and call sites keep their shape.
     """
 
     conditions: tuple[tuple[str, str, Any], ...] = ()
 
     def build(self) -> AttributeFilter:
-        built = []
-        for attribute, op, value in self.conditions:
-            factory = _FILTER_OPS.get(op)
-            if factory is None:
-                raise ReproError(f"unknown filter operator {op!r}")
-            built.append(factory(attribute, value))
-        return AttributeFilter.where(*built)
+        # BrokerError (raised on an unknown operator) is a ReproError,
+        # so callers' error contract is unchanged.
+        return AttributeFilter.from_list(self.to_list())
 
     def to_list(self) -> list[list[Any]]:
         return [

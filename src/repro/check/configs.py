@@ -10,7 +10,10 @@ The lattice covers both deciders crossed with both index optimizations
 while the others pin the blame), two *encoded* configurations that run
 each decider on the flat int/bitset encoding
 (:mod:`repro.automata.encode`) and must agree with the oracle — and
-therefore with their object-decider twins — bit-for-bit, plus five
+therefore with their object-decider twins — bit-for-bit, two *planner*
+configurations that let the cost-based query planner pick the pipeline
+per query (plans change *time*, never *answers* — docs/DEVELOPMENT.md
+invariant 14 — so these cells are exact), plus five
 *mode* configurations that exercise the serving machinery around the
 deciders: a cache-warm repeat
 (compilation-cache reuse), parallel ``query_many`` (thread-pool fan-out
@@ -50,6 +53,9 @@ class StackConfig:
     ``mode`` selects how the query is executed:
 
     * ``"direct"`` — one plain ``db.query`` call;
+    * ``"planner"`` — one ``db.query`` call with ``use_planner=True``:
+      the cost model chooses the prefilter/projection pipeline per
+      query, and the answer must still match the oracle bit-for-bit;
     * ``"cache_warm"`` — the same query twice on one database; both the
       cold and the warm answer are checked;
     * ``"parallel"`` — ``db.query_many`` with a thread pool;
@@ -109,7 +115,7 @@ def _base_lattice() -> list[StackConfig]:
 
 
 def config_lattice() -> tuple[StackConfig, ...]:
-    """The full default lattice (17 configurations)."""
+    """The full default lattice (19 configurations)."""
     return tuple(
         _base_lattice()
         + [
@@ -120,6 +126,14 @@ def config_lattice() -> tuple[StackConfig, ...]:
                         use_encoded=True),
             StackConfig(name="scc-encoded", algorithm="scc",
                         use_encoded=True),
+            # the cost-based planner picks the pipeline per query; its
+            # choices may differ from every static cell above, but the
+            # answer may not (invariant 14: plans change time, never
+            # answers)
+            StackConfig(name="ndfs-planner", algorithm="ndfs",
+                        mode="planner"),
+            StackConfig(name="scc-planner", algorithm="scc",
+                        mode="planner"),
             StackConfig(name="cache-warm", mode="cache_warm"),
             StackConfig(name="parallel-x2", mode="parallel"),
             StackConfig(name="budget-maybe", mode="budget"),

@@ -177,7 +177,7 @@ class ConformanceRunner:
         profile: a :class:`~repro.check.generators.CheckProfile` or the
             name of one of :data:`~repro.check.generators.PROFILES`.
         configs: the :class:`StackConfig` tuple to sweep (default: the
-            full 17-point lattice).
+            full 19-point lattice).
         artifact_dir: where failure repro artifacts are written
             (``None`` = don't write artifacts).
         shrink: greedily minimize failing cases before reporting.
@@ -318,6 +318,9 @@ class ConformanceRunner:
         if config.mode == "direct":
             outcome = db.query(case.query, options)
             return [("direct", outcome.contract_names, outcome.maybe_names)]
+        if config.mode == "planner":
+            outcome = db.query(case.query, options.evolve(use_planner=True))
+            return [("planner", outcome.contract_names, outcome.maybe_names)]
         if config.mode == "cache_warm":
             cold = db.query(case.query, options)
             warm = db.query(case.query, options)

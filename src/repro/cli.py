@@ -15,8 +15,12 @@ modules exchanging text files:
 * ``contract-broker load``      — load a snapshot and report what was
   restored versus rebuilt (the crash-recovery / cold-start check);
 * ``contract-broker query``     — the runtime module: loads a spec file
-  or a built database and evaluates one or more queries, reporting
-  per-phase statistics;
+  or a built database and evaluates one or more queries (``--query``
+  LTL text or ``--spec`` declarative JSON/YAML query-spec files),
+  reporting per-phase statistics;
+* ``contract-broker explain``   — the cost-based planner's chosen plan
+  for one query: per-stage cost estimates, and (unless ``--no-run``)
+  the actual stage counts observed when the query runs;
 * ``contract-broker monitor``   — the streaming module: replays a JSONL
   event log (or stdin) through the encoded fleet monitor, printing an
   alert whenever a contract is violated or a watch query stops being
@@ -136,14 +140,39 @@ def _build_parser() -> argparse.ArgumentParser:
              "directory",
     )
     query.add_argument("specs", type=Path)
-    query.add_argument("--query", action="append", required=True,
+    query.add_argument("--query", action="append", default=[],
                        dest="queries", help="LTL query (repeatable)")
+    query.add_argument("--spec", action="append", default=[], type=Path,
+                       dest="spec_files",
+                       help="declarative query-spec file, JSON or YAML "
+                            "(repeatable); carries its own filter and "
+                            "options")
+    query.add_argument("--planner", action="store_true",
+                       help="let the cost-based planner pick the "
+                            "pipeline for --query texts")
     query.add_argument("--no-prefilter", action="store_true")
     query.add_argument("--no-projections", action="store_true")
     query.add_argument("--index-depth", type=int, default=2)
     query.add_argument("--projection-cap", type=int, default=2)
     _add_budget_flags(query)
     query.set_defaults(handler=_cmd_query)
+
+    explain = sub.add_parser(
+        "explain",
+        help="show the cost-based plan for one query — per-stage cost "
+             "estimates plus the stage counts actually observed",
+    )
+    explain.add_argument("specs", type=Path,
+                         help="spec file or built database directory")
+    explain.add_argument("--query", default=None, help="LTL query text")
+    explain.add_argument("--spec", type=Path, default=None,
+                         dest="spec_file",
+                         help="declarative query-spec file (JSON/YAML)")
+    explain.add_argument("--no-run", action="store_true",
+                         help="plan only; skip executing the query")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the plan (and actuals) as JSON")
+    explain.set_defaults(handler=_cmd_explain)
 
     mon = sub.add_parser(
         "monitor",
@@ -412,6 +441,10 @@ def _cmd_load(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from .broker.spec import QuerySpec
+
+    if not args.queries and not args.spec_files:
+        raise ReproError("provide at least one --query or --spec")
     config = BrokerConfig(
         use_prefilter=not args.no_prefilter,
         use_projections=not args.no_projections,
@@ -420,11 +453,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     db = _load_or_build_db(args.specs, config)
     options = _budget_options(args)
-    for text in args.queries:
-        outcome = db.query(text, options)
+    if args.planner:
+        options = options.evolve(use_planner=True)
+    runs: list[tuple[str, object]] = [
+        (text, options) for text in args.queries
+    ]
+    for path in args.spec_files:
+        spec = QuerySpec.from_file(path)
+        runs.append((spec.query, spec))
+    for text, request in runs:
+        outcome = db.query(request) if isinstance(request, QuerySpec) \
+            else db.query(text, request)
         s = outcome.stats
         print(f"\nquery: {text}")
         print(f"  matched : {list(outcome.contract_names)}")
+        if s.planned:
+            print(f"  plan    : {s.plan_summary}")
         print(f"  pruning : {s.pruning_condition or '(prefilter off)'}")
         print(f"  phases  : translate {s.translation_seconds * 1000:.1f}ms | "
               f"prefilter {s.prefilter_seconds * 1000:.1f}ms | "
@@ -435,6 +479,55 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"  DEGRADED: {s.timed_out} timed out, "
                   f"{s.skipped} skipped; "
                   f"maybe: {list(outcome.maybe_names)}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .broker.spec import QuerySpec
+
+    if (args.query is None) == (args.spec_file is None):
+        raise ReproError("provide exactly one of --query or --spec")
+    db = _load_or_build_db(args.specs, BrokerConfig())
+    if args.spec_file is not None:
+        qspec = QuerySpec.from_file(args.spec_file)
+    else:
+        qspec = QuerySpec(query=args.query)
+    options = qspec.to_options().evolve(use_planner=True)
+    plan = db.plan_query(qspec.query, options)
+    outcome = None if args.no_run else db.query(qspec.query, options)
+
+    if args.json:
+        doc = {
+            "query": qspec.query,
+            "filter": qspec.filter.to_list(),
+            "plan": plan.to_dict(),
+        }
+        if outcome is not None:
+            s = outcome.stats
+            doc["actual"] = {
+                "database_size": s.database_size,
+                "relational_matches": s.relational_matches,
+                "candidates": s.candidates,
+                "checked": s.checked,
+                "permitted": s.permitted,
+                "stage_order": s.stage_order,
+                "matched": list(outcome.contract_names),
+            }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
+    print(f"query : {qspec.query}")
+    print(f"filter: {qspec.filter}")
+    print(plan.explain())
+    if outcome is not None:
+        s = outcome.stats
+        print("actual:")
+        print(f"  relational matches : {s.relational_matches} "
+              f"of {s.database_size}")
+        print(f"  candidates checked : {s.checked} of {s.candidates}")
+        print(f"  permitted          : {s.permitted} "
+              f"-> {list(outcome.contract_names)}")
+        print(f"  stage order        : {s.stage_order}")
     return 0
 
 

@@ -23,6 +23,7 @@ from ..automata.labels import Label
 
 ContractSet = frozenset
 Lookup = Callable[[Label], ContractSet]
+Frequency = Callable[[Label], float]
 
 
 class Condition:
@@ -34,6 +35,16 @@ class Condition:
         Args:
             lookup: the index's ``S(λ)`` (or superset ``S'(λ)``) function.
             universe: the full set of contract ids (selected by ``TRUE``).
+        """
+        raise NotImplementedError
+
+    def estimate(self, frequency: Frequency) -> float:
+        """Estimated fraction of the database this condition selects.
+
+        ``frequency`` maps a leaf label to ``|S(λ)| / N``; internal
+        nodes combine leaf fractions under an independence assumption
+        (intersections multiply, unions inclusion-exclude).  Used by the
+        cost-based planner — estimates steer plans, never answers.
         """
         raise NotImplementedError
 
@@ -55,6 +66,9 @@ class CondTrue(Condition):
     def evaluate(self, lookup: Lookup, universe: ContractSet) -> ContractSet:
         return universe
 
+    def estimate(self, frequency: Frequency) -> float:
+        return 1.0
+
     def labels(self) -> frozenset[Label]:
         return frozenset()
 
@@ -68,6 +82,9 @@ class CondFalse(Condition):
 
     def evaluate(self, lookup: Lookup, universe: ContractSet) -> ContractSet:
         return frozenset()
+
+    def estimate(self, frequency: Frequency) -> float:
+        return 0.0
 
     def labels(self) -> frozenset[Label]:
         return frozenset()
@@ -88,6 +105,9 @@ class CondLabel(Condition):
 
     def evaluate(self, lookup: Lookup, universe: ContractSet) -> ContractSet:
         return lookup(self.label)
+
+    def estimate(self, frequency: Frequency) -> float:
+        return min(max(frequency(self.label), 0.0), 1.0)
 
     def labels(self) -> frozenset[Label]:
         return frozenset((self.label,))
@@ -121,6 +141,12 @@ class CondAnd(Condition):
                 break
         return result
 
+    def estimate(self, frequency: Frequency) -> float:
+        fraction = 1.0
+        for child in self.children:
+            fraction *= child.estimate(frequency)
+        return fraction
+
     def labels(self) -> frozenset[Label]:
         out: frozenset[Label] = frozenset()
         for child in self.children:
@@ -149,6 +175,12 @@ class CondOr(Condition):
         for child in self.children:
             result = result | child.evaluate(lookup, universe)
         return result
+
+    def estimate(self, frequency: Frequency) -> float:
+        missing = 1.0
+        for child in self.children:
+            missing *= 1.0 - child.estimate(frequency)
+        return 1.0 - missing
 
     def labels(self) -> frozenset[Label]:
         out: frozenset[Label] = frozenset()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations, islice
+from math import comb
 
 from ..automata.buchi import BuchiAutomaton
 from ..automata.labels import Label
@@ -144,6 +145,78 @@ class PrefilterIndex:
             return result
 
         return condition.evaluate(cached_lookup, self.universe)
+
+    def label_frequency(self, label: Label) -> float:
+        """``|S(λ)| / N`` — the fraction of registered contracts the
+        primitive lookup selects (1.0 on an empty index)."""
+        if not self._contracts:
+            return 1.0
+        return len(self.lookup(label)) / len(self._contracts)
+
+    def estimate_selectivity(self, condition: Condition) -> float:
+        """Estimated fraction of the database ``condition`` selects.
+
+        Purely structural: only per-label posting sizes are probed
+        (memoized for the walk) and combined under an independence
+        assumption — no candidate sets are intersected, so planning a
+        query costs far less than evaluating its condition.  The
+        cost-based planner uses this to decide whether evaluating the
+        condition for real is worth it; estimates steer plans, never
+        answers.
+        """
+        cache: dict[Label, float] = {}
+
+        def cached_frequency(label: Label) -> float:
+            result = cache.get(label)
+            if result is None:
+                result = self.label_frequency(label)
+                cache[label] = result
+            return result
+
+        return condition.estimate(cached_frequency)
+
+    def estimate_probe_cost(self, condition: Condition) -> int:
+        """Number of primitive set operations evaluating ``condition``
+        would perform: one trie walk per distinct short label, one
+        posting-list intersection per subset probe for labels beyond the
+        depth cap (the expensive case — a ``k``-combination sweep capped
+        at ``_MAX_SUBSET_PROBES``), and one set-algebra step per node of
+        the *expanded* condition tree — evaluation revisits shared
+        subtrees on every occurrence (only label lookups are memoized),
+        so the expanded size is the honest measure, computed in time
+        linear in the number of distinct nodes via memoized subtree
+        sizes.  Purely structural, like :meth:`estimate_selectivity`:
+        nothing is looked up, so the cost-based planner can price a
+        probe without paying for one.
+        """
+        depth = self._trie.depth
+        ops = 0
+        for label in condition.labels():
+            literals = len(label.literals)
+            if literals <= depth:
+                ops += 1
+            else:
+                ops += min(comb(literals, depth), _MAX_SUBSET_PROBES)
+        # expanded tree size, iteratively (Algorithm 1's trees get deep)
+        sizes: dict[int, int] = {}
+        stack: list[tuple[Condition, bool]] = [(condition, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in sizes and not expanded:
+                continue
+            children = getattr(node, "children", ())
+            if expanded or not children:
+                sizes[id(node)] = 1 + sum(
+                    sizes[id(child)] for child in children
+                )
+            else:
+                stack.append((node, True))
+                stack.extend(
+                    (child, False)
+                    for child in children
+                    if id(child) not in sizes
+                )
+        return ops + sizes[id(condition)]
 
     # -- serialization -----------------------------------------------------------------
 

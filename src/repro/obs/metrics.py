@@ -48,6 +48,12 @@ COUNT_BUCKETS: tuple[float, ...] = (
     0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
 )
 
+#: Log-spaced buckets for the planner's abstract cost estimates (units
+#: of one attribute compare; see :class:`repro.broker.planner.CostModel`).
+COST_BUCKETS: tuple[float, ...] = (
+    10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+)
+
 
 class Counter:
     """A monotonically increasing counter.

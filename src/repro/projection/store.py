@@ -404,6 +404,16 @@ class ProjectionStore:
     def num_distinct_partitions(self) -> int:
         return len(self._partitions)
 
+    @property
+    def min_block_count(self) -> int:
+        """The smallest stored quotient's block count — the best case a
+        query can select here, the cheap cardinality stat the cost-based
+        planner aggregates (the full automaton's size when nothing is
+        stored)."""
+        if not self._block_counts:
+            return self.ba.num_states
+        return min(self._block_counts)
+
     def partition_for(self, subset: frozenset[Literal]) -> list[frozenset]:
         """The stored bisimilar-state classes for one subset (for tests
         and introspection)."""

@@ -14,7 +14,7 @@ from repro.workload.generator import WorkloadGenerator
 
 ARTIFACT_FILES = [
     "automata.json", "seeds.json", "encoded.json", "projections.json",
-    "index.json",
+    "index.json", "stats.json",
 ]
 
 

@@ -1,8 +1,17 @@
 """Unit tests for the relational pre-selection substrate."""
 
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.broker.relational import (
     MATCH_ALL,
+    AttributeCondition,
     AttributeFilter,
+    OpaqueCondition,
+    condition_from_doc,
     contains,
     eq,
     ge,
@@ -12,6 +21,7 @@ from repro.broker.relational import (
     lt,
     ne,
 )
+from repro.errors import BrokerError
 
 ATTRS = {
     "price": 420,
@@ -76,3 +86,156 @@ class TestFilter:
         assert "AND" not in str(f)
         f2 = AttributeFilter.where(le("price", 500), eq("airline", "U"))
         assert "AND" in str(f2)
+
+
+_scalars = st.one_of(
+    st.integers(-10_000, 10_000),
+    st.text(max_size=8),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.none(),
+)
+
+_conditions = st.one_of(
+    st.builds(
+        AttributeCondition,
+        st.text(min_size=1, max_size=6),
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">=", "contains"]),
+        _scalars,
+    ),
+    st.builds(
+        is_in,
+        st.text(min_size=1, max_size=6),
+        st.lists(_scalars, min_size=1, max_size=4),
+    ),
+)
+
+
+class TestConditionAST:
+    def test_condition_is_data(self):
+        c = le("price", 500)
+        assert (c.attribute, c.op, c.value) == ("price", "<=", 500)
+        assert c.estimable
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(BrokerError):
+            AttributeCondition("price", "=~", 5)
+
+    def test_in_rejects_scalar_string(self):
+        with pytest.raises(BrokerError):
+            AttributeCondition("route", "in", "SAN-NYC")
+
+    def test_in_value_normalized(self):
+        a = is_in("route", ["B", "A", "B"])
+        b = is_in("route", ("A", "B"))
+        assert a == b
+        assert a.cache_key() == b.cache_key()
+
+    def test_to_dict_from_dict_round_trip(self):
+        c = is_in("route", ["SAN-NYC", "LAX-SEA"])
+        doc = json.loads(json.dumps(c.to_dict()))
+        assert AttributeCondition.from_dict(doc) == c
+
+    def test_from_dict_missing_keys_rejected(self):
+        with pytest.raises(BrokerError):
+            AttributeCondition.from_dict({"attribute": "price"})
+
+    def test_condition_from_doc_accepts_triple_and_mapping(self):
+        triple = condition_from_doc(["price", "<=", 500])
+        mapping = condition_from_doc(
+            {"attribute": "price", "op": "<=", "value": 500}
+        )
+        assert triple == mapping == le("price", 500)
+        with pytest.raises(BrokerError):
+            condition_from_doc(["price", "<="])
+        with pytest.raises(BrokerError):
+            condition_from_doc(42)
+
+    def test_equality_and_hash(self):
+        assert le("price", 500) == le("price", 500)
+        assert hash(le("price", 500)) == hash(le("price", 500))
+        assert le("price", 500) != le("price", 501)
+        assert le("price", 500) != lt("price", 500)
+
+    @given(condition=_conditions)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_through_json(self, condition):
+        doc = json.loads(json.dumps(condition.to_dict()))
+        restored = AttributeCondition.from_dict(doc)
+        assert restored == condition
+        assert restored.cache_key() == condition.cache_key()
+
+
+class TestLegacyShim:
+    def test_legacy_construction_warns_and_evaluates(self):
+        with pytest.warns(DeprecationWarning):
+            c = AttributeCondition(
+                "price", "<= 500", lambda price: price <= 500
+            )
+        assert isinstance(c, OpaqueCondition)
+        assert c.matches(ATTRS)
+        assert not c.matches({"price": 900})
+        assert not c.matches({})
+
+    def test_legacy_keyword_construction_warns(self):
+        with pytest.warns(DeprecationWarning):
+            c = AttributeCondition(
+                "price", description="cheap",
+                predicate=lambda price: price < 100,
+            )
+        assert isinstance(c, OpaqueCondition)
+        assert "cheap" in str(c)
+
+    def test_opaque_is_opaque(self):
+        with pytest.warns(DeprecationWarning):
+            c = AttributeCondition("price", "any", lambda _: True)
+        assert not c.estimable
+        assert c.cache_key() is None
+        with pytest.raises(BrokerError):
+            c.to_dict()
+
+    def test_opaque_identity_equality(self):
+        with pytest.warns(DeprecationWarning):
+            a = AttributeCondition("p", "x", lambda _: True)
+        with pytest.warns(DeprecationWarning):
+            b = AttributeCondition("p", "x", lambda _: True)
+        assert a == a
+        assert a != b
+        assert a != eq("p", "x")
+        assert eq("p", "x") != a
+
+    def test_type_error_in_predicate_is_no_match(self):
+        with pytest.warns(DeprecationWarning):
+            c = AttributeCondition("price", "half", lambda v: v / 2 > 10)
+        assert not c.matches({"price": "not-a-number"})
+
+
+class TestFilterSerialization:
+    def test_to_list_from_list_round_trip(self):
+        f = AttributeFilter.where(
+            le("price", 500), is_in("route", ["A", "B"])
+        )
+        restored = AttributeFilter.from_list(
+            json.loads(json.dumps(f.to_list()))
+        )
+        assert restored == f
+        assert restored.cache_key() == f.cache_key()
+
+    def test_distinct_filters_have_distinct_cache_keys(self):
+        pairs = [
+            AttributeFilter.where(le("price", 500)),
+            AttributeFilter.where(le("price", 501)),
+            AttributeFilter.where(lt("price", 500)),
+            AttributeFilter.where(le("cost", 500)),
+            AttributeFilter.where(le("price", 500), eq("route", "X")),
+            MATCH_ALL,
+        ]
+        keys = [f.cache_key() for f in pairs]
+        assert len(set(keys)) == len(keys)
+
+    def test_opaque_member_poisons_cache_key(self):
+        with pytest.warns(DeprecationWarning):
+            opaque = AttributeCondition("price", "any", lambda _: True)
+        f = AttributeFilter.where(le("price", 500), opaque)
+        assert f.cache_key() is None
+        assert not f.estimable

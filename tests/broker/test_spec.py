@@ -1,0 +1,216 @@
+"""The declarative query API: QuerySpec documents, validation, file
+loading, and execution through ``db.query(spec)``."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker.database import ContractDatabase
+from repro.broker.options import Degradation, QueryOptions
+from repro.broker.relational import AttributeFilter, eq, is_in, le
+from repro.broker.spec import QuerySpec
+from repro.errors import BrokerError
+
+
+class TestFromDict:
+    def test_minimal(self):
+        spec = QuerySpec.from_dict({"query": "F refund"})
+        assert spec.query == "F refund"
+        assert not spec.filter.conditions
+        assert spec.options == QueryOptions()
+
+    def test_full_document(self):
+        spec = QuerySpec.from_dict({
+            "query": "F refund",
+            "filter": [
+                ["price", "<=", 500],
+                {"attribute": "route", "op": "==", "value": "SAN-NYC"},
+            ],
+            "options": {"use_planner": True, "deadline_seconds": 0.5,
+                        "degradation": "drop"},
+        })
+        assert spec.filter == AttributeFilter.where(
+            le("price", 500), eq("route", "SAN-NYC")
+        )
+        assert spec.options.use_planner
+        assert spec.options.deadline_seconds == 0.5
+        assert spec.options.degradation is Degradation.DROP
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(BrokerError):
+            QuerySpec.from_dict({"query": "F a", "fliter": []})
+
+    def test_missing_or_empty_query_rejected(self):
+        with pytest.raises(BrokerError):
+            QuerySpec.from_dict({})
+        with pytest.raises(BrokerError):
+            QuerySpec.from_dict({"query": "   "})
+        with pytest.raises(BrokerError):
+            QuerySpec.from_dict(["F a"])
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(BrokerError):
+            QuerySpec.from_dict(
+                {"query": "F a", "options": {"use_plannner": True}}
+            )
+
+    def test_invalid_option_value_rejected(self):
+        with pytest.raises(BrokerError):
+            QuerySpec.from_dict(
+                {"query": "F a", "options": {"workers": 0}}
+            )
+        with pytest.raises(BrokerError):
+            QuerySpec.from_dict(
+                {"query": "F a", "options": {"degradation": "explode"}}
+            )
+
+    def test_bad_filter_rejected(self):
+        with pytest.raises(BrokerError):
+            QuerySpec.from_dict(
+                {"query": "F a", "filter": [["price", "=~", 5]]}
+            )
+
+
+class TestFiles:
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "query": "F refund",
+            "filter": [["price", "<=", 500]],
+        }), encoding="utf-8")
+        spec = QuerySpec.from_file(path)
+        assert spec.query == "F refund"
+        assert spec.filter == AttributeFilter.where(le("price", 500))
+
+    def test_missing_file_raises_broker_error(self, tmp_path):
+        with pytest.raises(BrokerError):
+            QuerySpec.from_file(tmp_path / "nope.json")
+
+    def test_malformed_json_raises_broker_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BrokerError):
+            QuerySpec.from_file(path)
+
+    def test_yaml_file(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "spec.yaml"
+        path.write_text(
+            yaml.safe_dump({"query": "F refund",
+                            "filter": [["price", "<=", 500]]}),
+            encoding="utf-8",
+        )
+        spec = QuerySpec.from_file(path)
+        assert spec.filter == AttributeFilter.where(le("price", 500))
+
+
+class TestExecution:
+    @pytest.fixture()
+    def db(self):
+        db = ContractDatabase()
+        db.register("cheap", ["G(a -> F b)"], attributes={"price": 100})
+        db.register("pricey", ["G(a -> F b)"], attributes={"price": 900})
+        return db
+
+    def test_query_accepts_spec(self, db):
+        spec = QuerySpec.from_dict({
+            "query": "F a",
+            "filter": [["price", "<=", 500]],
+        })
+        outcome = db.query(spec)
+        assert outcome.contract_names == ("cheap",)
+
+    def test_spec_equals_explicit_options(self, db):
+        spec = QuerySpec.from_dict({
+            "query": "F a",
+            "filter": [["price", "<=", 500]],
+            "options": {"use_planner": True},
+        })
+        explicit = db.query("F a", QueryOptions(
+            attribute_filter=AttributeFilter.where(le("price", 500)),
+            use_planner=True,
+        ))
+        assert db.query(spec).contract_names == explicit.contract_names
+
+    def test_spec_with_extra_options_rejected(self, db):
+        spec = QuerySpec.from_dict({"query": "F a"})
+        with pytest.raises(TypeError):
+            db.query(spec, QueryOptions())
+        with pytest.raises(TypeError):
+            db.plan_query(spec, QueryOptions())
+
+    def test_plan_query_accepts_spec(self, db):
+        spec = QuerySpec.from_dict({
+            "query": "F a",
+            "filter": [["price", "<=", 500]],
+        })
+        plan = db.plan_query(spec)
+        assert plan.to_dict()["stages"]
+        assert "attribute-filter" in plan.explain()
+
+
+_scalars = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(max_size=6),
+    st.booleans(),
+    st.none(),
+)
+
+_filter_items = st.one_of(
+    st.tuples(
+        st.text(min_size=1, max_size=6),
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">=", "contains"]),
+        _scalars,
+    ).map(list),
+    st.tuples(
+        st.text(min_size=1, max_size=6),
+        st.just("in"),
+        st.lists(_scalars, min_size=1, max_size=3),
+    ).map(list),
+)
+
+_option_docs = st.fixed_dictionaries({}, optional={
+    "use_prefilter": st.booleans(),
+    "use_projections": st.booleans(),
+    "use_encoded": st.booleans(),
+    "use_planner": st.booleans(),
+    "stage_order": st.sampled_from(["attr_first", "prefilter_first"]),
+    "explain": st.booleans(),
+    "deadline_seconds": st.floats(0.001, 10.0),
+    "step_budget": st.integers(1, 10_000),
+    "workers": st.integers(1, 8),
+    "degradation": st.sampled_from([d.value for d in Degradation]),
+})
+
+_spec_docs = st.builds(
+    lambda query, flt, options: {
+        "query": query,
+        **({"filter": flt} if flt else {}),
+        **({"options": options} if options else {}),
+    },
+    query=st.text(min_size=1, max_size=20).filter(lambda s: s.strip()),
+    flt=st.lists(_filter_items, max_size=3),
+    options=_option_docs,
+)
+
+
+class TestRoundTrip:
+    def test_to_dict_emits_only_non_defaults(self):
+        spec = QuerySpec.from_dict({"query": "F a"})
+        assert spec.to_dict() == {"query": "F a"}
+
+    @given(doc=_spec_docs)
+    @settings(max_examples=100, deadline=None)
+    def test_spec_round_trips_through_json(self, doc):
+        spec = QuerySpec.from_dict(doc)
+        wire = json.loads(json.dumps(spec.to_dict()))
+        assert QuerySpec.from_dict(wire) == spec
+
+    def test_round_trip_preserves_membership_filter(self):
+        spec = QuerySpec(
+            query="F a",
+            filter=AttributeFilter.where(is_in("route", ["B", "A"])),
+        )
+        assert QuerySpec.from_dict(spec.to_dict()) == spec

@@ -128,6 +128,60 @@ class TestSoundness:
             assert 0 in index.candidates(query_ba)
 
 
+class TestProbeCostEstimate:
+    """The structural probe-cost estimate the cost-based planner prices
+    index evaluation with."""
+
+    def test_short_label_costs_one_walk(self):
+        from repro.index.condition import CondLabel
+
+        index = PrefilterIndex(depth=2)
+        assert index.estimate_probe_cost(
+            CondLabel(Label.parse("refund"))
+        ) == 2  # one trie walk + the leaf itself
+
+    def test_long_label_fans_out_into_subset_probes(self):
+        from math import comb
+
+        from repro.index.condition import CondLabel
+
+        index = PrefilterIndex(depth=2)
+        label = Label.parse("!a & !b & !c & !d & !e")
+        cost = index.estimate_probe_cost(CondLabel(label))
+        assert cost == comb(5, 2) + 1
+
+    def test_shared_subtrees_count_per_occurrence(self):
+        from repro.index.condition import CondLabel, CondOr, make_and
+
+        index = PrefilterIndex(depth=2)
+        leaf = CondLabel(Label.parse("refund"))
+        shared = CondOr((leaf, CondLabel(Label.parse("use"))))
+        # evaluation revisits ``shared`` once per occurrence (only label
+        # lookups are memoized), so doubling the occurrences must raise
+        # the estimate even though no new distinct node appears
+        once = index.estimate_probe_cost(make_and([shared, leaf]))
+        twice = index.estimate_probe_cost(
+            make_and([shared, CondOr((shared, leaf))])
+        )
+        assert twice > once
+
+    def test_planner_prices_wide_conditions_off(self, airfare_contracts):
+        # end to end: the wider a condition, the costlier the estimate
+        index = PrefilterIndex(depth=2)
+        for c in airfare_contracts.values():
+            index.add_contract(c.contract_id, c.ba, c.vocabulary)
+        from repro.index.pruning import pruning_condition
+
+        narrow = pruning_condition(translate(parse("F refund")))
+        wide = pruning_condition(translate(parse(
+            "F(missedFlight && F(refund || dateChange)) && "
+            "G(use -> !F refund) && F(dateChange && F use)"
+        )))
+        assert index.estimate_probe_cost(wide) > index.estimate_probe_cost(
+            narrow
+        )
+
+
 class TestSerialization:
     def test_round_trip_preserves_candidates(self, airfare_contracts):
         import json
