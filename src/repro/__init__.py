@@ -13,6 +13,8 @@ declarative LTL clauses over a common event vocabulary:
 * :mod:`repro.broker` — the end-to-end contract database;
 * :mod:`repro.stream` — fleet-scale streaming monitoring over encoded
   frontiers, with watch queries and alerts;
+* :mod:`repro.dist` — sharded serving: jump-consistent-hash placement,
+  a fan-out/merge coordinator, and journal-shipping read replicas;
 * :mod:`repro.workload` — the synthetic workload generator (§7.2);
 * :mod:`repro.bench` — the harness regenerating the paper's tables and
   figures.
@@ -50,11 +52,12 @@ from .broker import (
     register_many,
 )
 from .core import Deadline, ExecutionBudget, StepBudget, find_witness, permits
+from .dist import DistributedDatabase, LocalCluster, Replica
 from .errors import ReproError
 from .ltl import Formula, Run, parse, satisfies
 from .stream import Alert, FleetMonitor, MonitorOptions, MonitorStatus
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AttributeFilter",
@@ -85,5 +88,8 @@ __all__ = [
     "FleetMonitor",
     "MonitorOptions",
     "MonitorStatus",
+    "DistributedDatabase",
+    "LocalCluster",
+    "Replica",
     "__version__",
 ]

@@ -75,6 +75,32 @@ class JournalRecord:
     data: dict
 
 
+@dataclass(frozen=True)
+class JournalTail:
+    """What :meth:`Journal.read_from` observed past a byte offset.
+
+    ``end_offset`` is the position just past the last *verified* record
+    — the next ``read_from`` call should resume there.  ``torn`` means
+    bytes past ``end_offset`` failed verification (most often a record
+    the writer had not finished flushing); a reader must stop before
+    them and retry from ``end_offset`` later, never consume them.
+    """
+
+    #: verified mutation records in order (the header is not included)
+    records: tuple[JournalRecord, ...]
+    #: the byte offset the read started at
+    start_offset: int
+    #: the offset just past the last verified record
+    end_offset: int
+    #: the header record's epoch, when the read started at offset 0
+    #: (``None`` otherwise — the header lives at the head of the file)
+    epoch: int | None
+    #: whether unverifiable bytes follow ``end_offset``
+    torn: bool
+    #: the file size at read time
+    file_size: int
+
+
 @dataclass
 class JournalReplayReport:
     """What :func:`open_database` replayed versus discarded.
@@ -223,6 +249,91 @@ class Journal:
         if ck != _checksum({"seq": seq, "op": op, "data": data}):
             return None
         return JournalRecord(seq=seq, op=op, data=data)
+
+    # -- reader-side tailing ----------------------------------------------------------
+
+    @classmethod
+    def read_from(cls, path: str | Path, offset: int = 0, *,
+                  expected_seq: int | None = None) -> JournalTail:
+        """Read verified records starting at byte ``offset`` — the
+        replication tail API.
+
+        Unlike :meth:`open`, this **never mutates the file**: it is safe
+        against a journal another process is actively appending to.  A
+        torn last record (partially flushed by the writer, or cut by a
+        crash) simply is not consumed — ``end_offset`` stops before it
+        and ``torn`` is set, so the reader resumes from the same place
+        once the writer completes (or heals) the record.
+
+        ``expected_seq`` pins the sequence number the first record must
+        carry (a replica passes its cursor's next sequence); ``None``
+        accepts whatever contiguous run starts at ``offset``.  When the
+        read starts at offset 0, the header record is consumed (not
+        returned) and its epoch is reported on :attr:`JournalTail.epoch`.
+        """
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return JournalTail(
+                records=(), start_offset=offset, end_offset=offset,
+                epoch=None, torn=False, file_size=0,
+            )
+        offset = max(0, min(offset, len(raw)))
+        epoch: int | None = None
+        records: list[JournalRecord] = []
+        position = offset
+        good = offset
+        torn = False
+        for line in raw[offset:].split(b"\n"):
+            line_span = len(line) + 1
+            if not line:
+                position += line_span
+                if position <= len(raw):
+                    good = position
+                continue
+            if position + len(line) >= len(raw) and not raw.endswith(b"\n"):
+                torn = True  # unterminated final line: mid-flush
+                break
+            record = cls._decode(line)
+            if record is None:
+                torn = True
+                break
+            if record.op == "open" and position == 0:
+                epoch = int(record.data.get("epoch", 0))
+                expected_seq = record.seq + 1
+            else:
+                if expected_seq is not None and record.seq != expected_seq:
+                    torn = True
+                    break
+                expected_seq = record.seq + 1
+                records.append(record)
+            position += line_span
+            good = position
+        return JournalTail(
+            records=tuple(records), start_offset=offset, end_offset=good,
+            epoch=epoch, torn=torn, file_size=len(raw),
+        )
+
+    @classmethod
+    def read_header_epoch(cls, path: str | Path) -> int | None:
+        """The header record's epoch, without reading the whole file
+        (``None`` when the file is missing or its header is torn).
+        Replicas poll this to detect a leader compaction — the epoch
+        bump that invalidates their byte cursor."""
+        path = Path(path)
+        try:
+            with open(path, "rb") as fh:
+                head = fh.read(65536)
+        except OSError:
+            return None
+        newline = head.find(b"\n")
+        if newline < 0:
+            return None
+        record = cls._decode(head[:newline])
+        if record is None or record.op != "open":
+            return None
+        return int(record.data.get("epoch", 0))
 
     # -- appending --------------------------------------------------------------------
 

@@ -13,6 +13,12 @@ verifies the documented recovery property:
   acknowledged mutations is cut at byte boundaries; every cut must
   recover a prefix-consistent database that reconverges to the full
   state once the lost tail is re-applied (the kill-9 property);
+* ``replication-truncation`` — the same byte-boundary cuts observed
+  from the *read side*: a journal-shipping replica
+  (:mod:`repro.dist.replica`) catching up over each torn journal must
+  hold a consistent prefix, must never mutate the leader's file, and
+  must reconverge through a snapshot re-sync once the leader heals and
+  compacts (epoch bump);
 * ``quarantine`` — a batch with poison pills (unparseable clauses, a
   state-budget blowout) must register every healthy spec, quarantine
   the pills with their exceptions, and recover them via
@@ -225,6 +231,85 @@ def _journal_truncation_drill(mutations: int = DEFAULT_MUTATIONS,
     ), checks
 
 
+def _replication_drill(mutations: int = DEFAULT_MUTATIONS,
+                       stride: int = 1):
+    """A replica catching up over a torn leader journal must hold a
+    prefix of the acknowledged history, must never mutate the leader's
+    file, and must reconverge to the full state once the leader heals
+    and compacts (epoch bump → snapshot re-sync)."""
+    from ..broker.journal import JOURNAL_FILE, open_database
+    from ..broker.persist import save_database
+    from ..dist.replica import Replica
+
+    checks = 0
+    cuts = 0
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        source = Path(tmp) / "source"
+        db = open_database(source)
+        specs = [_spec(i) for i in range(mutations)]
+        for spec in specs:
+            db.register(spec)
+        full = _names(db)
+        raw = (source / JOURNAL_FILE).read_bytes()
+        header_end = raw.index(b"\n") + 1
+        compacted: set[int] = set()
+        for cut in range(header_end, len(raw) + 1, max(stride, 1)):
+            cuts += 1
+            trial = Path(tmp) / f"cut-{cut}"
+            trial.mkdir()
+            journal_path = trial / JOURNAL_FILE
+            journal_path.write_bytes(raw[:cut])
+            replica = Replica(trial)
+            replica.poll()
+            got = _names(replica.db)
+            checks += 1
+            # prefix consistency: mid-flush bytes are simply not
+            # consumed, so the replica holds the first k mutations
+            if got != full[: len(got)]:
+                return False, (
+                    f"cut at byte {cut}: replica state {got} is not a "
+                    f"prefix of {full}"
+                ), checks
+            # a reader must never heal (truncate) the leader's file
+            checks += 1
+            if journal_path.read_bytes() != raw[:cut]:
+                return False, (
+                    f"cut at byte {cut}: the replica mutated the "
+                    "leader's journal"
+                ), checks
+            # reconvergence is a pure function of the surviving prefix
+            # length: exercise the leader-compacts path once per length
+            if len(got) in compacted:
+                continue
+            compacted.add(len(got))
+            # the leader restarts on the torn journal (healing it),
+            # re-applies the lost mutations, and compacts: snapshot +
+            # epoch bump — the replica's byte cursor is now meaningless
+            leader = open_database(trial)
+            for spec in specs[len(_names(leader)):]:
+                leader.register(spec)
+            leader.dirty = True
+            save_database(leader, trial)
+            report = replica.catch_up(timeout=30)
+            checks += 2
+            if not report.resynced:
+                return False, (
+                    f"cut at byte {cut}: the replica did not re-sync "
+                    "from the snapshot after the epoch bump"
+                ), checks
+            if _names(replica.db) != full:
+                return False, (
+                    f"cut at byte {cut}: replica reconverged to "
+                    f"{_names(replica.db)} != {full}"
+                ), checks
+    return True, (
+        f"replica tailed {cuts} torn-journal cuts: every cut held a "
+        "consistent prefix without touching the leader's file, and "
+        f"every distinct prefix ({len(compacted)}) re-synced to the "
+        "full state after the leader compacted"
+    ), checks
+
+
 def _quarantine_drill():
     """Poison pills must not take the batch down, and must be
     recoverable once the cause is fixed."""
@@ -282,6 +367,10 @@ def run_chaos_drills(
     report.results.append(_drill(
         "journal-truncation",
         lambda: _journal_truncation_drill(mutations, stride),
+    ))
+    report.results.append(_drill(
+        "replication-truncation",
+        lambda: _replication_drill(mutations, stride),
     ))
     report.results.append(_drill("quarantine", _quarantine_drill))
     return report

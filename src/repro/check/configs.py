@@ -31,6 +31,15 @@ verdict transcripts (status, watch-query satisfiability, violation
 index, unknown-event count) must match character for character —
 invariant 13.  ``monitor-unknown`` salts the trace with events outside
 every vocabulary to pin the unknown-event accounting.
+
+Two *distributed* cells close the lattice at 21: ``sharded`` registers
+every contract through a 3-shard coordinator
+(:mod:`repro.dist`) and the merged fan-out answer must match the
+single-node oracle bit-for-bit, and ``replicated`` ships the leader's
+write-ahead journal to a read replica across a mid-stream compaction
+(epoch bump → snapshot re-sync) and both the leader's and the
+caught-up replica's answers must match the oracle — invariant 15:
+distribution changes placement, never answers.
 """
 
 from __future__ import annotations
@@ -71,7 +80,14 @@ class StackConfig:
       object monitor's per-prefix verdict transcript on the same trace
       (the case query doubles as the watch query);
     * ``"monitor_unknown"`` — the same, with out-of-vocabulary events
-      salted into the trace (exercises unknown-event accounting).
+      salted into the trace (exercises unknown-event accounting);
+    * ``"sharded"`` — register through a 3-shard
+      :class:`~repro.dist.cluster.LocalCluster` coordinator and query
+      through the fan-out/merge path;
+    * ``"replicated"`` — register against a journaled leader with a
+      mid-stream snapshot+compaction, catch a journal-shipping replica
+      up across the epoch bump, and check the leader's and the
+      replica's answers.
     """
 
     name: str
@@ -115,7 +131,7 @@ def _base_lattice() -> list[StackConfig]:
 
 
 def config_lattice() -> tuple[StackConfig, ...]:
-    """The full default lattice (19 configurations)."""
+    """The full default lattice (21 configurations)."""
     return tuple(
         _base_lattice()
         + [
@@ -149,6 +165,10 @@ def config_lattice() -> tuple[StackConfig, ...]:
                         use_encoded=True),
             StackConfig(name="monitor-unknown", mode="monitor_unknown",
                         use_encoded=True),
+            # the distributed deployment vs the single node (invariant
+            # 15: distribution changes placement, never answers)
+            StackConfig(name="sharded", mode="sharded"),
+            StackConfig(name="replicated", mode="replicated"),
         ]
     )
 

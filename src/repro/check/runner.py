@@ -55,6 +55,9 @@ MONITOR_TRACE_LENGTH = 6
 #: the ``monitor_unknown`` trace.
 MONITOR_ALIEN_EVENTS = ("zz-alpha", "zz-beta")
 
+#: How many shards the ``sharded`` conformance cell spreads a case over.
+SHARDED_CELL_SHARDS = 3
+
 
 def _transcript(
     name: str,
@@ -177,7 +180,7 @@ class ConformanceRunner:
         profile: a :class:`~repro.check.generators.CheckProfile` or the
             name of one of :data:`~repro.check.generators.PROFILES`.
         configs: the :class:`StackConfig` tuple to sweep (default: the
-            full 19-point lattice).
+            full 21-point lattice).
         artifact_dir: where failure repro artifacts are written
             (``None`` = don't write artifacts).
         shrink: greedily minimize failing cases before reporting.
@@ -314,6 +317,10 @@ class ConformanceRunner:
                 )
                 outcome = recovered.query(case.query, options)
             return [("journal", outcome.contract_names, outcome.maybe_names)]
+        if config.mode == "sharded":
+            return self._run_sharded(case, specs, config)
+        if config.mode == "replicated":
+            return self._run_replicated(case, specs, bas, config)
         db = self._build_db(specs, bas, config)
         if config.mode == "direct":
             outcome = db.query(case.query, options)
@@ -355,6 +362,68 @@ class ConformanceRunner:
                 ("roundtrip", outcome.contract_names, outcome.maybe_names)
             ]
         raise ReproError(f"unknown configuration mode {config.mode!r}")
+
+    def _run_sharded(self, case: CheckCase, specs, config: StackConfig):
+        """The ``sharded`` cell: every contract registered through a
+        3-shard coordinator, the query answered by fan-out + merge.
+        Contracts ship as clause text over the wire (each shard
+        re-translates deterministically), so this exercises the whole
+        placement → protocol → merge path."""
+        from ..dist import LocalCluster
+
+        options = QueryOptions(attribute_filter=case.filter.build())
+        with LocalCluster(
+            SHARDED_CELL_SHARDS, config=config.broker_config()
+        ) as cluster:
+            db = cluster.database()
+            try:
+                for spec in specs:
+                    db.register(
+                        spec.name,
+                        [str(clause) for clause in spec.clauses],
+                        dict(spec.attributes),
+                    )
+                outcome = db.query(case.query, options)
+            finally:
+                db.close()
+        return [("sharded", outcome.contract_names, outcome.maybe_names)]
+
+    def _run_replicated(self, case: CheckCase, specs, bas,
+                        config: StackConfig):
+        """The ``replicated`` cell: a journaled leader with a mid-stream
+        snapshot+compaction, and a journal-shipping replica that must
+        survive the epoch bump (snapshot re-sync) and then answer
+        exactly like the leader — which must answer like the oracle."""
+        from ..broker.journal import open_database
+        from ..broker.persist import save_database
+        from ..dist.replica import Replica
+
+        options = QueryOptions(attribute_filter=case.filter.build())
+        with tempfile.TemporaryDirectory(prefix="repro-check-") as directory:
+            leader = open_database(directory, config=config.broker_config())
+            half = (len(specs) + 1) // 2
+            for spec in specs[:half]:
+                leader.register(
+                    spec, prebuilt=PrebuiltArtifacts(ba=bas[spec.name])
+                )
+            replica = Replica(directory, config=config.broker_config())
+            replica.poll()  # catches the pre-compaction journal tail
+            # snapshot + compact bumps the epoch: the replica's byte
+            # cursor dies and it must re-sync from the snapshot
+            save_database(leader, directory)
+            for spec in specs[half:]:
+                leader.register(
+                    spec, prebuilt=PrebuiltArtifacts(ba=bas[spec.name])
+                )
+            replica.catch_up()
+            leader_outcome = leader.query(case.query, options)
+            replica_outcome = replica.query(case.query, options)
+        return [
+            ("leader", leader_outcome.contract_names,
+             leader_outcome.maybe_names),
+            ("replica", replica_outcome.contract_names,
+             replica_outcome.maybe_names),
+        ]
 
     # -- monitor cells ----------------------------------------------------------------
 

@@ -31,6 +31,13 @@ modules exchanging text files:
   repeated and in parallel) and print the broker's aggregate metrics:
   compilation-cache hit rate, per-stage latency histograms, pruning
   distributions;
+* ``contract-broker serve``     — the distributed deployment: N shard
+  servers on loopback sockets (threads or processes), optionally
+  seeded from a spec file, with the address list written to a port
+  file other commands and clients can pick up;
+* ``contract-broker shard-status`` — interrogate running shard servers
+  over the wire protocol: contracts held, journal epoch/size, op
+  counters;
 * ``contract-broker demo``      — the airfare running example end to end.
 
 Spec-file format: a JSON list of ``{"name": ..., "clauses": [LTL, ...],
@@ -232,6 +239,45 @@ def _build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--limit", type=int, default=64,
                       help="behavior-enumeration bound")
     comp.set_defaults(handler=_cmd_compare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a sharded broker cluster on loopback sockets "
+             "(journal-backed when --directory is given)",
+    )
+    serve.add_argument("--shards", type=int, default=3,
+                       help="number of shard servers")
+    serve.add_argument("--directory", type=Path, default=None,
+                       help="root directory; each shard journals under "
+                            "shard-N/ (omit for memory-only shards)")
+    serve.add_argument("--specs", type=Path, default=None,
+                       help="spec file to register across the shards at "
+                            "startup")
+    serve.add_argument("--mode", choices=["thread", "process"],
+                       default="thread",
+                       help="shard isolation: in-process threads or "
+                            "spawned processes")
+    serve.add_argument("--port-file", type=Path, default=None,
+                       help="write the shard address list here as JSON "
+                            "(what shard-status --port-file reads)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds then exit "
+                            "(default: until interrupted)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    shst = sub.add_parser(
+        "shard-status",
+        help="query running shard servers for contracts held, journal "
+             "epoch, and op counters",
+    )
+    shst.add_argument("--address", action="append", default=[],
+                      dest="addresses", metavar="HOST:PORT",
+                      help="shard address (repeatable)")
+    shst.add_argument("--port-file", type=Path, default=None,
+                      help="JSON address list written by serve")
+    shst.add_argument("--json", action="store_true",
+                      help="emit the per-shard status documents as JSON")
+    shst.set_defaults(handler=_cmd_shard_status)
 
     demo = sub.add_parser("demo", help="run the airfare running example")
     demo.set_defaults(handler=_cmd_demo)
@@ -706,6 +752,93 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(result.describe())
         print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .dist import LocalCluster
+
+    if args.shards < 1:
+        raise ReproError(f"need at least one shard, got {args.shards}")
+    cluster = LocalCluster(
+        args.shards, directory=args.directory, mode=args.mode
+    )
+    try:
+        for shard, (host, port) in enumerate(cluster.addresses):
+            print(f"shard {shard}: {host}:{port}"
+                  + (f"  [{cluster.shard_dir(shard)}]"
+                     if cluster.directory else "  [memory]"))
+        if args.port_file is not None:
+            args.port_file.write_text(
+                json.dumps([list(a) for a in cluster.addresses]) + "\n",
+                encoding="utf-8",
+            )
+            print(f"addresses written to {args.port_file}")
+        if args.specs is not None:
+            with cluster.database() as db:
+                for doc in _load_specs(args.specs):
+                    db.register(doc["name"], doc["clauses"],
+                                doc.get("attributes") or {})
+                print(f"registered {len(db)} contracts across "
+                      f"{args.shards} shard(s)")
+        if args.duration is None:  # pragma: no cover - interactive mode
+            print("serving until interrupted (ctrl-c to stop)")
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+        elif args.duration > 0:
+            time.sleep(args.duration)
+    finally:
+        cluster.stop()
+        print("cluster stopped")
+    return 0
+
+
+def _shard_addresses(args: argparse.Namespace) -> list[tuple[str, int]]:
+    addresses: list[tuple[str, int]] = []
+    if args.port_file is not None:
+        doc = json.loads(args.port_file.read_text(encoding="utf-8"))
+        addresses.extend((str(h), int(p)) for h, p in doc)
+    for text in args.addresses:
+        host, _, port = text.rpartition(":")
+        if not host or not port.isdigit():
+            raise ReproError(
+                f"bad --address {text!r}; expected HOST:PORT"
+            )
+        addresses.append((host, int(port)))
+    if not addresses:
+        raise ReproError("provide --address or --port-file")
+    return addresses
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    from .dist import ShardClient
+
+    statuses = []
+    for host, port in _shard_addresses(args):
+        with ShardClient(host, port) as client:
+            status = client.request({"op": "status"})
+            status.pop("ok", None)
+            status["address"] = f"{host}:{port}"
+            statuses.append(status)
+    if args.json:
+        print(json.dumps({"shards": statuses}, indent=2, sort_keys=True))
+        return 0
+    for status in statuses:
+        journal = status.get("journal")
+        journal_text = (
+            f"journal epoch {journal['epoch']}, {journal['records']} "
+            f"record(s), {journal['size_bytes']}B"
+            if journal else "memory-only"
+        )
+        print(f"shard {status['shard_id']} @ {status['address']}: "
+              f"{status['contracts']} contract(s), {journal_text}")
+        if status.get("names"):
+            print(f"  contracts: {', '.join(status['names'])}")
+    total = sum(s["contracts"] for s in statuses)
+    print(f"{len(statuses)} shard(s), {total} contract(s) total")
+    return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:

@@ -1,0 +1,47 @@
+"""The distributed broker: sharding, fan-out querying, replication.
+
+Layering: ``dist`` sits strictly *above* :mod:`repro.broker` — it
+decides **where** contracts live and moves documents over the wire,
+while every answer is still produced by an ordinary
+:class:`~repro.broker.database.ContractDatabase` on some shard.
+Distribution changes placement, never answers (docs/DEVELOPMENT.md
+invariant 15); the ``sharded`` and ``replicated`` conformance cells
+re-prove that equivalence against the single-node oracle on every run.
+
+Entry points:
+
+* :class:`~repro.dist.partition.ShardRouter` — stable,
+  seed-independent placement (SHA-256 + jump consistent hash);
+* :class:`~repro.dist.server.ShardServer` — one shard: a (journaled)
+  database behind a length-prefixed JSON socket protocol;
+* :class:`~repro.dist.coordinator.Coordinator` /
+  :class:`~repro.dist.coordinator.DistributedDatabase` — the asyncio
+  fan-out front-end and its synchronous ``ContractDatabase``-shaped
+  wrapper;
+* :class:`~repro.dist.replica.Replica` — a read-only copy kept warm by
+  tailing the leader's write-ahead journal (journal shipping);
+* :class:`~repro.dist.cluster.LocalCluster` — N shards (+ replica) on
+  one machine, for tests, benchmarks and the CLI.
+"""
+
+from .cluster import LocalCluster
+from .coordinator import Coordinator, DistributedDatabase, RoutedContract
+from .partition import ShardRouter, jump_hash, stable_key
+from .replica import PollReport, Replica, ReplicaCursor
+from .server import ShardClient, ShardServer, serve_shard
+
+__all__ = [
+    "Coordinator",
+    "DistributedDatabase",
+    "LocalCluster",
+    "PollReport",
+    "Replica",
+    "ReplicaCursor",
+    "RoutedContract",
+    "ShardClient",
+    "ShardRouter",
+    "ShardServer",
+    "jump_hash",
+    "serve_shard",
+    "stable_key",
+]

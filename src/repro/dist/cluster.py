@@ -1,0 +1,142 @@
+"""Convenience harness: a whole cluster on one machine.
+
+:class:`LocalCluster` starts N shard servers — in-process daemon
+threads by default (deterministic and fast: what the tests and the
+conformance cells use), or separate processes (``mode="process"``, the
+deployment shape ``contract-broker serve`` scripts) — plus an optional
+journal-shipping replica of shard 0, and hands out the matching
+:class:`~repro.dist.coordinator.DistributedDatabase` front-end.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+from pathlib import Path
+
+from ..broker.database import BrokerConfig
+from ..errors import DistError
+from ..obs.metrics import MetricsRegistry
+from .coordinator import DEFAULT_RPC_TIMEOUT, DistributedDatabase
+from .replica import Replica
+from .server import ShardServer, serve_shard
+
+
+class LocalCluster:
+    """N shards (+ optional replica of shard 0) on loopback sockets.
+
+    ``directory`` roots one journaled subdirectory per shard
+    (``shard-0/`` … ``shard-N/``); ``None`` keeps every shard
+    memory-only (no journals — and therefore no replica).
+    """
+
+    def __init__(self, num_shards: int, *,
+                 directory: str | Path | None = None,
+                 config: BrokerConfig | None = None,
+                 mode: str = "thread"):
+        if num_shards < 1:
+            raise DistError(f"need at least one shard, got {num_shards}")
+        if mode not in ("thread", "process"):
+            raise DistError(f"unknown cluster mode {mode!r}")
+        self.num_shards = num_shards
+        self.config = config
+        self.mode = mode
+        self._tmp = None
+        if directory is None and mode == "process":
+            # process shards need a filesystem rendezvous for journals
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            directory = self._tmp.name
+        self.directory = Path(directory) if directory is not None else None
+        self.servers: list[ShardServer] = []
+        self._processes: list = []
+        self._pipes: list = []
+        self.addresses: list[tuple[str, int]] = []
+        self._start()
+
+    def shard_dir(self, shard: int) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"shard-{shard}"
+
+    @property
+    def leader_dir(self) -> Path:
+        """Shard 0's journaled directory (what a replica tails)."""
+        path = self.shard_dir(0)
+        if path is None:
+            raise DistError(
+                "a memory-only cluster has no journal to replicate; "
+                "construct LocalCluster with a directory"
+            )
+        return path
+
+    def _start(self) -> None:
+        if self.mode == "thread":
+            for shard in range(self.num_shards):
+                server = ShardServer(
+                    shard, directory=self.shard_dir(shard),
+                    config=self.config,
+                ).start()
+                self.servers.append(server)
+                self.addresses.append(("127.0.0.1", server.port))
+            return
+        from ..broker.journal import _config_to_dict
+
+        ctx = multiprocessing.get_context("spawn")
+        config_doc = (
+            _config_to_dict(self.config) if self.config is not None else None
+        )
+        for shard in range(self.num_shards):
+            parent, child = ctx.Pipe()
+            process = ctx.Process(
+                target=serve_shard,
+                args=(shard, str(self.shard_dir(shard)), config_doc,
+                      "127.0.0.1", 0, child),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            tag, port = parent.recv()  # blocks until the socket is bound
+            if tag != "ready":  # pragma: no cover - defensive
+                raise DistError(f"shard {shard} failed to start: {tag}")
+            self._processes.append(process)
+            self._pipes.append(parent)
+            self.addresses.append(("127.0.0.1", port))
+
+    def database(self, *, metrics: MetricsRegistry | None = None,
+                 rpc_timeout: float = DEFAULT_RPC_TIMEOUT
+                 ) -> DistributedDatabase:
+        """A fresh coordinator front-end over this cluster."""
+        return DistributedDatabase(
+            self.addresses, metrics=metrics, rpc_timeout=rpc_timeout
+        )
+
+    def replica(self, *, metrics: MetricsRegistry | None = None) -> Replica:
+        """A journal-shipping replica of shard 0."""
+        return Replica(self.leader_dir, config=self.config, metrics=metrics)
+
+    def stop(self) -> None:
+        for server in self.servers:
+            server.stop()
+        self.servers = []
+        for pipe, process in zip(self._pipes, self._processes):
+            try:
+                pipe.send("stop")
+            except (BrokenPipeError, OSError):
+                pass
+        for pipe, process in zip(self._pipes, self._processes):
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+            pipe.close()
+        self._pipes = []
+        self._processes = []
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

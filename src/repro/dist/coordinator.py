@@ -1,0 +1,535 @@
+"""The distributed broker front-end: route, fan out, merge.
+
+The :class:`Coordinator` owns the only cluster-global state — the
+catalog mapping each registered contract to a global id and the shard
+the :class:`~repro.dist.partition.ShardRouter` placed it on.  Every
+mutation routes to exactly one shard; every query fans out to all of
+them concurrently (asyncio) and the shard answers are merged back into
+one :class:`~repro.broker.query.QueryOutcome` in **global registration
+order** — the same ascending-id order a single-node database reports —
+so a distributed answer is byte-comparable to the single-node oracle's
+(invariant 15: distribution changes placement, never answers).
+
+Degradation composes across the network: a shard that misses its RPC
+deadline (or is simply gone) contributes SKIPPED verdicts for every
+contract it owns, exactly the shape a single node gives queued
+candidates when the budget runs out first — so the merged outcome
+keeps satisfying ``permitted ⊆ exact ⊆ permitted ∪ maybe``.
+
+:class:`DistributedDatabase` wraps the coordinator in the synchronous
+``ContractDatabase``-shaped client API (a background event loop), so
+application code can switch a single-node database for a cluster
+without touching call sites.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+
+from ..broker.options import Degradation, QueryOptions, coerce_query_options
+from ..broker.query import QueryOutcome, QueryStats, Verdict
+from ..broker.spec import QuerySpec
+from ..errors import DistError
+from ..ltl.ast import Formula
+from ..ltl.parser import parse
+from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry
+from . import protocol
+from .partition import ShardRouter
+
+#: Grace added on top of a query's own deadline before the coordinator
+#: gives up on a shard RPC (the shard needs time to serialize/ship the
+#: degraded answer it produced *at* the deadline).
+RPC_GRACE_SECONDS = 5.0
+
+#: RPC timeout for queries with no deadline of their own.
+DEFAULT_RPC_TIMEOUT = 300.0
+
+
+@dataclass(frozen=True)
+class RoutedContract:
+    """The coordinator's receipt for one registration."""
+
+    contract_id: int  #: the cluster-global id
+    name: str
+    shard: int  #: which shard holds it
+
+
+class Coordinator:
+    """The asyncio cluster front-end over ``addresses`` shards.
+
+    One persistent connection per shard, serialized per shard with a
+    lock (concurrent fan-out across shards, in-order frames within
+    one); a failed connection is re-dialed on the next request.
+    """
+
+    def __init__(self, addresses: list[tuple[str, int]], *,
+                 metrics: MetricsRegistry | None = None,
+                 rpc_timeout: float = DEFAULT_RPC_TIMEOUT):
+        if not addresses:
+            raise DistError("a cluster needs at least one shard address")
+        self.addresses = list(addresses)
+        self.router = ShardRouter(len(self.addresses))
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.rpc_timeout = rpc_timeout
+        self._catalog: dict[int, RoutedContract] = {}
+        self._by_name: dict[str, int] = {}
+        self._next_id = 1
+        self._conns: list[tuple | None] = [None] * len(self.addresses)
+        self._locks = [asyncio.Lock() for _ in self.addresses]
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    async def _connection(self, shard: int):
+        conn = self._conns[shard]
+        if conn is None:
+            host, port = self.addresses[shard]
+            try:
+                conn = await asyncio.open_connection(host, port)
+            except OSError as exc:
+                raise DistError(
+                    f"cannot reach shard {shard} at {host}:{port}: {exc}"
+                ) from exc
+            self._conns[shard] = conn
+        return conn
+
+    async def _call(self, shard: int, doc: dict, *,
+                    timeout: float | None = None) -> dict:
+        """One request/response exchange with ``shard`` (raises
+        :class:`DistError` on transport failure, protocol violation,
+        timeout, or a shard-side error response)."""
+        started = time.perf_counter()
+        try:
+            async with self._locks[shard]:
+                reader, writer = await self._connection(shard)
+                try:
+                    await protocol.write_frame(writer, doc)
+                    response = await asyncio.wait_for(
+                        protocol.read_frame(reader),
+                        timeout if timeout is not None else self.rpc_timeout,
+                    )
+                except (OSError, asyncio.TimeoutError, DistError):
+                    # the connection's framing state is unknown now
+                    self._conns[shard] = None
+                    writer.close()
+                    raise
+        except asyncio.TimeoutError as exc:
+            self.metrics.inc(f"dist.shard.{shard}.timeouts")
+            raise DistError(
+                f"shard {shard} missed the RPC deadline for "
+                f"{doc.get('op')!r}"
+            ) from exc
+        except OSError as exc:
+            self.metrics.inc(f"dist.shard.{shard}.failures")
+            raise DistError(
+                f"shard {shard} transport failed during "
+                f"{doc.get('op')!r}: {exc}"
+            ) from exc
+        finally:
+            self.metrics.observe(
+                f"dist.shard.{shard}.rpc_seconds",
+                time.perf_counter() - started,
+            )
+        if response is None:
+            self._conns[shard] = None
+            self.metrics.inc(f"dist.shard.{shard}.failures")
+            raise DistError(
+                f"shard {shard} closed the connection mid-request"
+            )
+        self.metrics.inc(f"dist.shard.{shard}.requests")
+        if not response.get("ok"):
+            raise DistError(
+                f"shard {shard} rejected {doc.get('op')!r}: "
+                f"{response.get('error')}"
+            )
+        return response
+
+    async def aclose(self) -> None:
+        for shard, conn in enumerate(self._conns):
+            if conn is not None:
+                conn[1].close()
+                self._conns[shard] = None
+
+    # -- mutations (routed to one shard) ----------------------------------------------
+
+    async def register(self, name: str, clauses, attributes=None) -> RoutedContract:
+        if name in self._by_name:
+            raise DistError(f"contract {name!r} is already registered")
+        shard = self.router.shard_for(name)
+        clauses = [clauses] if isinstance(clauses, str) else list(clauses)
+        await self._call(shard, {
+            "op": "register",
+            "name": name,
+            "clauses": [str(c) for c in clauses],
+            "attributes": dict(attributes or {}),
+        })
+        routed = RoutedContract(
+            contract_id=self._next_id, name=name, shard=shard
+        )
+        self._next_id += 1
+        self._catalog[routed.contract_id] = routed
+        self._by_name[name] = routed.contract_id
+        self.metrics.inc("dist.registrations")
+        self.metrics.inc(f"dist.shard.{shard}.contracts")
+        return routed
+
+    async def deregister(self, contract_id: int) -> None:
+        routed = self._catalog.get(contract_id)
+        if routed is None:
+            raise DistError(f"no contract with global id {contract_id}")
+        await self._call(routed.shard, {
+            "op": "deregister", "name": routed.name,
+        })
+        del self._catalog[contract_id]
+        del self._by_name[routed.name]
+        self.metrics.inc("dist.deregistrations")
+
+    # -- queries (fanned out to every shard) ------------------------------------------
+
+    async def query(self, query, options: QueryOptions | None = None) -> QueryOutcome:
+        outcomes = await self.query_many([query], options)
+        return outcomes[0]
+
+    async def query_many(self, queries, options: QueryOptions | None = None
+                         ) -> list[QueryOutcome]:
+        """Fan a workload out to every shard and merge per query.
+
+        The whole batch ships as one ``query_many`` RPC per shard (one
+        round trip), and each shard evaluates it against only its own
+        contracts; merging restores global registration order.
+        """
+        if isinstance(queries, (str, Formula, QuerySpec)):
+            raise DistError(
+                "query_many takes a sequence of queries; use query() for one"
+            )
+        queries = list(queries)
+        specs: list[str] = []
+        merged_options = options
+        for query in queries:
+            if isinstance(query, QuerySpec):
+                raise DistError(
+                    "pass QuerySpec through query(), not query_many()"
+                )
+            specs.append(str(query))
+        options = coerce_query_options("query_many", merged_options, {})
+        protocol.check_distributable(options)
+        if not specs:
+            return []
+
+        started = time.perf_counter()
+        doc = {"op": "query_many", "queries": specs,
+               **protocol.options_to_doc(options)}
+        shard_docs = await self._fan_out(doc, options, started)
+        outcomes = []
+        for qi, text in enumerate(specs):
+            per_shard = [
+                (shard, docs["outcomes"][qi] if docs is not None else None)
+                for shard, docs in shard_docs
+            ]
+            outcomes.append(self._merge(text, per_shard, options))
+        elapsed = time.perf_counter() - started
+        self.metrics.inc("dist.queries", len(specs))
+        self.metrics.observe("dist.fanout_seconds", elapsed)
+        self.metrics.observe(
+            "dist.fanout_queries", len(specs), COUNT_BUCKETS
+        )
+        return outcomes
+
+    async def _fan_out(self, doc: dict, options: QueryOptions,
+                       started: float) -> list[tuple[int, dict | None]]:
+        """Send ``doc`` to every shard concurrently; a shard that fails
+        or misses the deadline yields ``None`` (merged as SKIPPED)."""
+
+        async def one(shard: int) -> dict | None:
+            send = dict(doc)
+            timeout = self.rpc_timeout
+            if options.deadline_seconds is not None:
+                # propagate the *remaining* budget: time already spent
+                # routing/serializing is not given back to the shard
+                remaining = max(
+                    0.0,
+                    options.deadline_seconds
+                    - (time.perf_counter() - started),
+                )
+                shard_options = options.evolve(deadline_seconds=remaining)
+                send.update(protocol.options_to_doc(shard_options))
+                timeout = remaining + RPC_GRACE_SECONDS
+            try:
+                return await self._call(shard, send, timeout=timeout)
+            except DistError:
+                if options.degradation is Degradation.FAIL:
+                    raise
+                self.metrics.inc("dist.merge.skipped_shards")
+                return None
+
+        return list(zip(
+            range(len(self.addresses)),
+            await asyncio.gather(*(one(s) for s in range(len(self.addresses)))),
+        ))
+
+    def _merge(self, query_text: str,
+               per_shard: list[tuple[int, dict | None]],
+               options: QueryOptions) -> QueryOutcome:
+        """Merge shard outcome documents into one global outcome, in
+        ascending global-id (registration) order — the order a
+        single-node database reports."""
+        shard_verdicts: dict[int, dict] = {}
+        shard_stats: list[QueryStats] = []
+        failed: set[int] = set()
+        for shard, doc in per_shard:
+            if doc is None:
+                failed.add(shard)
+                continue
+            shard_verdicts[shard] = doc.get("verdicts") or {}
+            shard_stats.append(protocol.stats_from_doc(doc.get("stats") or {}))
+
+        permitted_ids: list[int] = []
+        permitted_names: list[str] = []
+        maybe_ids: list[int] = []
+        maybe_names: list[str] = []
+        verdicts: dict[int, Verdict] = {}
+        skipped_on_failed = 0
+
+        for global_id in sorted(self._catalog):
+            routed = self._catalog[global_id]
+            if routed.shard in failed:
+                continue  # handled below: SKIPPED, in one sorted pass
+            value = shard_verdicts[routed.shard].get(routed.name)
+            if value is None:
+                continue  # not a candidate on its shard
+            verdict = Verdict(value)
+            verdicts[global_id] = verdict
+            if verdict is Verdict.PERMITTED:
+                permitted_ids.append(global_id)
+                permitted_names.append(routed.name)
+            elif verdict in (Verdict.TIMED_OUT, Verdict.SKIPPED):
+                if options.degradation is Degradation.MAYBE:
+                    maybe_ids.append(global_id)
+                    maybe_names.append(routed.name)
+
+        if failed:
+            for global_id in sorted(self._catalog):
+                routed = self._catalog[global_id]
+                if routed.shard not in failed:
+                    continue
+                verdicts[global_id] = Verdict.SKIPPED
+                skipped_on_failed += 1
+                if options.degradation is Degradation.MAYBE:
+                    maybe_ids.append(global_id)
+                    maybe_names.append(routed.name)
+            maybe = sorted(zip(maybe_ids, maybe_names))
+            maybe_ids = [i for i, _ in maybe]
+            maybe_names = [n for _, n in maybe]
+
+        stats = QueryStats(
+            translation_seconds=max(
+                (s.translation_seconds for s in shard_stats), default=0.0
+            ),
+            prefilter_seconds=max(
+                (s.prefilter_seconds for s in shard_stats), default=0.0
+            ),
+            selection_seconds=max(
+                (s.selection_seconds for s in shard_stats), default=0.0
+            ),
+            # the shards ran concurrently: the merged permission time is
+            # the slowest shard's (the critical path), not the sum
+            permission_seconds=max(
+                (s.permission_seconds for s in shard_stats), default=0.0
+            ),
+            total_seconds=max(
+                (s.total_seconds for s in shard_stats), default=0.0
+            ),
+            database_size=len(self._catalog),
+            relational_matches=sum(
+                s.relational_matches for s in shard_stats
+            ),
+            candidates=sum(s.candidates for s in shard_stats)
+            + skipped_on_failed,
+            checked=sum(s.checked for s in shard_stats),
+            permitted=len(permitted_ids),
+            timed_out=sum(s.timed_out for s in shard_stats),
+            skipped=sum(s.skipped for s in shard_stats) + skipped_on_failed,
+            degraded=any(s.degraded for s in shard_stats)
+            or bool(skipped_on_failed),
+            deadline_seconds=options.deadline_seconds,
+            step_budget=options.step_budget,
+            used_prefilter=any(s.used_prefilter for s in shard_stats),
+            used_projections=any(s.used_projections for s in shard_stats),
+            used_encoded=any(s.used_encoded for s in shard_stats),
+            stage_order=shard_stats[0].stage_order
+            if shard_stats else "attr_first",
+            planned=any(s.planned for s in shard_stats),
+        )
+        return QueryOutcome(
+            formula=parse(query_text),
+            contract_ids=tuple(permitted_ids),
+            contract_names=tuple(permitted_names),
+            stats=stats,
+            verdicts=verdicts,
+            maybe_ids=tuple(maybe_ids),
+            maybe_names=tuple(maybe_names),
+        )
+
+    # -- streaming & operations -------------------------------------------------------
+
+    async def ingest(self, events) -> dict:
+        """Route stream records to the shards owning their contracts
+        (broadcast records go everywhere) and merge the reports."""
+        per_shard: list[list] = [[] for _ in self.addresses]
+        for record in events:
+            if not isinstance(record, dict):
+                raise DistError(
+                    "distributed ingest takes JSON stream records "
+                    "({'events': [...], 'contract': name-or-null})"
+                )
+            name = record.get("contract")
+            if name is None:
+                for bucket in per_shard:
+                    bucket.append(record)
+            else:
+                global_id = self._by_name.get(name)
+                if global_id is None:
+                    raise DistError(f"no contract {name!r} registered")
+                per_shard[self._catalog[global_id].shard].append(record)
+
+        async def one(shard: int):
+            if not per_shard[shard]:
+                return None
+            return await self._call(shard, {
+                "op": "ingest", "events": per_shard[shard],
+            })
+
+        responses = await asyncio.gather(
+            *(one(s) for s in range(len(self.addresses)))
+        )
+        merged = {"events": 0, "deliveries": 0, "unknown_events": 0,
+                  "alerts": []}
+        for response in responses:
+            if response is None:
+                continue
+            report = response["report"]
+            merged["events"] += report["events"]
+            merged["deliveries"] += report["deliveries"]
+            merged["unknown_events"] += report["unknown_events"]
+            merged["alerts"].extend(report["alerts"])
+        self.metrics.inc("dist.ingest.events", merged["events"])
+        return merged
+
+    async def status(self) -> dict:
+        """Per-shard status documents plus the coordinator's view."""
+        async def one(shard: int):
+            try:
+                return await self._call(shard, {"op": "status"})
+            except DistError as exc:
+                return {"ok": False, "error": str(exc), "shard_id": shard}
+
+        shards = await asyncio.gather(
+            *(one(s) for s in range(len(self.addresses)))
+        )
+        return {
+            "shards": list(shards),
+            "contracts": len(self._catalog),
+            "addresses": [list(a) for a in self.addresses],
+        }
+
+    async def save_all(self) -> list[dict]:
+        """Snapshot + compact every shard that has a directory."""
+        return list(await asyncio.gather(
+            *(self._call(s, {"op": "save"})
+              for s in range(len(self.addresses)))
+        ))
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+
+class DistributedDatabase:
+    """The synchronous, ``ContractDatabase``-shaped face of a cluster.
+
+    Owns a background event loop; every method round-trips through the
+    :class:`Coordinator` on it.  Use as a context manager (or call
+    :meth:`close`)."""
+
+    def __init__(self, addresses: list[tuple[str, int]], *,
+                 metrics: MetricsRegistry | None = None,
+                 rpc_timeout: float = DEFAULT_RPC_TIMEOUT):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="dist-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        self.coordinator = Coordinator(
+            addresses, metrics=metrics, rpc_timeout=rpc_timeout
+        )
+
+    def _run(self, coro):
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.coordinator.metrics
+
+    def register(self, name, clauses=None, attributes=None) -> RoutedContract:
+        # accept a ContractSpec-like first argument, matching the
+        # single-node register() convenience
+        if clauses is None and hasattr(name, "clauses"):
+            spec = name
+            return self._run(self.coordinator.register(
+                spec.name, [str(c) for c in spec.clauses],
+                dict(spec.attributes),
+            ))
+        return self._run(self.coordinator.register(name, clauses, attributes))
+
+    def deregister(self, contract_id: int) -> None:
+        self._run(self.coordinator.deregister(contract_id))
+
+    def query(self, query, options=None) -> QueryOutcome:
+        if isinstance(query, QuerySpec):
+            if options is not None:
+                raise DistError(
+                    "pass either a QuerySpec or explicit options, not both"
+                )
+            options = query.to_options()
+            query = query.query
+        return self._run(self.coordinator.query(str(query), options))
+
+    def query_many(self, queries, options=None) -> list[QueryOutcome]:
+        if isinstance(queries, (str, Formula, QuerySpec)):
+            # guard before [str(q) for q in ...] would shred a bare
+            # string into one query per character
+            raise DistError(
+                "query_many takes a sequence of queries; use query() for one"
+            )
+        return self._run(self.coordinator.query_many(
+            [str(q) for q in queries], options
+        ))
+
+    def ingest(self, events) -> dict:
+        return self._run(self.coordinator.ingest(list(events)))
+
+    def status(self) -> dict:
+        return self._run(self.coordinator.status())
+
+    def save_all(self) -> list[dict]:
+        return self._run(self.coordinator.save_all())
+
+    def __len__(self) -> int:
+        return len(self.coordinator)
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        self._run(self.coordinator.aclose())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._loop.close()
+
+    def __enter__(self) -> "DistributedDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,255 @@
+"""The coordinator↔shard wire protocol: length-prefixed JSON frames.
+
+Every message is one JSON object encoded UTF-8 and prefixed with a
+4-byte big-endian length — trivially parseable from any language, and
+self-delimiting over a stream socket.  Requests are
+``{"op": ..., **payload}``; responses are ``{"ok": true, **payload}``
+or ``{"ok": false, "error": ..., "kind": <exception class name>}``.
+
+Identity crosses the wire as **contract names**, never ids: each shard
+assigns local ids in its own registration order, so the same contract
+has a different id on every topology.  The coordinator keeps the
+global id → (shard, name) catalog and translates at the edge
+(docs/DEVELOPMENT.md invariant 15 — distribution changes placement,
+never answers).
+
+Query options ride as the same JSON document shape as
+:class:`~repro.broker.spec.QuerySpec` options (plus the serialized
+relational filter), so the wire format stays aligned with the
+declarative query API instead of inventing a second encoding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import struct
+from typing import Any, Mapping
+
+from ..broker.options import QueryOptions
+from ..broker.query import QueryOutcome, QueryStats, Verdict
+from ..broker.relational import MATCH_ALL, AttributeFilter
+from ..broker.spec import SPEC_OPTION_KEYS, QuerySpec
+from ..errors import ProtocolError
+from ..ltl.parser import parse
+
+#: 4-byte big-endian unsigned frame length.
+_LENGTH = struct.Struct(">I")
+
+#: Refuse frames past this size (64 MiB) — a corrupt length prefix must
+#: not look like an instruction to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+# -- framing --------------------------------------------------------------------------
+
+
+def encode_frame(doc: Mapping[str, Any]) -> bytes:
+    """One message as bytes: length prefix + JSON payload."""
+    try:
+        payload = json.dumps(doc, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unserializable frame: {exc}") from exc
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse a frame payload back into a message dict."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed frame payload: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"frame payload must be an object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+def _parse_length(prefix: bytes) -> int:
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+def send_frame(sock: socket.socket, doc: Mapping[str, Any]) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(doc))
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise ProtocolError(
+                    f"connection closed mid-frame ({size - remaining} of "
+                    f"{size} bytes)"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame from a blocking socket (``None`` on clean EOF)."""
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    payload = _recv_exact(sock, _parse_length(prefix))
+    if payload is None:
+        raise ProtocolError("connection closed between length and payload")
+    return decode_payload(payload)
+
+
+async def read_frame(reader) -> dict | None:
+    """Read one frame from an ``asyncio.StreamReader`` (``None`` on
+    clean EOF)."""
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-length-prefix") from exc
+    try:
+        payload = await reader.readexactly(_parse_length(prefix))
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_payload(payload)
+
+
+async def write_frame(writer, doc: Mapping[str, Any]) -> None:
+    """Write one frame to an ``asyncio.StreamWriter`` and drain."""
+    writer.write(encode_frame(doc))
+    await writer.drain()
+
+
+# -- option / outcome documents -------------------------------------------------------
+
+
+def options_to_doc(options: QueryOptions) -> dict:
+    """Serialize :class:`QueryOptions` for the wire.
+
+    Non-default spec-compatible fields plus the relational filter.
+    ``explain`` cannot cross the wire (witness objects are not JSON) and
+    ``planner``/``contract_ids`` are coordinator-side concerns — the
+    caller is expected to have stripped them (see
+    :func:`check_distributable`).
+    """
+    check_distributable(options)
+    spec = QuerySpec(query="true", filter=options.attribute_filter,
+                     options=options.evolve(attribute_filter=MATCH_ALL))
+    doc = spec.to_dict()
+    doc.pop("query", None)
+    return doc
+
+
+def options_from_doc(doc: Mapping[str, Any]) -> QueryOptions:
+    """Rebuild :class:`QueryOptions` from :func:`options_to_doc`."""
+    options = QuerySpec._options_from_doc(doc.get("options") or {})
+    filter_items = doc.get("filter") or []
+    return options.evolve(
+        attribute_filter=AttributeFilter.from_list(filter_items)
+    )
+
+
+def check_distributable(options: QueryOptions) -> None:
+    """Reject options the protocol cannot carry faithfully."""
+    if options.explain:
+        raise ProtocolError(
+            "explain witnesses cannot cross the shard protocol; run the "
+            "query against a single-node database to extract witnesses"
+        )
+    if options.contract_ids is not None:
+        raise ProtocolError(
+            "contract_ids are shard-local; the coordinator resolves "
+            "global ids before fan-out"
+        )
+    if options.planner is not None:
+        raise ProtocolError(
+            "a planner instance cannot cross the wire; set "
+            "use_planner=True and let each shard construct its own"
+        )
+
+
+def stats_to_doc(stats: QueryStats) -> dict:
+    """A :class:`QueryStats` as a plain JSON-able dict."""
+    return dataclasses.asdict(stats)
+
+
+def stats_from_doc(doc: Mapping[str, Any]) -> QueryStats:
+    names = {f.name for f in dataclasses.fields(QueryStats)}
+    return QueryStats(**{k: v for k, v in doc.items() if k in names})
+
+
+def outcome_to_doc(outcome: QueryOutcome,
+                   id_to_name: Mapping[int, str] | None = None) -> dict:
+    """Serialize a shard's :class:`QueryOutcome` — names only, plus the
+    per-name verdict map and the stats counters.
+
+    ``verdicts`` covers every candidate, including NOT_PERMITTED ones
+    that appear in neither answer tuple, so the server passes its full
+    local ``id_to_name`` catalog; without one, only the names the
+    outcome itself carries can be resolved.
+    """
+    id_to_name = dict(id_to_name or {})
+    id_to_name.update(zip(outcome.contract_ids, outcome.contract_names))
+    id_to_name.update(zip(outcome.maybe_ids, outcome.maybe_names))
+    verdicts = {}
+    for contract_id, verdict in outcome.verdicts.items():
+        name = id_to_name.get(contract_id)
+        if name is not None:
+            verdicts[name] = verdict.value
+    return {
+        "formula": str(outcome.formula),
+        "permitted": list(outcome.contract_names),
+        "maybe": list(outcome.maybe_names),
+        "verdicts": verdicts,
+        "stats": stats_to_doc(outcome.stats),
+    }
+
+
+def outcome_from_doc(doc: Mapping[str, Any]) -> QueryOutcome:
+    """Rebuild a (name-keyed, id-less) :class:`QueryOutcome` from
+    :func:`outcome_to_doc` — ids are filled in by the coordinator's
+    catalog, so here they stay empty."""
+    try:
+        formula = parse(doc["formula"])
+        permitted = tuple(doc.get("permitted") or ())
+        maybe = tuple(doc.get("maybe") or ())
+        verdicts = {
+            name: Verdict(value)
+            for name, value in (doc.get("verdicts") or {}).items()
+        }
+        stats = stats_from_doc(doc.get("stats") or {})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed outcome document: {exc}") from exc
+    return QueryOutcome(
+        formula=formula,
+        contract_ids=(),
+        contract_names=permitted,
+        stats=stats,
+        verdicts=verdicts,
+        maybe_ids=(),
+        maybe_names=maybe,
+    )
+
+
+def error_doc(exc: Exception) -> dict:
+    """The failure-response form of an exception."""
+    return {"ok": False, "error": str(exc), "kind": type(exc).__name__}

@@ -1,0 +1,275 @@
+"""Journal-shipping read replicas.
+
+A :class:`Replica` keeps a read-only copy of a leader shard's database
+warm by tailing the leader's ``journal.jsonl`` — the same write-ahead
+journal that already makes the leader crash-safe doubles as the
+replication stream, the way the related stream-checking work replays a
+finite observation prefix (Huang & Cleaveland; PAPERS.md).  The
+replica's cursor is ``(epoch, byte offset, next sequence)``:
+
+* **catch-up** — :meth:`poll` reads verified records past the offset
+  with :meth:`Journal.read_from <repro.broker.journal.Journal.read_from>`
+  (never mutating the leader's file) and applies them through the same
+  ``register``/``deregister`` replay the leader's own recovery uses —
+  so by construction the replica can only ever hold a *prefix* of the
+  leader's acknowledged state;
+* **torn tails** — a record the leader is mid-flush on simply is not
+  consumed; the cursor stays put and the next poll retries;
+* **epoch changes** — when the leader compacts (snapshot + journal
+  reset, epoch bump), the byte cursor is meaningless; the replica
+  re-syncs from the leader's snapshot directory and resumes tailing
+  the fresh journal.
+
+Queries against the replica are plain local queries — stale by at most
+the replication lag, never wrong about any prefix they claim.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..broker.database import BrokerConfig, ContractDatabase
+from ..broker.journal import JOURNAL_FILE, Journal
+from ..errors import DistError, ReproError
+from ..obs.metrics import MetricsRegistry
+
+
+@dataclass
+class ReplicaCursor:
+    """Where in the leader's journal the replica stands."""
+
+    epoch: int = -1  #: -1 = never synced
+    offset: int = 0
+    next_seq: int = 1
+
+
+@dataclass
+class PollReport:
+    """What one :meth:`Replica.poll` observed and applied."""
+
+    applied: int = 0
+    resynced: bool = False
+    torn: bool = False
+    #: verified leader records not yet applied (the replication lag
+    #: in records; 0 when fully caught up)
+    lag_records: int = 0
+    #: bytes of journal past the cursor (includes any torn tail)
+    lag_bytes: int = 0
+    epoch: int = -1
+    warnings: list = field(default_factory=list)
+
+
+class Replica:
+    """A read-only database tailing ``leader_dir``'s journal."""
+
+    def __init__(self, leader_dir: str | Path, *,
+                 config: BrokerConfig | None = None,
+                 metrics: MetricsRegistry | None = None):
+        self.leader_dir = Path(leader_dir)
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cursor = ReplicaCursor()
+        self._db = ContractDatabase(config)
+        self._ids: dict[str, int] = {}
+        self._stalled_seq: int | None = None
+
+    @property
+    def db(self) -> ContractDatabase:
+        """The replica's local database (query it directly)."""
+        return self._db
+
+    @property
+    def journal_path(self) -> Path:
+        return self.leader_dir / JOURNAL_FILE
+
+    # -- the replication loop ---------------------------------------------------------
+
+    def poll(self) -> PollReport:
+        """One replication step: detect epoch changes, read the tail,
+        apply what verified.  Cheap when there is nothing new."""
+        report = PollReport(epoch=self.cursor.epoch)
+        started = time.perf_counter()
+
+        header_epoch = Journal.read_header_epoch(self.journal_path)
+        if header_epoch is None:
+            # no journal (leader not started) or its header is torn;
+            # nothing trustworthy to ship yet
+            self._observe_lag(report)
+            return report
+
+        if header_epoch != self.cursor.epoch:
+            self._resync(report)
+        else:
+            tail = Journal.read_from(
+                self.journal_path, self.cursor.offset,
+                expected_seq=self.cursor.next_seq,
+            )
+            if tail.end_offset < self.cursor.offset:
+                # the file shrank under the same epoch (leader healed
+                # its own torn tail); fall back to a full resync
+                self._resync(report)
+            else:
+                self._apply(tail.records, report)
+                self.cursor.offset = tail.end_offset
+                report.torn = tail.torn
+        report.epoch = self.cursor.epoch
+        self._observe_lag(report)
+        self.metrics.inc("dist.replica.polls")
+        self.metrics.observe(
+            "dist.replica.poll_seconds", time.perf_counter() - started
+        )
+        if report.applied:
+            self.metrics.inc("dist.replica.applied", report.applied)
+        return report
+
+    def catch_up(self, *, timeout: float = 30.0,
+                 interval: float = 0.01) -> PollReport:
+        """Poll until fully caught up (lag 0, no torn tail) or
+        ``timeout`` elapses."""
+        deadline = time.monotonic() + timeout
+        while True:
+            report = self.poll()
+            header = Journal.read_header_epoch(self.journal_path)
+            caught_up = (
+                not report.torn
+                and report.lag_bytes == 0
+                and (header is None or header == self.cursor.epoch)
+            )
+            if caught_up:
+                return report
+            if time.monotonic() >= deadline:
+                raise DistError(
+                    f"replica did not catch up within {timeout}s "
+                    f"(lag {report.lag_bytes} bytes, torn={report.torn})"
+                )
+            time.sleep(interval)
+
+    def _resync(self, report: PollReport) -> None:
+        """Rebuild from the leader's snapshot, then position the cursor
+        at the start of the current journal epoch's tail."""
+        from ..broker.persist import _CONTRACTS_FILE, load_database
+
+        manifest_path = self.leader_dir / _CONTRACTS_FILE
+        manifest_epoch = 0
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(
+                    manifest_path.read_text(encoding="utf-8")
+                )
+                manifest_epoch = int(manifest.get("journal_epoch", 0))
+            except (json.JSONDecodeError, TypeError, ValueError):
+                manifest_epoch = 0
+            db = load_database(self.leader_dir, self.config)
+        else:
+            db = ContractDatabase(self.config)
+
+        tail = Journal.read_from(self.journal_path, 0)
+        if tail.epoch is None:
+            # header torn or file vanished mid-resync; keep the old
+            # cursor invalid so the next poll retries the resync
+            report.warnings.append("resync: journal header unreadable")
+            return
+        self._db = db
+        self._ids = {c.name: c.contract_id for c in db.contracts()}
+        self._stalled_seq = None
+        self.cursor = ReplicaCursor(
+            epoch=tail.epoch, offset=tail.end_offset,
+            next_seq=(tail.records[-1].seq + 1) if tail.records else 1,
+        )
+        if tail.epoch == manifest_epoch:
+            self._apply(tail.records, report)
+        elif tail.records:
+            # the snapshot already holds (epoch behind) or cannot
+            # anchor (epoch ahead) these records — same policy as the
+            # leader's own open_database: do not replay them
+            report.warnings.append(
+                f"resync: discarded {len(tail.records)} record(s) from "
+                f"journal epoch {tail.epoch} vs snapshot {manifest_epoch}"
+            )
+        report.resynced = True
+        report.torn = tail.torn
+        self.metrics.inc("dist.replica.resyncs")
+
+    def _apply(self, records, report: PollReport) -> None:
+        for record in records:
+            if (self._stalled_seq is not None
+                    and record.seq >= self._stalled_seq):
+                break
+            try:
+                if record.op == "register":
+                    contract = self._db.register(
+                        record.data["name"],
+                        list(record.data["clauses"]),
+                        record.data.get("attributes") or {},
+                    )
+                    self._ids[record.data["name"]] = contract.contract_id
+                elif record.op == "deregister":
+                    # the leader logs its *local* id; replica ids differ,
+                    # so deregistration replays by name
+                    name = record.data.get("name")
+                    if name is None:
+                        name = self._name_for_leader_id(
+                            int(record.data["contract_id"])
+                        )
+                    if name is not None and name in self._ids:
+                        self._db.deregister(self._ids.pop(name))
+                # adopt_index / config records carry no replayable state
+            except (ReproError, KeyError, TypeError, ValueError) as exc:
+                # an unapplicable record poisons everything after it
+                # (prefix consistency); stall until the next epoch
+                self._stalled_seq = record.seq
+                report.warnings.append(
+                    f"replica: record seq={record.seq} op={record.op!r} "
+                    f"failed to apply ({type(exc).__name__}: {exc}); "
+                    "stalling until the leader compacts"
+                )
+                self.metrics.inc("dist.replica.stalled_records")
+                break
+            report.applied += 1
+            self.cursor.next_seq = record.seq + 1
+
+    def _name_for_leader_id(self, leader_id: int) -> str | None:
+        """Best-effort leader-id → name resolution: replaying the same
+        journal prefix assigns ids in the same order on both sides, so
+        the replica's own id-order usually matches; fall back to None
+        (skip) when it cannot be resolved."""
+        for contract in self._db.contracts():
+            if contract.contract_id == leader_id:
+                return contract.name
+        return None
+
+    def _observe_lag(self, report: PollReport) -> None:
+        try:
+            size = self.journal_path.stat().st_size
+        except OSError:
+            size = 0
+        report.lag_bytes = max(0, size - self.cursor.offset)
+        # count verified-but-unapplied records without applying them
+        if report.lag_bytes:
+            tail = Journal.read_from(
+                self.journal_path, self.cursor.offset,
+                expected_seq=self.cursor.next_seq,
+            )
+            report.lag_records = len(tail.records)
+        else:
+            report.lag_records = 0
+        self.metrics.set_gauge("dist.replica.lag_records",
+                               report.lag_records)
+        self.metrics.set_gauge("dist.replica.lag_bytes", report.lag_bytes)
+
+    # -- the read surface -------------------------------------------------------------
+
+    def query(self, query, options=None):
+        """A read-only query against the replica's current state."""
+        self.metrics.inc("dist.replica.queries")
+        return self._db.query(query, options)
+
+    def query_many(self, queries, options=None):
+        self.metrics.inc("dist.replica.queries", len(list(queries)))
+        return self._db.query_many(queries, options)
+
+    def __len__(self) -> int:
+        return len(self._db)

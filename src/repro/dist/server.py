@@ -1,0 +1,325 @@
+"""One shard of the distributed broker: a database behind a socket.
+
+A :class:`ShardServer` owns a :class:`~repro.broker.database.ContractDatabase`
+(journaled via :func:`~repro.broker.journal.open_database` when rooted
+in a directory — which is what makes journal-shipping replication
+possible) and serves the :mod:`repro.dist.protocol` request/response
+ops over a loopback TCP socket.  It runs either in-process (a daemon
+accept thread — what the tests, the conformance cells and
+:class:`~repro.dist.cluster.LocalCluster` use) or as a dedicated
+process via :func:`serve_shard` (what ``contract-broker serve``
+launches).
+
+The server never decides placement: it answers for exactly the
+contracts the coordinator registered on it.  Identity on the wire is
+the contract *name*; local ids stay local (invariant 15).
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from pathlib import Path
+
+from ..broker.database import BrokerConfig, ContractDatabase
+from ..broker.journal import JOURNAL_FILE, open_database
+from ..errors import DistError, ProtocolError, ReproError
+from . import protocol
+
+#: Ops a shard answers.  ``save`` snapshots + compacts (the leader-side
+#: epoch bump replicas must survive); ``shutdown`` stops the server.
+SHARD_OPS = frozenset({
+    "ping", "register", "deregister", "query", "query_many",
+    "ingest", "status", "save", "shutdown",
+})
+
+
+class ShardServer:
+    """A broker shard serving the wire protocol.
+
+    ``directory`` roots a journaled database (crash-safe, replicatable);
+    without one the shard is memory-only.  ``start()`` binds a loopback
+    socket and serves from daemon threads; :meth:`handle_request` is
+    also directly callable, so in-process callers (tests, the
+    conformance runner) can skip the socket without skipping the
+    serialization round-trip.
+    """
+
+    def __init__(self, shard_id: int, *,
+                 directory: str | Path | None = None,
+                 config: BrokerConfig | None = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.shard_id = shard_id
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.db = open_database(self.directory, config)
+        else:
+            self.db = ContractDatabase(config)
+        self._ids = {c.name: c.contract_id for c in self.db.contracts()}
+        self._host = host
+        self._port = port
+        self._server: socketserver.ThreadingTCPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- the request surface ----------------------------------------------------------
+
+    def handle_request(self, doc: dict) -> dict:
+        """Dispatch one request document to a response document."""
+        op = doc.get("op")
+        if op not in SHARD_OPS:
+            return protocol.error_doc(ProtocolError(f"unknown op {op!r}"))
+        try:
+            payload = getattr(self, f"_op_{op}")(doc)
+        except ReproError as exc:
+            self.db.metrics.inc("dist.shard.errors")
+            return protocol.error_doc(exc)
+        except (KeyError, TypeError, ValueError) as exc:
+            self.db.metrics.inc("dist.shard.errors")
+            return protocol.error_doc(
+                ProtocolError(f"malformed {op!r} request: {exc}")
+            )
+        self.db.metrics.inc(f"dist.shard.ops.{op}")
+        return {"ok": True, **payload}
+
+    def _op_ping(self, doc: dict) -> dict:
+        return {"pong": True, "shard_id": self.shard_id}
+
+    def _op_register(self, doc: dict) -> dict:
+        name = doc["name"]
+        if not isinstance(name, str) or not name:
+            raise ProtocolError(f"register needs a contract name, got {name!r}")
+        if name in self._ids:
+            raise DistError(
+                f"shard {self.shard_id} already holds contract {name!r}"
+            )
+        contract = self.db.register(
+            name, list(doc["clauses"]), doc.get("attributes") or {}
+        )
+        self._ids[name] = contract.contract_id
+        return {"name": name, "contract_id": contract.contract_id}
+
+    def _op_deregister(self, doc: dict) -> dict:
+        name = doc["name"]
+        contract_id = self._ids.get(name)
+        if contract_id is None:
+            raise DistError(
+                f"shard {self.shard_id} holds no contract {name!r}"
+            )
+        self.db.deregister(contract_id)
+        del self._ids[name]
+        return {"name": name}
+
+    def _op_query(self, doc: dict) -> dict:
+        options = protocol.options_from_doc(doc)
+        outcome = self.db.query(doc["query"], options)
+        return {"outcome": protocol.outcome_to_doc(
+            outcome, self._id_to_name()
+        )}
+
+    def _op_query_many(self, doc: dict) -> dict:
+        options = protocol.options_from_doc(doc)
+        queries = list(doc["queries"])
+        outcomes = self.db.query_many(queries, options)
+        id_to_name = self._id_to_name()
+        return {"outcomes": [
+            protocol.outcome_to_doc(outcome, id_to_name)
+            for outcome in outcomes
+        ]}
+
+    def _op_ingest(self, doc: dict) -> dict:
+        report = self.db.ingest(list(doc["events"]))
+        return {"report": {
+            "events": report.events,
+            "deliveries": report.deliveries,
+            "unknown_events": report.unknown_events,
+            "alerts": [
+                {
+                    "kind": a.kind,
+                    "contract": a.contract,
+                    "watch": a.watch,
+                    "event_index": a.event_index,
+                    "events": sorted(a.events),
+                }
+                for a in report.alerts
+            ],
+        }}
+
+    def _op_status(self, doc: dict) -> dict:
+        journal = self.db.journal
+        journal_doc = None
+        if journal is not None:
+            path = Path(journal.path)
+            journal_doc = {
+                "epoch": journal.epoch,
+                "records": len(journal),
+                "size_bytes": (
+                    path.stat().st_size if path.exists() else 0
+                ),
+            }
+        return {
+            "shard_id": self.shard_id,
+            "contracts": len(self.db),
+            "names": sorted(self._ids),
+            "directory": str(self.directory) if self.directory else None,
+            "journal": journal_doc,
+            "metrics": self.db.metrics.snapshot()["counters"],
+        }
+
+    def _op_save(self, doc: dict) -> dict:
+        from ..broker.persist import save_database
+
+        if self.directory is None:
+            raise DistError(
+                f"shard {self.shard_id} is memory-only; nothing to save"
+            )
+        save_database(self.db, self.directory)
+        journal = self.db.journal
+        return {"epoch": journal.epoch if journal is not None else None}
+
+    def _op_shutdown(self, doc: dict) -> dict:
+        if self._server is not None:
+            # shut down from another thread: serve_forever must not wait
+            # on the very request it is answering
+            threading.Thread(target=self.stop, daemon=True).start()
+        return {"stopping": True}
+
+    def _id_to_name(self) -> dict[int, str]:
+        return {cid: name for name, cid in self._ids.items()}
+
+    # -- the socket surface -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise DistError(f"shard {self.shard_id} is not serving")
+        return self._server.server_address  # type: ignore[return-value]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> "ShardServer":
+        """Bind the socket and serve from a daemon thread."""
+        if self._server is not None:
+            return self
+        shard = self
+
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(self):
+                try:
+                    while True:
+                        request = protocol.recv_frame(self.request)
+                        if request is None:
+                            return
+                        protocol.send_frame(
+                            self.request, shard.handle_request(request)
+                        )
+                except ProtocolError as exc:
+                    try:
+                        protocol.send_frame(
+                            self.request, protocol.error_doc(exc)
+                        )
+                    except OSError:
+                        pass
+                except OSError:
+                    pass  # client went away mid-exchange
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = Server((self._host, self._port), Handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"shard-{self.shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self.db.journal is not None:
+            self.db.journal.close()
+
+
+class ShardClient:
+    """A small blocking client for one shard (the CLI's ``shard-status``
+    and the test suite use it; the coordinator speaks asyncio instead)."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise DistError(
+                f"cannot reach shard at {host}:{port}: {exc}"
+            ) from exc
+
+    def request(self, doc: dict) -> dict:
+        try:
+            protocol.send_frame(self._sock, doc)
+            response = protocol.recv_frame(self._sock)
+        except OSError as exc:
+            raise DistError(
+                f"shard at {self.host}:{self.port} failed mid-request: {exc}"
+            ) from exc
+        if response is None:
+            raise DistError(
+                f"shard at {self.host}:{self.port} closed the connection"
+            )
+        if not response.get("ok"):
+            raise DistError(
+                f"shard at {self.host}:{self.port} rejected "
+                f"{doc.get('op')!r}: {response.get('error')}"
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "ShardClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_shard(shard_id: int, directory: str | None, config_doc: dict | None,
+                host: str, port: int, conn=None) -> None:
+    """Process entry point: run one shard until told to stop.
+
+    ``conn`` (a multiprocessing pipe end) receives the bound port once
+    the socket is up, then blocks until the parent sends anything —
+    the stop signal.  With no pipe (foreground CLI use) the server runs
+    until the process is interrupted.
+    """
+    from ..broker.journal import _config_from_dict
+
+    config = _config_from_dict(config_doc) if config_doc else None
+    server = ShardServer(
+        shard_id, directory=directory, config=config, host=host, port=port
+    )
+    server.start()
+    try:
+        if conn is not None:
+            conn.send(("ready", server.port))
+            conn.recv()  # blocks until the parent signals stop (or EOFError)
+        else:  # pragma: no cover - foreground mode is exercised via CLI
+            threading.Event().wait()
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        server.stop()

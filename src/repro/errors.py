@@ -86,6 +86,18 @@ class WorkloadError(ReproError):
     """Raised on invalid workload-generation parameters."""
 
 
+class DistError(ReproError):
+    """Raised on distributed-broker failures: a shard that cannot be
+    reached, a cluster topology mismatch, an operation the wire
+    protocol cannot carry (e.g. ``explain`` witnesses)."""
+
+
+class ProtocolError(DistError):
+    """Raised on malformed wire traffic between the coordinator and a
+    shard server: bad frame length, non-JSON payload, unknown op, or a
+    response that does not match the request."""
+
+
 class JournalError(BrokerError):
     """Raised on write-ahead-journal failures that must not be silently
     degraded: an append whose payload cannot be serialized, a journal

@@ -82,6 +82,34 @@ class Counter:
             return self._value
 
 
+class Gauge:
+    """A value that goes up and down — the current state of something
+    (a replica's replication lag, a queue depth), not an accumulation.
+
+    Thread-safe like the other instruments: per-gauge lock.
+    """
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
 class Histogram:
     """A fixed-bucket histogram with running summary statistics.
 
@@ -207,6 +235,7 @@ class MetricsRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
     # -- recording ------------------------------------------------------------------
@@ -228,8 +257,18 @@ class MetricsRegistry:
                 )
             return histogram
 
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            return gauge
+
     def inc(self, name: str, amount: int = 1) -> None:
         self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
 
     def observe(self, name: str, value: float,
                 buckets: Sequence[float] | None = None) -> None:
@@ -238,6 +277,7 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
     # -- reading --------------------------------------------------------------------
@@ -247,10 +287,15 @@ class MetricsRegistry:
             counter = self._counters.get(name)
             return counter.value if counter is not None else 0
 
+    def gauge_value(self, name: str) -> float:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            return gauge.value if gauge is not None else 0.0
+
     def snapshot(self) -> dict:
         """A plain-dict view of every instrument (JSON-serializable)."""
         with self._lock:
-            return {
+            snap = {
                 "counters": {
                     name: c.value for name, c in sorted(self._counters.items())
                 },
@@ -259,6 +304,11 @@ class MetricsRegistry:
                     for name, h in sorted(self._histograms.items())
                 },
             }
+            if self._gauges:
+                snap["gauges"] = {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                }
+            return snap
 
     def render_text(self) -> str:
         """Human-readable report: a counter table and a histogram table."""
@@ -269,6 +319,13 @@ class MetricsRegistry:
             width = max(len(n) for n in snap["counters"])
             for name, value in snap["counters"].items():
                 lines.append(f"  {name.ljust(width)}  {value}")
+        if snap.get("gauges"):
+            if lines:
+                lines.append("")
+            lines.append("gauges")
+            width = max(len(n) for n in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name.ljust(width)}  {_value(value)}")
         if snap["histograms"]:
             if lines:
                 lines.append("")

@@ -286,3 +286,120 @@ class TestForeignDirectorySave:
         # and the export is an ordinary snapshot
         loaded = load_database(export)
         assert _names(loaded) == ["a"]
+
+
+class TestReadFrom:
+    """The reader-side tail API replicas build on: offset-based,
+    torn-tail tolerant, and strictly non-mutating."""
+
+    def _journal_with(self, tmp_path, count):
+        db = open_database(tmp_path)
+        for i in range(count):
+            db.register(f"c{i}", [f"F a{i}"])
+        return (tmp_path / JOURNAL_FILE).read_bytes()
+
+    def test_read_whole_file_from_zero(self, tmp_path):
+        raw = self._journal_with(tmp_path, 3)
+        tail = Journal.read_from(tmp_path / JOURNAL_FILE)
+        assert tail.epoch == 0
+        assert not tail.torn
+        assert [r.data["name"] for r in tail.records] == ["c0", "c1", "c2"]
+        assert tail.end_offset == len(raw) == tail.file_size
+
+    def test_resume_from_offset_with_expected_seq(self, tmp_path):
+        self._journal_with(tmp_path, 2)
+        first = Journal.read_from(tmp_path / JOURNAL_FILE)
+        db = open_database(tmp_path)
+        db.register("c2", ["F a2"])
+        resumed = Journal.read_from(
+            tmp_path / JOURNAL_FILE, first.end_offset,
+            expected_seq=first.records[-1].seq + 1,
+        )
+        assert [r.data["name"] for r in resumed.records] == ["c2"]
+        assert not resumed.torn
+        # the header epoch is only visible from offset 0
+        assert resumed.epoch is None
+
+    def test_partially_flushed_last_record_is_not_consumed(self, tmp_path):
+        """The regression this API exists for: a reader racing the
+        writer sees a torn last record, stops before it, and resumes
+        from the same offset once the record completes."""
+        raw = self._journal_with(tmp_path, 3)
+        boundaries = [i + 1 for i, b in enumerate(raw) if b == ord("\n")]
+        reader_copy = tmp_path / "shipped" / JOURNAL_FILE
+        reader_copy.parent.mkdir()
+        # cut mid-way through the last record (between the second-last
+        # boundary and EOF)
+        cut = (boundaries[-2] + len(raw)) // 2
+        assert boundaries[-2] < cut < len(raw)
+        reader_copy.write_bytes(raw[:cut])
+        tail = Journal.read_from(reader_copy)
+        assert tail.torn
+        assert [r.data["name"] for r in tail.records] == ["c0", "c1"]
+        assert tail.end_offset == boundaries[-2]
+        # strictly non-mutating: unlike Journal.open, the torn bytes
+        # were NOT truncated away
+        assert reader_copy.read_bytes() == raw[:cut]
+        # the writer finishes the flush; the reader resumes at its
+        # cursor and observes exactly the completed record
+        reader_copy.write_bytes(raw)
+        resumed = Journal.read_from(
+            reader_copy, tail.end_offset,
+            expected_seq=tail.records[-1].seq + 1,
+        )
+        assert not resumed.torn
+        assert [r.data["name"] for r in resumed.records] == ["c2"]
+
+    def test_every_torn_cut_yields_a_verified_prefix(self, tmp_path):
+        raw = self._journal_with(tmp_path, 4)
+        names = ["c0", "c1", "c2", "c3"]
+        reader_copy = tmp_path / "shipped" / JOURNAL_FILE
+        reader_copy.parent.mkdir()
+        for cut in range(len(raw) + 1):
+            reader_copy.write_bytes(raw[:cut])
+            tail = Journal.read_from(reader_copy)
+            got = [r.data["name"] for r in tail.records]
+            assert got == names[: len(got)]
+            # torn exactly when bytes past the verified prefix remain
+            assert tail.torn == (tail.end_offset != cut)
+            assert reader_copy.read_bytes() == raw[:cut]
+
+    def test_corrupt_middle_record_stops_the_read(self, tmp_path):
+        raw = self._journal_with(tmp_path, 3)
+        lines = raw.split(b"\n")
+        lines[2] = lines[2].replace(b'"c1"', b'"cX"')  # checksum breaks
+        reader_copy = tmp_path / "shipped" / JOURNAL_FILE
+        reader_copy.parent.mkdir()
+        reader_copy.write_bytes(b"\n".join(lines))
+        tail = Journal.read_from(reader_copy)
+        assert tail.torn
+        assert [r.data["name"] for r in tail.records] == ["c0"]
+
+    def test_sequence_gap_is_torn(self, tmp_path):
+        self._journal_with(tmp_path, 2)
+        tail = Journal.read_from(
+            tmp_path / JOURNAL_FILE, 0
+        )
+        # demanding a different sequence at an explicit offset fails fast
+        mismatched = Journal.read_from(
+            tmp_path / JOURNAL_FILE, tail.end_offset, expected_seq=99
+        )
+        assert mismatched.records == ()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        tail = Journal.read_from(tmp_path / "absent.jsonl", 0)
+        assert tail.records == ()
+        assert not tail.torn
+        assert tail.epoch is None
+        assert tail.file_size == 0
+
+    def test_read_header_epoch(self, tmp_path):
+        db = open_database(tmp_path)
+        db.register("a", ["F x"])
+        assert Journal.read_header_epoch(tmp_path / JOURNAL_FILE) == 0
+        save_database(db, tmp_path)
+        assert Journal.read_header_epoch(tmp_path / JOURNAL_FILE) == 1
+        assert Journal.read_header_epoch(tmp_path / "absent") is None
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(b'{"seq": 0, "op": "open"')  # no newline
+        assert Journal.read_header_epoch(torn) is None

@@ -15,19 +15,20 @@ class TestDrills:
         report = run_chaos_drills(mutations=6, stride=8)
         assert report.ok, report.summary()
         assert [r.name for r in report.results] == [
-            "persist-crash", "journal-truncation", "quarantine",
+            "persist-crash", "journal-truncation",
+            "replication-truncation", "quarantine",
         ]
         for result in report.results:
             assert result.ok, result.describe()
             assert result.checks > 0
             assert "PASS" in result.describe()
-        assert "3/3 drill(s) passed" in report.summary()
+        assert "4/4 drill(s) passed" in report.summary()
 
     def test_report_round_trips_as_json(self):
         report = run_chaos_drills(mutations=4, stride=32)
         doc = json.loads(json.dumps(report.to_dict()))
         assert doc["ok"] is True
-        assert len(doc["drills"]) == 3
+        assert len(doc["drills"]) == 4
         assert all(d["checks"] > 0 for d in doc["drills"])
 
 
@@ -37,6 +38,7 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "persist-crash" in out
         assert "journal-truncation" in out
+        assert "replication-truncation" in out
         assert "quarantine" in out
         assert "FAIL" not in out
 

@@ -22,13 +22,14 @@ from repro.errors import ReproError
 class TestLattice:
     def test_lattice_shape(self):
         lattice = config_lattice()
-        assert len(lattice) == 19
+        assert len(lattice) == 21
         names = [c.name for c in lattice]
         assert len(set(names)) == len(names)
         assert "journal-replay" in names
         assert "ndfs-encoded" in names and "scc-encoded" in names
         assert "ndfs-planner" in names and "scc-planner" in names
         assert "monitor-stream" in names and "monitor-unknown" in names
+        assert "sharded" in names and "replicated" in names
         assert sum(1 for c in lattice if not c.exact) == 1
 
     def test_configs_by_name_rejects_unknown(self):
@@ -48,7 +49,7 @@ class TestCleanRun:
         report = runner.run()
         assert report.ok
         assert report.cases_run + report.cases_skipped == 12
-        assert report.configs_run == report.cases_run * 19
+        assert report.configs_run == report.cases_run * 21
         assert list(tmp_path.iterdir()) == []
         assert runner.metrics.counter_value("check.cases") == report.cases_run
         assert runner.metrics.counter_value("check.disagreements") == 0

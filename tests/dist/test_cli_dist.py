@@ -1,0 +1,85 @@
+"""The distributed CLI surface: serve and shard-status."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dist import ShardServer
+
+
+class TestServe:
+    def test_serve_seeds_and_stops(self, tmp_path, capsys):
+        specs = tmp_path / "specs.json"
+        specs.write_text(json.dumps([
+            {"name": "alpha", "clauses": ["F a"], "attributes": {}},
+            {"name": "beta", "clauses": ["G !a"], "attributes": {}},
+        ]), encoding="utf-8")
+        port_file = tmp_path / "ports.json"
+        assert main([
+            "serve", "--shards", "2", "--specs", str(specs),
+            "--directory", str(tmp_path / "cluster"),
+            "--port-file", str(port_file), "--duration", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard 0:" in out and "shard 1:" in out
+        assert "registered 2 contracts across 2 shard(s)" in out
+        assert "cluster stopped" in out
+        addresses = json.loads(port_file.read_text(encoding="utf-8"))
+        assert len(addresses) == 2
+        # the journals survive the cluster
+        assert (tmp_path / "cluster" / "shard-0" / "journal.jsonl").exists()
+
+    def test_serve_rejects_no_shards(self, capsys):
+        assert main(["serve", "--shards", "0", "--duration", "0"]) == 1
+        assert "at least one shard" in capsys.readouterr().err
+
+
+class TestShardStatus:
+    def test_status_against_live_shard(self, capsys):
+        server = ShardServer(0).start()
+        try:
+            server.handle_request({
+                "op": "register", "name": "alpha",
+                "clauses": ["F a"], "attributes": {},
+            })
+            host, port = server.address
+            assert main([
+                "shard-status", "--address", f"{host}:{port}",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "1 contract(s), memory-only" in out
+            assert "contracts: alpha" in out
+            assert "1 shard(s), 1 contract(s) total" in out
+
+            assert main([
+                "shard-status", "--address", f"{host}:{port}", "--json",
+            ]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["shards"][0]["names"] == ["alpha"]
+        finally:
+            server.stop()
+
+    def test_status_via_port_file(self, tmp_path, capsys):
+        server = ShardServer(0).start()
+        try:
+            port_file = tmp_path / "ports.json"
+            port_file.write_text(
+                json.dumps([list(server.address)]), encoding="utf-8"
+            )
+            assert main(["shard-status", "--port-file", str(port_file)]) == 0
+            assert "1 shard(s)" in capsys.readouterr().out
+        finally:
+            server.stop()
+
+    def test_status_requires_an_address(self, capsys):
+        assert main(["shard-status"]) == 1
+        assert "provide --address or --port-file" in capsys.readouterr().err
+
+    def test_status_rejects_malformed_address(self, capsys):
+        assert main(["shard-status", "--address", "nope"]) == 1
+        assert "expected HOST:PORT" in capsys.readouterr().err
+
+    def test_status_unreachable_shard_fails_cleanly(self, capsys):
+        assert main(["shard-status", "--address", "127.0.0.1:1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err

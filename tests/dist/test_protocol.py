@@ -1,0 +1,165 @@
+"""The wire protocol: framing, option/outcome documents, guard rails."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.broker.options import Degradation, QueryOptions
+from repro.broker.query import QueryOutcome, QueryStats, Verdict
+from repro.broker.relational import AttributeFilter
+from repro.dist import protocol
+from repro.errors import ProtocolError
+from repro.ltl.parser import parse
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        doc = {"op": "ping", "n": 3, "nested": {"a": [1, 2]}}
+        frame = protocol.encode_frame(doc)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert protocol.decode_payload(frame[4:]) == doc
+
+    def test_socket_round_trip(self):
+        server, client = socket.socketpair()
+        try:
+            received = []
+
+            def consume():
+                received.append(protocol.recv_frame(server))
+                received.append(protocol.recv_frame(server))
+
+            thread = threading.Thread(target=consume)
+            thread.start()
+            protocol.send_frame(client, {"op": "ping"})
+            protocol.send_frame(client, {"op": "status", "x": "y" * 5000})
+            thread.join(timeout=5)
+            assert received == [
+                {"op": "ping"}, {"op": "status", "x": "y" * 5000},
+            ]
+        finally:
+            server.close()
+            client.close()
+
+    def test_clean_eof_is_none(self):
+        server, client = socket.socketpair()
+        client.close()
+        try:
+            assert protocol.recv_frame(server) is None
+        finally:
+            server.close()
+
+    def test_truncated_frame_raises(self):
+        server, client = socket.socketpair()
+        try:
+            frame = protocol.encode_frame({"op": "ping"})
+            client.sendall(frame[: len(frame) - 2])
+            client.close()
+            with pytest.raises(ProtocolError):
+                protocol.recv_frame(server)
+        finally:
+            server.close()
+
+    def test_oversized_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol._parse_length(
+                struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+            )
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_payload(b"\xff\xfe not json")
+        with pytest.raises(ProtocolError):
+            protocol.decode_payload(b"[1, 2]")  # not an object
+
+    def test_unserializable_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame({"op": object()})
+
+
+class TestOptionDocs:
+    def test_round_trip_non_defaults(self):
+        options = QueryOptions(
+            attribute_filter=AttributeFilter.from_list(
+                [["price", "<=", 500], ["route", "==", "SAN-NYC"]]
+            ),
+            use_prefilter=False,
+            deadline_seconds=0.5,
+            step_budget=64,
+            degradation=Degradation.DROP,
+            workers=2,
+        )
+        doc = protocol.options_to_doc(options)
+        rebuilt = protocol.options_from_doc(doc)
+        assert rebuilt == options
+
+    def test_defaults_round_trip_empty_doc(self):
+        doc = protocol.options_to_doc(QueryOptions())
+        assert doc == {}
+        assert protocol.options_from_doc(doc) == QueryOptions()
+
+    def test_explain_cannot_cross_the_wire(self):
+        with pytest.raises(ProtocolError):
+            protocol.options_to_doc(QueryOptions(explain=True))
+
+    def test_contract_ids_cannot_cross_the_wire(self):
+        with pytest.raises(ProtocolError):
+            protocol.options_to_doc(QueryOptions(contract_ids=(1, 2)))
+
+
+class TestOutcomeDocs:
+    def _outcome(self):
+        return QueryOutcome(
+            formula=parse("F a"),
+            contract_ids=(1, 3),
+            contract_names=("alpha", "gamma"),
+            stats=QueryStats(candidates=4, checked=3, permitted=2,
+                             timed_out=1, degraded=True,
+                             database_size=5),
+            verdicts={
+                1: Verdict.PERMITTED,
+                2: Verdict.NOT_PERMITTED,
+                3: Verdict.PERMITTED,
+                4: Verdict.TIMED_OUT,
+            },
+            maybe_ids=(4,),
+            maybe_names=("delta",),
+        )
+
+    def test_round_trip_names_and_verdicts(self):
+        doc = protocol.outcome_to_doc(
+            self._outcome(), {2: "beta"}
+        )
+        rebuilt = protocol.outcome_from_doc(doc)
+        assert rebuilt.contract_names == ("alpha", "gamma")
+        assert rebuilt.maybe_names == ("delta",)
+        assert rebuilt.verdicts == {
+            "alpha": Verdict.PERMITTED,
+            "beta": Verdict.NOT_PERMITTED,
+            "gamma": Verdict.PERMITTED,
+            "delta": Verdict.TIMED_OUT,
+        }
+        assert rebuilt.stats.candidates == 4
+        assert rebuilt.stats.degraded is True
+        assert str(rebuilt.formula) == str(parse("F a"))
+
+    def test_unresolvable_candidate_names_are_dropped(self):
+        # without the server's catalog, id 2 has no name: the verdict
+        # map simply omits it rather than inventing one
+        doc = protocol.outcome_to_doc(self._outcome())
+        assert set(doc["verdicts"]) == {"alpha", "gamma", "delta"}
+
+    def test_malformed_outcome_doc_raises(self):
+        with pytest.raises(ProtocolError):
+            protocol.outcome_from_doc({"permitted": ["a"]})  # no formula
+        with pytest.raises(ProtocolError):
+            protocol.outcome_from_doc(
+                {"formula": "F a", "verdicts": {"a": "no-such-verdict"}}
+            )
+
+    def test_error_doc_shape(self):
+        doc = protocol.error_doc(ProtocolError("boom"))
+        assert doc == {"ok": False, "error": "boom",
+                       "kind": "ProtocolError"}

@@ -1,0 +1,187 @@
+"""One shard behind a socket: dispatch, persistence, error surfaces."""
+
+import pytest
+
+from repro.broker.journal import open_database
+from repro.dist.server import SHARD_OPS, ShardClient, ShardServer
+from repro.errors import DistError
+
+
+@pytest.fixture
+def shard():
+    server = ShardServer(0)
+    yield server
+    server.stop()
+
+
+def _register(server, name, clauses, attributes=None):
+    response = server.handle_request({
+        "op": "register", "name": name, "clauses": clauses,
+        "attributes": attributes or {},
+    })
+    assert response["ok"], response
+    return response
+
+
+class TestDispatch:
+    def test_ping(self, shard):
+        assert shard.handle_request({"op": "ping"}) == {
+            "ok": True, "pong": True, "shard_id": 0,
+        }
+
+    def test_unknown_op_is_an_error_response(self, shard):
+        response = shard.handle_request({"op": "explode"})
+        assert response["ok"] is False
+        assert "unknown op" in response["error"]
+
+    def test_malformed_request_is_an_error_response(self, shard):
+        # missing required keys must not crash the server loop
+        response = shard.handle_request({"op": "register"})
+        assert response["ok"] is False
+        assert response["kind"] == "ProtocolError"
+
+    def test_register_query_deregister(self, shard):
+        _register(shard, "alpha", ["G (a -> F b)"])
+        _register(shard, "beta", ["G !a"])
+        request = {
+            "op": "query", "query": "F a",
+            # prefilter off so beta is a candidate and gets a verdict
+            "options": {"use_prefilter": False},
+        }
+        response = shard.handle_request(request)
+        assert response["ok"]
+        outcome = response["outcome"]
+        assert outcome["permitted"] == ["alpha"]
+        assert outcome["verdicts"]["beta"] == "not_permitted"
+
+        assert shard.handle_request(
+            {"op": "deregister", "name": "beta"}
+        )["ok"]
+        response = shard.handle_request(request)
+        assert set(response["outcome"]["verdicts"]) == {"alpha"}
+
+    def test_duplicate_register_rejected(self, shard):
+        _register(shard, "alpha", ["F a"])
+        response = shard.handle_request({
+            "op": "register", "name": "alpha", "clauses": ["F b"],
+            "attributes": {},
+        })
+        assert response["ok"] is False
+        assert "already holds" in response["error"]
+
+    def test_deregister_unknown_rejected(self, shard):
+        response = shard.handle_request({"op": "deregister", "name": "ghost"})
+        assert response["ok"] is False
+        assert "no contract" in response["error"]
+
+    def test_query_with_attribute_filter(self, shard):
+        _register(shard, "cheap", ["F a"], {"price": 100})
+        _register(shard, "pricey", ["F a"], {"price": 900})
+        response = shard.handle_request({
+            "op": "query", "query": "F a",
+            "filter": [["price", "<=", 500]],
+        })
+        assert response["outcome"]["permitted"] == ["cheap"]
+
+    def test_query_many(self, shard):
+        _register(shard, "alpha", ["G (a -> F b)"])
+        response = shard.handle_request({
+            "op": "query_many", "queries": ["F a", "G !a"],
+        })
+        assert response["ok"]
+        assert len(response["outcomes"]) == 2
+
+    def test_status_reports_names_and_counters(self, shard):
+        _register(shard, "alpha", ["F a"])
+        status = shard.handle_request({"op": "status"})
+        assert status["shard_id"] == 0
+        assert status["contracts"] == 1
+        assert status["names"] == ["alpha"]
+        assert status["journal"] is None
+        assert status["metrics"]["dist.shard.ops.register"] == 1
+
+    def test_save_without_directory_rejected(self, shard):
+        response = shard.handle_request({"op": "save"})
+        assert response["ok"] is False
+        assert "memory-only" in response["error"]
+
+
+class TestPersistence:
+    def test_journaled_shard_survives_restart(self, tmp_path):
+        server = ShardServer(2, directory=tmp_path)
+        try:
+            _register(server, "alpha", ["F a"], {"price": 10})
+            status = server.handle_request({"op": "status"})
+            assert status["journal"]["records"] >= 1
+        finally:
+            server.stop()
+
+        reborn = ShardServer(2, directory=tmp_path)
+        try:
+            status = reborn.handle_request({"op": "status"})
+            assert status["names"] == ["alpha"]
+            # local ids were recovered: the name stays addressable
+            assert reborn.handle_request(
+                {"op": "deregister", "name": "alpha"}
+            )["ok"]
+        finally:
+            reborn.stop()
+
+    def test_save_bumps_epoch(self, tmp_path):
+        server = ShardServer(0, directory=tmp_path)
+        try:
+            _register(server, "alpha", ["F a"])
+            before = server.handle_request({"op": "status"})
+            response = server.handle_request({"op": "save"})
+            assert response["ok"]
+            assert response["epoch"] == before["journal"]["epoch"] + 1
+        finally:
+            server.stop()
+
+        db = open_database(tmp_path)
+        try:
+            assert len(db) == 1
+        finally:
+            db.journal.close()
+
+
+class TestSocketSurface:
+    def test_client_round_trip(self):
+        server = ShardServer(1).start()
+        try:
+            with ShardClient(*server.address) as client:
+                assert client.request({"op": "ping"})["shard_id"] == 1
+                client.request({
+                    "op": "register", "name": "alpha",
+                    "clauses": ["F a"], "attributes": {},
+                })
+                outcome = client.request(
+                    {"op": "query", "query": "F a"}
+                )["outcome"]
+                assert outcome["permitted"] == ["alpha"]
+        finally:
+            server.stop()
+
+    def test_error_response_raises_dist_error(self):
+        server = ShardServer(1).start()
+        try:
+            with ShardClient(*server.address) as client:
+                with pytest.raises(DistError, match="rejected"):
+                    client.request({"op": "deregister", "name": "ghost"})
+                # the connection survives an application-level error
+                assert client.request({"op": "ping"})["pong"]
+        finally:
+            server.stop()
+
+    def test_client_rejects_unreachable_shard(self):
+        with pytest.raises(DistError, match="cannot reach"):
+            ShardClient("127.0.0.1", 1, timeout=0.5)
+
+    def test_address_requires_serving(self):
+        server = ShardServer(0)
+        with pytest.raises(DistError):
+            server.address
+
+    def test_shard_ops_is_the_full_surface(self, shard):
+        for op in SHARD_OPS:
+            assert hasattr(shard, f"_op_{op}")
