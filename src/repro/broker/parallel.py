@@ -44,6 +44,7 @@ from ..automata.buchi import BuchiAutomaton
 from ..automata.ltl2ba import translate
 from ..automata.serialize import automaton_from_dict, automaton_to_dict
 from ..core import faults
+from ..core.retry import BackoffPolicy
 from ..errors import ReproError, TranslationError
 from ..ltl.ast import Formula
 from ..ltl.parser import parse
@@ -60,6 +61,17 @@ DEFAULT_MAX_RETRIES = 2
 
 #: First retry's backoff; doubles per retry, capped at 1 s.
 DEFAULT_BACKOFF_SECONDS = 0.05
+
+#: Pool retries follow the shared backoff shape (see
+#: :mod:`repro.core.retry`) without jitter — a single local pool has
+#: no herd to desynchronize, and jitter-free delays keep the existing
+#: ``register_many`` timing contract exact.
+_POOL_BACKOFF = BackoffPolicy(
+    max_retries=DEFAULT_MAX_RETRIES,
+    base_seconds=DEFAULT_BACKOFF_SECONDS,
+    cap_seconds=1.0,
+    jitter=0.0,
+)
 
 
 def _translate_clauses(payload: tuple[list[str], int]) -> dict:
@@ -207,6 +219,13 @@ def register_many(
     documents: dict[int, dict] = {}
     dead: set[int] = set()  # quarantined during the pool phase
     pending = list(healthy)
+    policy = _POOL_BACKOFF if (
+        max_retries == _POOL_BACKOFF.max_retries
+        and backoff_seconds == _POOL_BACKOFF.base_seconds
+    ) else BackoffPolicy(
+        max_retries=max_retries, base_seconds=backoff_seconds,
+        cap_seconds=1.0, jitter=0.0,
+    )
     attempt = 0
     pool_start = time.perf_counter()
     while pending:
@@ -256,7 +275,7 @@ def register_many(
             break
         report.pool_retries += 1
         db.metrics.inc("register.pool_retries")
-        _sleep(min(backoff_seconds * (2 ** (attempt - 1)), 1.0))
+        _sleep(policy.delay(attempt))
 
     pool_seconds = time.perf_counter() - pool_start
 

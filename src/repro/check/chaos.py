@@ -22,7 +22,23 @@ verifies the documented recovery property:
 * ``quarantine`` — a batch with poison pills (unparseable clauses, a
   state-budget blowout) must register every healthy spec, quarantine
   the pills with their exceptions, and recover them via
-  ``db.quarantine.retry`` once the cause is fixed.
+  ``db.quarantine.retry`` once the cause is fixed;
+* ``dist-flap`` — transient faults on the coordinator's ``dist.send``/
+  ``dist.recv`` seams during a query storm: every flap must be
+  absorbed by the RPC retry machinery (answers bit-for-bit equal to
+  the fault-free cluster's), a fault window outlasting the retry
+  budget must degrade *soundly* (``permitted ⊆ exact ⊆ permitted ∪
+  maybe``), and once the seams heal and the breakers reset the
+  answers must reconverge bit-for-bit;
+* ``dist-partition`` — one shard partitioned off (every transport op
+  against it raises): its circuit breaker must open, queries must
+  degrade soundly while it is gone, and partition-then-heal must
+  reconverge bit-for-bit;
+* ``dist-failover`` — kill the leader of a journaled shard, promote
+  its caught-up replica (epoch bump), fail the coordinator's address
+  over, and re-answer a pinned query set **identically** to the
+  pre-kill cluster — same global contract ids, same verdicts
+  (invariant 16).
 
 Drills are deterministic (no randomness, no timing dependence) so a
 failure in CI reproduces locally from the same command:
@@ -357,20 +373,277 @@ def _quarantine_drill():
     ), checks
 
 
+#: A fast, still-jittered retry schedule for the network drills (the
+#: real default waits tens of milliseconds per retry — pointless
+#: against an injected fault).
+_DRILL_RETRY_KW = dict(
+    max_retries=2, base_seconds=0.002, cap_seconds=0.01,
+)
+
+#: Contracts per network drill — enough to land on every shard of a
+#: 3-shard cluster.
+_DIST_CONTRACTS = 9
+
+
+def _answer(outcome) -> tuple:
+    """The comparable part of a query outcome: the answer itself (ids,
+    names, maybes, per-contract verdicts) minus the timing noise."""
+    return (
+        outcome.contract_ids,
+        outcome.contract_names,
+        outcome.maybe_ids,
+        outcome.maybe_names,
+        {cid: v.value for cid, v in outcome.verdicts.items()},
+    )
+
+
+def _sound(exact_ids: set, outcome) -> bool:
+    """The degradation invariant: ``permitted ⊆ exact ⊆ permitted ∪
+    maybe`` (invariant 8, applied across the network)."""
+    permitted = set(outcome.contract_ids)
+    maybe = set(outcome.maybe_ids)
+    return permitted <= exact_ids and exact_ids <= permitted | maybe
+
+
+def _dist_queries(n: int = 3):
+    """Discriminating pinned queries: ``F ai & G !bi`` violates exactly
+    contract ``chaos-i`` (which obliges ``bi`` after ``ai``), so every
+    query's exact answer excludes precisely one contract."""
+    return [f"F a{i} & G !b{i}" for i in range(0, _DIST_CONTRACTS, n)]
+
+
+def _dist_flap_drill():
+    """Transient send/recv faults are absorbed by retries (bit-for-bit
+    answers); a fault window past the retry budget degrades soundly;
+    healed seams + reset breakers reconverge bit-for-bit."""
+    from ..core.retry import BackoffPolicy
+    from ..dist.cluster import LocalCluster
+
+    checks = 0
+    queries = _dist_queries()
+    with LocalCluster(3) as cluster:
+        with cluster.database(
+            retry=BackoffPolicy(**_DRILL_RETRY_KW),
+            breaker_reset_seconds=60.0,  # only reset_breakers() heals
+        ) as db:
+            for i in range(_DIST_CONTRACTS):
+                db.register(_spec(i))
+            baseline = [_answer(o) for o in db.query_many(queries)]
+            exact = [set(b[0]) for b in baseline]
+
+            # -- flap: each query sees two transient faults, within the
+            # retry budget no matter which shards absorb them
+            for round_no, seam in enumerate(("dist.send", "dist.recv")):
+                for qi, query in enumerate(queries):
+                    FAULTS.fail_at(seam, nth=1, times=2, exc=OSError("flap"))
+                    outcome = db.query(query)
+                    FAULTS.reset()
+                    checks += 1
+                    if _answer(outcome) != baseline[qi]:
+                        return False, (
+                            f"{seam} flap on {query!r}: retried answer "
+                            "diverged from the fault-free cluster"
+                        ), checks
+            retries = db.metrics.counter_value("dist.retries")
+            checks += 1
+            if retries < 2 * len(queries):
+                return False, (
+                    f"flap storm only recorded {retries} retry(ies); "
+                    "the faults were not absorbed by the retry path"
+                ), checks
+
+            # -- a window outlasting every retry budget: sound
+            # degradation, never a wrong answer
+            FAULTS.fail_at("dist.send", nth=1, times=10**6,
+                           exc=OSError("long outage"))
+            degraded = db.query_many(queries)
+            FAULTS.reset()
+            for qi, outcome in enumerate(degraded):
+                checks += 1
+                if not _sound(exact[qi], outcome):
+                    return False, (
+                        f"long outage on {queries[qi]!r}: degraded "
+                        "answer is unsound"
+                    ), checks
+
+            # -- heal + close the breakers the outage opened:
+            # bit-for-bit reconvergence
+            db.reset_breakers()
+            healed = [_answer(o) for o in db.query_many(queries)]
+            checks += 1
+            if healed != baseline:
+                return False, (
+                    "healed cluster did not reconverge to the "
+                    "fault-free answers"
+                ), checks
+    return True, (
+        f"{2 * len(queries)} transient flaps absorbed bit-for-bit "
+        f"({retries} retries), long outage degraded soundly, healed "
+        "cluster reconverged"
+    ), checks
+
+
+def _dist_partition_drill():
+    """Partition one shard off: its breaker opens, queries degrade
+    soundly, and partition-then-heal reconverges bit-for-bit."""
+    from ..core.retry import BackoffPolicy
+    from ..dist.cluster import LocalCluster
+
+    checks = 0
+    queries = _dist_queries()
+    victim = 1
+
+    def partition(**context):
+        if context.get("shard") == victim:
+            raise OSError(f"shard {victim} is partitioned off")
+
+    with LocalCluster(3) as cluster:
+        with cluster.database(
+            retry=BackoffPolicy(**_DRILL_RETRY_KW),
+            breaker_reset_seconds=60.0,
+        ) as db:
+            for i in range(_DIST_CONTRACTS):
+                db.register(_spec(i))
+            baseline = [_answer(o) for o in db.query_many(queries)]
+            exact = [set(b[0]) for b in baseline]
+
+            for seam in ("dist.connect", "dist.send", "dist.recv"):
+                FAULTS.fail_at(seam, nth=1, times=10**6, action=partition)
+            degraded = db.query_many(queries)
+            for qi, outcome in enumerate(degraded):
+                checks += 1
+                if not _sound(exact[qi], outcome):
+                    return False, (
+                        f"partition: {queries[qi]!r} degraded unsoundly"
+                    ), checks
+            # repeated queries against the partition trip the breaker:
+            # the victim fails fast instead of burning its retry budget
+            db.query_many(queries)
+            checks += 1
+            breaker = db.coordinator.health[victim]
+            if breaker.state != "open":
+                return False, (
+                    f"shard {victim} breaker is {breaker.state!r} after "
+                    "a sustained partition (expected 'open')"
+                ), checks
+            checks += 1
+            if db.metrics.counter_value("dist.breaker_open") < 1:
+                return False, "dist.breaker_open was never counted", checks
+
+            FAULTS.reset()
+            db.reset_breakers()
+            healed = [_answer(o) for o in db.query_many(queries)]
+            checks += 1
+            if healed != baseline:
+                return False, (
+                    "healed partition did not reconverge to the "
+                    "fault-free answers"
+                ), checks
+    return True, (
+        f"shard {victim} partitioned: sound degradation, breaker "
+        "opened, heal reconverged bit-for-bit"
+    ), checks
+
+
+def _dist_failover_drill():
+    """Kill the leader, promote its caught-up replica, fail the
+    coordinator over: the pinned queries re-answer identically — same
+    global ids, same verdicts (invariant 16)."""
+    from ..core.retry import BackoffPolicy
+    from ..dist.cluster import LocalCluster
+
+    checks = 0
+    queries = _dist_queries()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        with LocalCluster(2, directory=Path(tmp) / "cluster") as cluster:
+            with cluster.database(
+                retry=BackoffPolicy(**_DRILL_RETRY_KW),
+            ) as db:
+                for i in range(_DIST_CONTRACTS):
+                    db.register(_spec(i))
+                baseline = [_answer(o) for o in db.query_many(queries)]
+                exact = [set(b[0]) for b in baseline]
+
+                replica = cluster.replica(0)
+                replica.catch_up()
+                old_epoch = replica.cursor.epoch
+
+                cluster.stop_shard(0)  # the leader dies
+                degraded = db.query_many(queries)
+                for qi, outcome in enumerate(degraded):
+                    checks += 1
+                    if not _sound(exact[qi], outcome):
+                        return False, (
+                            f"dead leader: {queries[qi]!r} degraded "
+                            "unsoundly"
+                        ), checks
+
+                promotion = replica.promote(Path(tmp) / "promoted")
+                checks += 1
+                if promotion.epoch <= old_epoch:
+                    return False, (
+                        f"promotion kept epoch {promotion.epoch} "
+                        f"(leader was at {old_epoch}); siblings would "
+                        "not resync"
+                    ), checks
+                address = cluster.restart_shard(0, db=replica.db)
+                db.fail_over(0, address)
+
+                recovered = [_answer(o) for o in db.query_many(queries)]
+                checks += 1
+                if recovered != baseline:
+                    return False, (
+                        "failed-over cluster did not re-answer the "
+                        "pinned queries identically"
+                    ), checks
+                checks += 1
+                if db.metrics.counter_value("dist.failovers") != 1:
+                    return False, "dist.failovers was not counted", checks
+    return True, (
+        f"leader killed, replica promoted to epoch {promotion.epoch}, "
+        f"{len(queries)} pinned queries re-answered identically after "
+        "failover"
+    ), checks
+
+
+#: Every drill by name, in run order.
+DRILLS = {
+    "persist-crash": lambda mutations, stride: _persist_crash_drill(),
+    "journal-truncation": (
+        lambda mutations, stride: _journal_truncation_drill(
+            mutations, stride
+        )
+    ),
+    "replication-truncation": (
+        lambda mutations, stride: _replication_drill(mutations, stride)
+    ),
+    "quarantine": lambda mutations, stride: _quarantine_drill(),
+    "dist-flap": lambda mutations, stride: _dist_flap_drill(),
+    "dist-partition": lambda mutations, stride: _dist_partition_drill(),
+    "dist-failover": lambda mutations, stride: _dist_failover_drill(),
+}
+
+
 def run_chaos_drills(
     mutations: int = DEFAULT_MUTATIONS,
     stride: int = 1,
+    drills: "list[str] | None" = None,
 ) -> ChaosReport:
-    """Run every drill; deterministic, self-contained, ~seconds."""
+    """Run the named ``drills`` (default: all, in :data:`DRILLS` order);
+    deterministic, self-contained, ~seconds."""
+    if drills is None:
+        selected = list(DRILLS)
+    else:
+        unknown = [name for name in drills if name not in DRILLS]
+        if unknown:
+            raise ValueError(
+                f"unknown drill(s) {unknown}; available: {sorted(DRILLS)}"
+            )
+        selected = list(drills)
     report = ChaosReport()
-    report.results.append(_drill("persist-crash", _persist_crash_drill))
-    report.results.append(_drill(
-        "journal-truncation",
-        lambda: _journal_truncation_drill(mutations, stride),
-    ))
-    report.results.append(_drill(
-        "replication-truncation",
-        lambda: _replication_drill(mutations, stride),
-    ))
-    report.results.append(_drill("quarantine", _quarantine_drill))
+    for name in selected:
+        fn = DRILLS[name]
+        report.results.append(_drill(
+            name, lambda fn=fn: fn(mutations, stride)
+        ))
     return report

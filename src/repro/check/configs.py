@@ -32,14 +32,22 @@ index, unknown-event count) must match character for character —
 invariant 13.  ``monitor-unknown`` salts the trace with events outside
 every vocabulary to pin the unknown-event accounting.
 
-Two *distributed* cells close the lattice at 21: ``sharded`` registers
+Four *distributed* cells close the lattice at 23: ``sharded`` registers
 every contract through a 3-shard coordinator
 (:mod:`repro.dist`) and the merged fan-out answer must match the
 single-node oracle bit-for-bit, and ``replicated`` ships the leader's
 write-ahead journal to a read replica across a mid-stream compaction
 (epoch bump → snapshot re-sync) and both the leader's and the
 caught-up replica's answers must match the oracle — invariant 15:
-distribution changes placement, never answers.
+distribution changes placement, never answers.  ``flaky-network``
+re-runs the sharded path with transient faults armed on the
+coordinator's ``dist.send``/``dist.recv`` seams — the RPC retry
+machinery must absorb every injected failure and still match the
+oracle bit-for-bit — and ``failover`` kills the leader of a journaled
+cluster, promotes its caught-up replica, fails the coordinator's
+address over, and the re-answered query must still match the oracle —
+invariant 16: a retried or failed-over query returns the same answer a
+never-failed cluster would, or a sound degradation.
 """
 
 from __future__ import annotations
@@ -87,7 +95,14 @@ class StackConfig:
     * ``"replicated"`` — register against a journaled leader with a
       mid-stream snapshot+compaction, catch a journal-shipping replica
       up across the epoch bump, and check the leader's and the
-      replica's answers.
+      replica's answers;
+    * ``"flaky_network"`` — the sharded path with transient faults
+      armed on the coordinator's transport seams; retries must absorb
+      them and the answer must still be exact;
+    * ``"failover"`` — a journaled 2-shard cluster whose leader is
+      killed mid-run: the caught-up replica is promoted (epoch bump)
+      and the coordinator fails over to it; the re-answered query must
+      still be exact.
     """
 
     name: str
@@ -131,7 +146,7 @@ def _base_lattice() -> list[StackConfig]:
 
 
 def config_lattice() -> tuple[StackConfig, ...]:
-    """The full default lattice (21 configurations)."""
+    """The full default lattice (23 configurations)."""
     return tuple(
         _base_lattice()
         + [
@@ -169,6 +184,12 @@ def config_lattice() -> tuple[StackConfig, ...]:
             # 15: distribution changes placement, never answers)
             StackConfig(name="sharded", mode="sharded"),
             StackConfig(name="replicated", mode="replicated"),
+            # the distributed deployment *while failing* vs the single
+            # node (invariant 16: a retried or failed-over query
+            # returns the never-failed answer, or a sound degradation
+            # — these exact cells pin the never-failed half)
+            StackConfig(name="flaky-network", mode="flaky_network"),
+            StackConfig(name="failover", mode="failover"),
         ]
     )
 

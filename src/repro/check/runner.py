@@ -180,7 +180,7 @@ class ConformanceRunner:
         profile: a :class:`~repro.check.generators.CheckProfile` or the
             name of one of :data:`~repro.check.generators.PROFILES`.
         configs: the :class:`StackConfig` tuple to sweep (default: the
-            full 21-point lattice).
+            full 23-point lattice).
         artifact_dir: where failure repro artifacts are written
             (``None`` = don't write artifacts).
         shrink: greedily minimize failing cases before reporting.
@@ -321,6 +321,10 @@ class ConformanceRunner:
             return self._run_sharded(case, specs, config)
         if config.mode == "replicated":
             return self._run_replicated(case, specs, bas, config)
+        if config.mode == "flaky_network":
+            return self._run_flaky_network(case, specs, config)
+        if config.mode == "failover":
+            return self._run_failover(case, specs, config)
         db = self._build_db(specs, bas, config)
         if config.mode == "direct":
             outcome = db.query(case.query, options)
@@ -387,6 +391,78 @@ class ConformanceRunner:
             finally:
                 db.close()
         return [("sharded", outcome.contract_names, outcome.maybe_names)]
+
+    def _run_flaky_network(self, case: CheckCase, specs,
+                           config: StackConfig):
+        """The ``flaky-network`` cell: the sharded path with transient
+        faults armed on the coordinator's ``dist.send``/``dist.recv``
+        seams — two injected transport failures per query, which the
+        RPC retry machinery must absorb without changing the answer
+        (invariant 16, never-failed half)."""
+        from ..core.faults import FAULTS
+        from ..core.retry import BackoffPolicy
+        from ..dist import LocalCluster
+
+        options = QueryOptions(attribute_filter=case.filter.build())
+        with LocalCluster(
+            SHARDED_CELL_SHARDS, config=config.broker_config()
+        ) as cluster:
+            db = cluster.database(retry=BackoffPolicy(
+                max_retries=2, base_seconds=0.002, cap_seconds=0.01,
+            ))
+            try:
+                for spec in specs:
+                    db.register(
+                        spec.name,
+                        [str(clause) for clause in spec.clauses],
+                        dict(spec.attributes),
+                    )
+                # two faults, at most two retries per shard: absorbed
+                # no matter which shards they land on
+                FAULTS.fail_at("dist.send", nth=1, times=1,
+                               exc=OSError("injected send fault"))
+                FAULTS.fail_at("dist.recv", nth=1, times=1,
+                               exc=OSError("injected recv fault"))
+                try:
+                    outcome = db.query(case.query, options)
+                finally:
+                    FAULTS.reset()
+            finally:
+                db.close()
+        return [
+            ("flaky-network", outcome.contract_names, outcome.maybe_names)
+        ]
+
+    def _run_failover(self, case: CheckCase, specs, config: StackConfig):
+        """The ``failover`` cell: a journaled 2-shard cluster whose
+        leader dies after registration; its caught-up replica is
+        promoted (epoch bump) and the coordinator fails the shard
+        address over — the re-answered query must still match the
+        oracle, on the same global contract ids (invariant 16)."""
+        from ..dist import LocalCluster
+
+        options = QueryOptions(attribute_filter=case.filter.build())
+        with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+            with LocalCluster(2, directory=Path(tmp) / "cluster",
+                              config=config.broker_config()) as cluster:
+                db = cluster.database()
+                try:
+                    for spec in specs:
+                        db.register(
+                            spec.name,
+                            [str(clause) for clause in spec.clauses],
+                            dict(spec.attributes),
+                        )
+                    replica = cluster.replica(0)
+                    replica.catch_up()
+                    cluster.stop_shard(0)
+                    replica.promote(Path(tmp) / "promoted")
+                    address = cluster.restart_shard(0, db=replica.db)
+                    db.fail_over(0, address)
+                    outcome = db.query(case.query, options)
+                finally:
+                    db.close()
+        return [("failover", outcome.contract_names, outcome.maybe_names)]
 
     def _run_replicated(self, case: CheckCase, specs, bas,
                         config: StackConfig):

@@ -37,7 +37,12 @@ modules exchanging text files:
   file other commands and clients can pick up;
 * ``contract-broker shard-status`` — interrogate running shard servers
   over the wire protocol: contracts held, journal epoch/size, op
-  counters;
+  counters; a dead shard is reported ``down`` (exit 0 — a finding,
+  not a CLI failure), and ``--health`` prints the compact up/down
+  summary;
+* ``contract-broker promote``   — turn a caught-up journal-shipping
+  replica of a dead leader into a fresh writable leader directory
+  (epoch bump) a shard server can serve;
 * ``contract-broker demo``      — the airfare running example end to end.
 
 Spec-file format: a JSON list of ``{"name": ..., "clauses": [LTL, ...],
@@ -277,7 +282,27 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="JSON address list written by serve")
     shst.add_argument("--json", action="store_true",
                       help="emit the per-shard status documents as JSON")
+    shst.add_argument("--health", action="store_true",
+                      help="print only an up/down health summary per "
+                           "shard (no contract listings)")
     shst.set_defaults(handler=_cmd_shard_status)
+
+    promote = sub.add_parser(
+        "promote",
+        help="promote a journal-shipping replica of a dead leader: "
+             "catch up to the shipped journal tail, bump the epoch, "
+             "write a fresh leader directory a shard server can serve",
+    )
+    promote.add_argument("leader", type=Path,
+                         help="the dead leader's journaled directory "
+                              "(the replication source)")
+    promote.add_argument("directory", type=Path,
+                         help="fresh directory for the promoted leader")
+    promote.add_argument("--timeout", type=float, default=30.0,
+                         help="catch-up timeout in seconds")
+    promote.add_argument("--json", action="store_true",
+                         help="emit the promotion report as JSON")
+    promote.set_defaults(handler=_cmd_promote)
 
     demo = sub.add_parser("demo", help="run the airfare running example")
     demo.set_defaults(handler=_cmd_demo)
@@ -324,6 +349,9 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--stride", type=int, default=1,
                        help="byte stride of the truncation sweep "
                             "(1 = every byte boundary)")
+    chaos.add_argument("--drills", default=None,
+                       help="comma-separated drill names to run "
+                            "(default: all; see repro.check.chaos.DRILLS)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the drill report as JSON")
     chaos.set_defaults(handler=_cmd_chaos)
@@ -744,7 +772,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     mutations = (
         args.mutations if args.mutations is not None else DEFAULT_MUTATIONS
     )
-    report = run_chaos_drills(mutations=mutations, stride=args.stride)
+    drills = None
+    if args.drills:
+        drills = [name.strip() for name in args.drills.split(",")
+                  if name.strip()]
+    try:
+        report = run_chaos_drills(
+            mutations=mutations, stride=args.stride, drills=drills
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -814,18 +851,39 @@ def _shard_addresses(args: argparse.Namespace) -> list[tuple[str, int]]:
 
 def _cmd_shard_status(args: argparse.Namespace) -> int:
     from .dist import ShardClient
+    from .errors import DistError
 
     statuses = []
-    for host, port in _shard_addresses(args):
-        with ShardClient(host, port) as client:
-            status = client.request({"op": "status"})
+    for position, (host, port) in enumerate(_shard_addresses(args)):
+        # a dead shard is a *finding*, not a CLI failure: report it as
+        # down and keep interrogating the rest of the cluster
+        try:
+            with ShardClient(host, port) as client:
+                status = client.request({"op": "status"})
             status.pop("ok", None)
-            status["address"] = f"{host}:{port}"
-            statuses.append(status)
+            status["up"] = True
+        except DistError as exc:
+            status = {
+                "shard_id": position,
+                "up": False,
+                "error": str(exc),
+                "contracts": None,
+            }
+        status["address"] = f"{host}:{port}"
+        statuses.append(status)
+    up = [s for s in statuses if s["up"]]
     if args.json:
         print(json.dumps({"shards": statuses}, indent=2, sort_keys=True))
         return 0
     for status in statuses:
+        if not status["up"]:
+            print(f"shard {status['shard_id']} @ {status['address']}: "
+                  f"down ({status['error']})")
+            continue
+        if args.health:
+            print(f"shard {status['shard_id']} @ {status['address']}: "
+                  f"up, {status['contracts']} contract(s)")
+            continue
         journal = status.get("journal")
         journal_text = (
             f"journal epoch {journal['epoch']}, {journal['records']} "
@@ -836,8 +894,34 @@ def _cmd_shard_status(args: argparse.Namespace) -> int:
               f"{status['contracts']} contract(s), {journal_text}")
         if status.get("names"):
             print(f"  contracts: {', '.join(status['names'])}")
-    total = sum(s["contracts"] for s in statuses)
-    print(f"{len(statuses)} shard(s), {total} contract(s) total")
+    total = sum(s["contracts"] for s in up)
+    print(f"{len(up)}/{len(statuses)} shard(s) up, "
+          f"{total} contract(s) total")
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from .dist import Replica
+
+    replica = Replica(args.leader)
+    caught_up = replica.catch_up(timeout=args.timeout)
+    report = replica.promote(args.directory)
+    if args.json:
+        print(json.dumps({
+            "leader": str(args.leader),
+            "directory": report.directory,
+            "epoch": report.epoch,
+            "contracts": report.contracts,
+            "applied": report.applied,
+            "resynced": caught_up.resynced,
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"replica of {args.leader} caught up "
+          f"(applied {caught_up.applied + report.applied} record(s))")
+    print(f"promoted into {report.directory}: journal epoch "
+          f"{report.epoch}, {report.contracts} contract(s)")
+    print("serve the promoted directory behind a shard server and "
+          "fail the coordinator's shard address over to it")
     return 0
 
 

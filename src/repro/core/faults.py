@@ -34,6 +34,22 @@ Faults are counted per *site*: ``nth=3`` arms the third ``hit`` on that
 site after arming, and ``times`` controls how many consecutive hits
 fire from there on (default 1).  The registry is thread-safe; seams are
 hit from pool worker threads.
+
+Seams currently wired into production code:
+
+* ``persist.artifact_write`` — each artifact file write in
+  :func:`~repro.broker.persist.save_database`;
+* ``journal.append`` / ``journal.fsync`` / ``journal.compact`` — the
+  write-ahead journal's durability points;
+* ``register.pool`` / ``query.pool`` — the parallel broker's worker
+  dispatch;
+* ``dist.connect`` / ``dist.send`` / ``dist.recv`` — the distributed
+  broker's *client-side* transport edges (the coordinator's RPC path
+  and :class:`~repro.dist.server.ShardClient`), with ``shard=`` /
+  ``op=`` context kwargs so an ``action`` callable can target one
+  shard or one op (a partition is "raise ``OSError`` when
+  ``kwargs.get('shard') == 1``").  Server-side traffic never hits
+  these seams, so ``nth`` counts client attempts deterministically.
 """
 
 from __future__ import annotations

@@ -6,7 +6,11 @@ while every answer is still produced by an ordinary
 :class:`~repro.broker.database.ContractDatabase` on some shard.
 Distribution changes placement, never answers (docs/DEVELOPMENT.md
 invariant 15); the ``sharded`` and ``replicated`` conformance cells
-re-prove that equivalence against the single-node oracle on every run.
+re-prove that equivalence against the single-node oracle on every run,
+and the ``flaky-network`` / ``failover`` cells re-prove it *through*
+injected transport faults and a leader replacement (invariant 16: a
+retried or failed-over query returns the same answer a never-failed
+cluster would, or a sound degradation).
 
 Entry points:
 
@@ -17,17 +21,33 @@ Entry points:
 * :class:`~repro.dist.coordinator.Coordinator` /
   :class:`~repro.dist.coordinator.DistributedDatabase` — the asyncio
   fan-out front-end and its synchronous ``ContractDatabase``-shaped
-  wrapper;
+  wrapper, with per-shard :class:`~repro.dist.coordinator.ShardHealth`
+  circuit breakers and deadline-aware RPC retry;
 * :class:`~repro.dist.replica.Replica` — a read-only copy kept warm by
-  tailing the leader's write-ahead journal (journal shipping);
+  tailing the leader's write-ahead journal (journal shipping); serves
+  routed reads under a :class:`~repro.dist.replica.ReadPreference`
+  staleness bound and takes over for a dead leader via
+  :meth:`~repro.dist.replica.Replica.promote`;
 * :class:`~repro.dist.cluster.LocalCluster` — N shards (+ replica) on
   one machine, for tests, benchmarks and the CLI.
 """
 
 from .cluster import LocalCluster
-from .coordinator import Coordinator, DistributedDatabase, RoutedContract
+from .coordinator import (
+    Coordinator,
+    DistributedDatabase,
+    RoutedContract,
+    ShardHealth,
+    TransientShardError,
+)
 from .partition import ShardRouter, jump_hash, stable_key
-from .replica import PollReport, Replica, ReplicaCursor
+from .replica import (
+    PollReport,
+    PromotionReport,
+    ReadPreference,
+    Replica,
+    ReplicaCursor,
+)
 from .server import ShardClient, ShardServer, serve_shard
 
 __all__ = [
@@ -35,12 +55,16 @@ __all__ = [
     "DistributedDatabase",
     "LocalCluster",
     "PollReport",
+    "PromotionReport",
+    "ReadPreference",
     "Replica",
     "ReplicaCursor",
     "RoutedContract",
     "ShardClient",
-    "ShardRouter",
+    "ShardHealth",
     "ShardServer",
+    "ShardRouter",
+    "TransientShardError",
     "jump_hash",
     "serve_shard",
     "stable_key",

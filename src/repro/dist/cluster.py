@@ -15,9 +15,15 @@ import tempfile
 from pathlib import Path
 
 from ..broker.database import BrokerConfig
+from ..core.retry import BackoffPolicy
 from ..errors import DistError
 from ..obs.metrics import MetricsRegistry
-from .coordinator import DEFAULT_RPC_TIMEOUT, DistributedDatabase
+from .coordinator import (
+    DEFAULT_BREAKER_RESET_SECONDS,
+    DEFAULT_BREAKER_THRESHOLD,
+    DEFAULT_RPC_TIMEOUT,
+    DistributedDatabase,
+)
 from .replica import Replica
 from .server import ShardServer, serve_shard
 
@@ -103,16 +109,53 @@ class LocalCluster:
             self.addresses.append(("127.0.0.1", port))
 
     def database(self, *, metrics: MetricsRegistry | None = None,
-                 rpc_timeout: float = DEFAULT_RPC_TIMEOUT
+                 rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+                 retry: BackoffPolicy | None = None,
+                 breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 breaker_reset_seconds: float = DEFAULT_BREAKER_RESET_SECONDS,
                  ) -> DistributedDatabase:
         """A fresh coordinator front-end over this cluster."""
         return DistributedDatabase(
-            self.addresses, metrics=metrics, rpc_timeout=rpc_timeout
+            self.addresses, metrics=metrics, rpc_timeout=rpc_timeout,
+            retry=retry, breaker_threshold=breaker_threshold,
+            breaker_reset_seconds=breaker_reset_seconds,
         )
 
-    def replica(self, *, metrics: MetricsRegistry | None = None) -> Replica:
-        """A journal-shipping replica of shard 0."""
-        return Replica(self.leader_dir, config=self.config, metrics=metrics)
+    def replica(self, shard: int = 0, *,
+                metrics: MetricsRegistry | None = None) -> Replica:
+        """A journal-shipping replica of ``shard`` (default: shard 0)."""
+        leader = self.shard_dir(shard)
+        if leader is None:
+            raise DistError(
+                "a memory-only cluster has no journal to replicate; "
+                "construct LocalCluster with a directory"
+            )
+        return Replica(leader, config=self.config, metrics=metrics)
+
+    def stop_shard(self, shard: int) -> None:
+        """Kill one thread-mode shard server (the chaos drills' leader
+        murder weapon); its address stays in the coordinator's view so
+        calls to it now fail like a dead host, not a closed topology."""
+        if self.mode != "thread":
+            raise DistError("stop_shard is only supported in thread mode")
+        self.servers[shard].stop()
+
+    def restart_shard(self, shard: int, *, db=None) -> tuple[str, int]:
+        """Bring a thread-mode shard back up (optionally serving a
+        promoted replica's ``db``) on a fresh port; returns the new
+        address for :meth:`DistributedDatabase.fail_over`."""
+        if self.mode != "thread":
+            raise DistError("restart_shard is only supported in thread mode")
+        if db is not None:
+            server = ShardServer(shard, db=db).start()
+        else:
+            server = ShardServer(
+                shard, directory=self.shard_dir(shard), config=self.config,
+            ).start()
+        self.servers[shard] = server
+        address = ("127.0.0.1", server.port)
+        self.addresses[shard] = address
+        return address
 
     def stop(self) -> None:
         for server in self.servers:

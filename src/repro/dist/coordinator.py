@@ -1,4 +1,4 @@
-"""The distributed broker front-end: route, fan out, merge.
+"""The distributed broker front-end: route, fan out, merge — and survive.
 
 The :class:`Coordinator` owns the only cluster-global state — the
 catalog mapping each registered contract to a global id and the shard
@@ -10,11 +10,46 @@ order** — the same ascending-id order a single-node database reports —
 so a distributed answer is byte-comparable to the single-node oracle's
 (invariant 15: distribution changes placement, never answers).
 
+Fault tolerance (1.10) is layered on that contract, never above it:
+
+* **retry** — a transient transport failure (connect refused, socket
+  ``OSError``, RPC timeout, connection closed mid-exchange) on an
+  *idempotent* op (``query``/``query_many``/``status``/``ping``) is
+  retried under the shared :class:`~repro.core.retry.BackoffPolicy`
+  (capped exponential, deterministic jitter salted per shard+op).
+  Every retry re-checks the query deadline first, so a retried call
+  never outlives the budget the caller set.  ``register``/
+  ``deregister`` are *not* retried — the shard may or may not have
+  applied them — and surface a typed
+  :class:`~repro.errors.RetryableDistError` so the caller can verify
+  and re-issue (a blind re-register is rejected by name, not
+  double-applied);
+* **health** — each shard carries a :class:`ShardHealth` circuit
+  breaker: ``failure_threshold`` consecutive transport failures open
+  it, an open breaker fails calls fast (no connect, no timeout wait),
+  and after ``reset_seconds`` a single half-open probe is let through —
+  success closes the breaker, failure re-opens it.  A query against an
+  open breaker degrades to SKIPPED immediately instead of stalling the
+  whole fan-out on a dead shard's timeout;
+* **replica reads** — :meth:`Coordinator.attach_replica` routes a
+  shard's read traffic to a journal-shipping
+  :class:`~repro.dist.replica.Replica` under a
+  :class:`~repro.dist.replica.ReadPreference` staleness bound,
+  falling back to the leader when the replica lags past it;
+* **failover** — :meth:`Coordinator.fail_over` repoints a shard's
+  address at a promoted replica (:meth:`~repro.dist.replica.Replica.
+  promote`) without renumbering a single global contract id: the
+  catalog is keyed by name+shard slot, so placement survives the
+  leader change untouched.
+
 Degradation composes across the network: a shard that misses its RPC
-deadline (or is simply gone) contributes SKIPPED verdicts for every
-contract it owns, exactly the shape a single node gives queued
-candidates when the budget runs out first — so the merged outcome
-keeps satisfying ``permitted ⊆ exact ⊆ permitted ∪ maybe``.
+deadline (or is simply gone, or breaker-open) contributes SKIPPED
+verdicts for every contract it owns, exactly the shape a single node
+gives queued candidates when the budget runs out first — so the merged
+outcome keeps satisfying ``permitted ⊆ exact ⊆ permitted ∪ maybe``,
+and under ``Degradation.FAIL`` a failed shard raises
+:class:`~repro.errors.QueryBudgetError`, the same typed refusal a
+single node gives an exhausted budget.
 
 :class:`DistributedDatabase` wraps the coordinator in the synchronous
 ``ContractDatabase``-shaped client API (a background event loop), so
@@ -32,12 +67,15 @@ from dataclasses import dataclass
 from ..broker.options import Degradation, QueryOptions, coerce_query_options
 from ..broker.query import QueryOutcome, QueryStats, Verdict
 from ..broker.spec import QuerySpec
-from ..errors import DistError
+from ..core import faults
+from ..core.retry import BackoffPolicy
+from ..errors import DistError, QueryBudgetError, RetryableDistError
 from ..ltl.ast import Formula
 from ..ltl.parser import parse
 from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry
 from . import protocol
 from .partition import ShardRouter
+from .replica import ReadPreference, Replica
 
 #: Grace added on top of a query's own deadline before the coordinator
 #: gives up on a shard RPC (the shard needs time to serialize/ship the
@@ -47,6 +85,25 @@ RPC_GRACE_SECONDS = 5.0
 #: RPC timeout for queries with no deadline of their own.
 DEFAULT_RPC_TIMEOUT = 300.0
 
+#: Ops safe to retry blind: re-running them cannot double-apply state.
+IDEMPOTENT_OPS = frozenset({"ping", "query", "query_many", "status"})
+
+#: The default RPC retry schedule (see :mod:`repro.core.retry`).
+DEFAULT_RETRY = BackoffPolicy()
+
+#: Consecutive transport failures that open a shard's circuit breaker.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Seconds an open breaker waits before letting a half-open probe out.
+DEFAULT_BREAKER_RESET_SECONDS = 5.0
+
+
+class TransientShardError(DistError):
+    """A shard RPC failed for a reason that may heal: connect refused,
+    transport ``OSError``, RPC timeout, connection closed mid-exchange,
+    or an open circuit breaker refusing to try.  The coordinator
+    retries these on idempotent ops; everything else surfaces them."""
+
 
 @dataclass(frozen=True)
 class RoutedContract:
@@ -55,6 +112,91 @@ class RoutedContract:
     contract_id: int  #: the cluster-global id
     name: str
     shard: int  #: which shard holds it
+
+
+class ShardHealth:
+    """A consecutive-failure circuit breaker for one shard.
+
+    States: **closed** (healthy — calls flow), **open** (tripped —
+    calls fail fast without touching the network), **half-open** (the
+    reset timeout elapsed — exactly one probe is let through; its
+    outcome decides between closed and open again).  Success in any
+    state closes the breaker and zeroes the failure streak.
+    """
+
+    def __init__(self, *, failure_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 reset_seconds: float = DEFAULT_BREAKER_RESET_SECONDS,
+                 clock=time.monotonic):
+        if failure_threshold < 1:
+            raise DistError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.last_error: str | None = None
+        self._opened_at = 0.0
+        self._probing = False
+
+    def allow(self) -> bool:
+        """May a call go out now?  In half-open, the first ``allow``
+        claims the single probe slot; concurrent callers are refused
+        until the probe reports back."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self._opened_at >= self.reset_seconds:
+                self.state = "half_open"
+                self._probing = True
+                return True
+            return False
+        # half-open: one probe in flight at a time
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.last_error = None
+        self._probing = False
+
+    def record_failure(self, error: BaseException | str) -> bool:
+        """Count one transport failure; returns True when this failure
+        *trips* the breaker (closed/half-open → open)."""
+        self.consecutive_failures += 1
+        self.last_error = str(error)
+        self._probing = False
+        should_open = (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.failure_threshold
+        )
+        if should_open and self.state != "open":
+            self.state = "open"
+            self._opened_at = self._clock()
+            return True
+        if should_open:
+            self._opened_at = self._clock()
+        return False
+
+    def reset(self) -> None:
+        """Forget everything (a failover installed a fresh address)."""
+        self.record_success()
+
+    @property
+    def healthy(self) -> bool:
+        return self.state == "closed"
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "last_error": self.last_error,
+        }
 
 
 class Coordinator:
@@ -67,18 +209,32 @@ class Coordinator:
 
     def __init__(self, addresses: list[tuple[str, int]], *,
                  metrics: MetricsRegistry | None = None,
-                 rpc_timeout: float = DEFAULT_RPC_TIMEOUT):
+                 rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+                 retry: BackoffPolicy | None = None,
+                 breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 breaker_reset_seconds: float = DEFAULT_BREAKER_RESET_SECONDS,
+                 health_clock=time.monotonic):
         if not addresses:
             raise DistError("a cluster needs at least one shard address")
         self.addresses = list(addresses)
         self.router = ShardRouter(len(self.addresses))
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.rpc_timeout = rpc_timeout
+        self.retry = retry if retry is not None else DEFAULT_RETRY
         self._catalog: dict[int, RoutedContract] = {}
         self._by_name: dict[str, int] = {}
         self._next_id = 1
         self._conns: list[tuple | None] = [None] * len(self.addresses)
         self._locks = [asyncio.Lock() for _ in self.addresses]
+        self.health = [
+            ShardHealth(
+                failure_threshold=breaker_threshold,
+                reset_seconds=breaker_reset_seconds,
+                clock=health_clock,
+            )
+            for _ in self.addresses
+        ]
+        self._replicas: dict[int, tuple[Replica, ReadPreference]] = {}
 
     # -- plumbing ---------------------------------------------------------------------
 
@@ -86,26 +242,31 @@ class Coordinator:
         conn = self._conns[shard]
         if conn is None:
             host, port = self.addresses[shard]
+            faults.hit("dist.connect", shard=shard, host=host, port=port)
             try:
                 conn = await asyncio.open_connection(host, port)
             except OSError as exc:
-                raise DistError(
+                raise TransientShardError(
                     f"cannot reach shard {shard} at {host}:{port}: {exc}"
                 ) from exc
             self._conns[shard] = conn
         return conn
 
-    async def _call(self, shard: int, doc: dict, *,
-                    timeout: float | None = None) -> dict:
-        """One request/response exchange with ``shard`` (raises
-        :class:`DistError` on transport failure, protocol violation,
-        timeout, or a shard-side error response)."""
+    async def _call_once(self, shard: int, doc: dict, *,
+                         timeout: float | None = None) -> dict:
+        """One request/response exchange with ``shard``.  Raises
+        :class:`TransientShardError` on transport failure or timeout
+        (may heal — retryable), plain :class:`DistError` on a
+        shard-side error response (the shard is up and answering)."""
         started = time.perf_counter()
+        op = doc.get("op")
         try:
             async with self._locks[shard]:
                 reader, writer = await self._connection(shard)
                 try:
+                    faults.hit("dist.send", shard=shard, op=op)
                     await protocol.write_frame(writer, doc)
+                    faults.hit("dist.recv", shard=shard, op=op)
                     response = await asyncio.wait_for(
                         protocol.read_frame(reader),
                         timeout if timeout is not None else self.rpc_timeout,
@@ -115,17 +276,18 @@ class Coordinator:
                     self._conns[shard] = None
                     writer.close()
                     raise
+        except TransientShardError:
+            self.metrics.inc(f"dist.shard.{shard}.failures")
+            raise
         except asyncio.TimeoutError as exc:
             self.metrics.inc(f"dist.shard.{shard}.timeouts")
-            raise DistError(
-                f"shard {shard} missed the RPC deadline for "
-                f"{doc.get('op')!r}"
+            raise TransientShardError(
+                f"shard {shard} missed the RPC deadline for {op!r}"
             ) from exc
         except OSError as exc:
             self.metrics.inc(f"dist.shard.{shard}.failures")
-            raise DistError(
-                f"shard {shard} transport failed during "
-                f"{doc.get('op')!r}: {exc}"
+            raise TransientShardError(
+                f"shard {shard} transport failed during {op!r}: {exc}"
             ) from exc
         finally:
             self.metrics.observe(
@@ -135,22 +297,175 @@ class Coordinator:
         if response is None:
             self._conns[shard] = None
             self.metrics.inc(f"dist.shard.{shard}.failures")
-            raise DistError(
+            raise TransientShardError(
                 f"shard {shard} closed the connection mid-request"
             )
         self.metrics.inc(f"dist.shard.{shard}.requests")
         if not response.get("ok"):
             raise DistError(
-                f"shard {shard} rejected {doc.get('op')!r}: "
-                f"{response.get('error')}"
+                f"shard {shard} rejected {op!r}: {response.get('error')}"
             )
         return response
+
+    async def _call(self, shard: int, doc: dict, *,
+                    timeout: float | None = None,
+                    deadline: float | None = None) -> dict:
+        """A health-tracked, retrying exchange with ``shard``.
+
+        ``deadline`` is an absolute ``time.perf_counter()`` value the
+        call (including every retry and backoff sleep) must never
+        outlive — it is re-checked before each attempt *and* before
+        each backoff sleep.  Idempotent ops retry transient failures
+        under the coordinator's :class:`~repro.core.retry.BackoffPolicy`;
+        mutations surface a :class:`~repro.errors.RetryableDistError`
+        after the first transient failure instead.
+        """
+        op = doc.get("op")
+        health = self.health[shard]
+        attempt = 0
+        while True:
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise TransientShardError(
+                        f"query budget exhausted before shard {shard} "
+                        f"answered {op!r}"
+                    )
+                attempt_timeout = remaining + RPC_GRACE_SECONDS
+                if timeout is not None:
+                    attempt_timeout = min(timeout, attempt_timeout)
+            else:
+                attempt_timeout = timeout
+            if not health.allow():
+                self._publish_health(shard)
+                raise TransientShardError(
+                    f"shard {shard} circuit breaker is open "
+                    f"({health.consecutive_failures} consecutive "
+                    f"failure(s); last: {health.last_error})"
+                )
+            try:
+                response = await self._call_once(
+                    shard, doc, timeout=attempt_timeout
+                )
+            except TransientShardError as exc:
+                if health.record_failure(exc):
+                    self.metrics.inc("dist.breaker_open")
+                self._publish_health(shard)
+                if op not in IDEMPOTENT_OPS:
+                    raise RetryableDistError(
+                        f"transient failure on non-idempotent {op!r} "
+                        f"against shard {shard}: {exc}  (not retried "
+                        "automatically — verify shard state, then "
+                        "re-issue)"
+                    ) from exc
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    raise
+                pause = self.retry.delay(attempt, salt=f"shard{shard}:{op}")
+                if (deadline is not None
+                        and time.perf_counter() + pause >= deadline):
+                    # a retry must never outlive the query's own budget
+                    raise
+                self.metrics.inc("dist.retries")
+                self.metrics.inc(f"dist.shard.{shard}.retries")
+                await asyncio.sleep(pause)
+                continue
+            health.record_success()
+            self._publish_health(shard)
+            return response
+
+    def _publish_health(self, shard: int) -> None:
+        health = self.health[shard]
+        self.metrics.set_gauge(
+            f"dist.shard.{shard}.healthy", 1.0 if health.healthy else 0.0
+        )
+        self.metrics.set_gauge(
+            f"dist.shard.{shard}.consecutive_failures",
+            health.consecutive_failures,
+        )
 
     async def aclose(self) -> None:
         for shard, conn in enumerate(self._conns):
             if conn is not None:
                 conn[1].close()
                 self._conns[shard] = None
+
+    # -- topology: replicas and failover ----------------------------------------------
+
+    def attach_replica(self, shard: int, replica: Replica,
+                       preference: ReadPreference | None = None) -> None:
+        """Route ``shard``'s read traffic to ``replica`` whenever its
+        replication lag is within ``preference``'s staleness bound;
+        reads past the bound (or any replica failure) fall back to the
+        leader transparently."""
+        self._check_shard(shard)
+        self._replicas[shard] = (
+            replica, preference if preference is not None else ReadPreference()
+        )
+
+    def detach_replica(self, shard: int) -> None:
+        self._replicas.pop(shard, None)
+
+    def fail_over(self, shard: int, address: tuple[str, int]) -> None:
+        """Repoint ``shard`` at ``address`` — a promoted replica (or a
+        restarted leader).  The catalog is untouched: every contract
+        keeps its global id and its shard slot (invariant 15 —
+        distribution changes placement, never answers), only the wire
+        destination changes.  The shard's breaker and connection are
+        reset so the next call probes the new address immediately."""
+        self._check_shard(shard)
+        host, port = address
+        conn = self._conns[shard]
+        if conn is not None:
+            conn[1].close()
+            self._conns[shard] = None
+        self.addresses[shard] = (str(host), int(port))
+        self.health[shard].reset()
+        self._publish_health(shard)
+        # the promoted replica is the leader now; never read-route a
+        # shard to its own leader
+        self._replicas.pop(shard, None)
+        self.metrics.inc("dist.failovers")
+
+    def reset_breakers(self) -> None:
+        """Close every breaker (an operator healed the network)."""
+        for shard in range(len(self.addresses)):
+            self.health[shard].reset()
+            self._publish_health(shard)
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < len(self.addresses):
+            raise DistError(
+                f"no shard {shard} in a {len(self.addresses)}-shard cluster"
+            )
+
+    async def check_health(self, *, timeout: float = 5.0) -> list[dict]:
+        """Probe every shard with a ``status`` RPC (through the breaker
+        and retry machinery, so the health state updates) and report
+        one document per shard."""
+        async def one(shard: int) -> dict:
+            doc: dict = {
+                "shard": shard,
+                "address": list(self.addresses[shard]),
+            }
+            try:
+                status = await self._call(
+                    shard, {"op": "status"}, timeout=timeout
+                )
+            except DistError as exc:
+                doc.update(healthy=False, error=str(exc))
+            else:
+                doc.update(
+                    healthy=True,
+                    contracts=status.get("contracts"),
+                    journal=status.get("journal"),
+                )
+            doc["breaker"] = self.health[shard].to_dict()
+            return doc
+
+        return list(await asyncio.gather(
+            *(one(s) for s in range(len(self.addresses)))
+        ))
 
     # -- mutations (routed to one shard) ----------------------------------------------
 
@@ -240,27 +555,36 @@ class Coordinator:
     async def _fan_out(self, doc: dict, options: QueryOptions,
                        started: float) -> list[tuple[int, dict | None]]:
         """Send ``doc`` to every shard concurrently; a shard that fails
-        or misses the deadline yields ``None`` (merged as SKIPPED)."""
+        or misses the deadline yields ``None`` (merged as SKIPPED —
+        or, under ``Degradation.FAIL``, raises
+        :class:`~repro.errors.QueryBudgetError`)."""
 
         async def one(shard: int) -> dict | None:
             send = dict(doc)
             timeout = self.rpc_timeout
+            deadline = None
             if options.deadline_seconds is not None:
                 # propagate the *remaining* budget: time already spent
                 # routing/serializing is not given back to the shard
-                remaining = max(
-                    0.0,
-                    options.deadline_seconds
-                    - (time.perf_counter() - started),
-                )
+                deadline = started + options.deadline_seconds
+                remaining = max(0.0, deadline - time.perf_counter())
                 shard_options = options.evolve(deadline_seconds=remaining)
                 send.update(protocol.options_to_doc(shard_options))
                 timeout = remaining + RPC_GRACE_SECONDS
+            if shard in self._replicas:
+                response = await self._replica_read(shard, send)
+                if response is not None:
+                    return response
             try:
-                return await self._call(shard, send, timeout=timeout)
-            except DistError:
+                return await self._call(
+                    shard, send, timeout=timeout, deadline=deadline
+                )
+            except DistError as exc:
                 if options.degradation is Degradation.FAIL:
-                    raise
+                    raise QueryBudgetError(
+                        f"shard {shard} failed under Degradation.FAIL: "
+                        f"{exc}"
+                    ) from exc
                 self.metrics.inc("dist.merge.skipped_shards")
                 return None
 
@@ -268,6 +592,33 @@ class Coordinator:
             range(len(self.addresses)),
             await asyncio.gather(*(one(s) for s in range(len(self.addresses)))),
         ))
+
+    async def _replica_read(self, shard: int, send: dict) -> dict | None:
+        """Serve ``shard``'s slice of a read from its attached replica
+        when the replication lag is within the read preference's bound;
+        ``None`` means "go ask the leader" (stale, stalled, or the
+        replica itself failed)."""
+        replica, preference = self._replicas[shard]
+        try:
+            report = await asyncio.to_thread(replica.poll)
+            if (report.lag_records > preference.max_staleness_records
+                    or replica.stalled):
+                self.metrics.inc("dist.replica_read_fallbacks")
+                return None
+            shard_options = protocol.options_from_doc(send)
+            outcomes = await asyncio.to_thread(
+                replica.query_many, list(send["queries"]), shard_options
+            )
+        except Exception:
+            # any replica trouble falls back to the leader; reads must
+            # never be *less* available with a replica attached
+            self.metrics.inc("dist.replica_read_fallbacks")
+            return None
+        id_to_name = {
+            c.contract_id: c.name for c in replica.db.contracts()
+        }
+        self.metrics.inc("dist.replica_reads")
+        return protocol.outcomes_doc(outcomes, id_to_name)
 
     def _merge(self, query_text: str,
                per_shard: list[tuple[int, dict | None]],
@@ -454,7 +805,10 @@ class DistributedDatabase:
 
     def __init__(self, addresses: list[tuple[str, int]], *,
                  metrics: MetricsRegistry | None = None,
-                 rpc_timeout: float = DEFAULT_RPC_TIMEOUT):
+                 rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+                 retry: BackoffPolicy | None = None,
+                 breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 breaker_reset_seconds: float = DEFAULT_BREAKER_RESET_SECONDS):
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="dist-coordinator",
@@ -462,12 +816,22 @@ class DistributedDatabase:
         )
         self._thread.start()
         self.coordinator = Coordinator(
-            addresses, metrics=metrics, rpc_timeout=rpc_timeout
+            addresses, metrics=metrics, rpc_timeout=rpc_timeout,
+            retry=retry, breaker_threshold=breaker_threshold,
+            breaker_reset_seconds=breaker_reset_seconds,
         )
 
     def _run(self, coro):
         future = asyncio.run_coroutine_threadsafe(coro, self._loop)
         return future.result()
+
+    def _call_on_loop(self, fn, *args):
+        """Run a plain callable on the coordinator's loop thread (the
+        coordinator's topology state is only touched from its loop)."""
+        async def shim():
+            return fn(*args)
+
+        return self._run(shim())
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -513,6 +877,24 @@ class DistributedDatabase:
 
     def status(self) -> dict:
         return self._run(self.coordinator.status())
+
+    def check_health(self, *, timeout: float = 5.0) -> list[dict]:
+        return self._run(self.coordinator.check_health(timeout=timeout))
+
+    def attach_replica(self, shard: int, replica: Replica,
+                       preference: ReadPreference | None = None) -> None:
+        self._call_on_loop(
+            self.coordinator.attach_replica, shard, replica, preference
+        )
+
+    def detach_replica(self, shard: int) -> None:
+        self._call_on_loop(self.coordinator.detach_replica, shard)
+
+    def fail_over(self, shard: int, address: tuple[str, int]) -> None:
+        self._call_on_loop(self.coordinator.fail_over, shard, address)
+
+    def reset_breakers(self) -> None:
+        self._call_on_loop(self.coordinator.reset_breakers)
 
     def save_all(self) -> list[dict]:
         return self._run(self.coordinator.save_all())

@@ -17,6 +17,13 @@ Query options ride as the same JSON document shape as
 :class:`~repro.broker.spec.QuerySpec` options (plus the serialized
 relational filter), so the wire format stays aligned with the
 declarative query API instead of inventing a second encoding.
+
+The framing layer itself carries **no** fault seams: the chaos seams
+(``dist.connect`` / ``dist.send`` / ``dist.recv`` in
+:mod:`repro.core.faults`) live at the *client* edges — the
+coordinator's RPC path and :class:`~repro.dist.server.ShardClient` —
+so injected faults count client attempts deterministically and never
+fire on the server's half of the same exchange.
 """
 
 from __future__ import annotations
@@ -222,6 +229,16 @@ def outcome_to_doc(outcome: QueryOutcome,
         "verdicts": verdicts,
         "stats": stats_to_doc(outcome.stats),
     }
+
+
+def outcomes_doc(outcomes, id_to_name: Mapping[int, str]) -> dict:
+    """The full ``query_many`` success payload for a batch of outcomes
+    — one shape shared by the shard server and the coordinator's
+    replica-read path, so a replica-served answer is byte-identical to
+    a leader-served one."""
+    return {"ok": True, "outcomes": [
+        outcome_to_doc(outcome, id_to_name) for outcome in outcomes
+    ]}
 
 
 def outcome_from_doc(doc: Mapping[str, Any]) -> QueryOutcome:

@@ -22,6 +22,19 @@ replica's cursor is ``(epoch, byte offset, next sequence)``:
 
 Queries against the replica are plain local queries — stale by at most
 the replication lag, never wrong about any prefix they claim.
+
+Two roles build on that loop (1.10):
+
+* **read routing** — a coordinator hands a shard's read traffic to its
+  replica under a :class:`ReadPreference` staleness bound (see
+  :meth:`repro.dist.coordinator.Coordinator.attach_replica`);
+* **promotion** — when the leader dies, :meth:`Replica.promote` turns
+  the caught-up replica into a writable, journaled leader of its own:
+  it verifies the replica holds the *entire* shipped journal tail,
+  bumps the journal epoch past the dead leader's, and snapshots into a
+  fresh directory a :class:`~repro.dist.server.ShardServer` can serve —
+  so a coordinator can fail the shard's address over without
+  renumbering a single global contract id.
 """
 
 from __future__ import annotations
@@ -33,8 +46,18 @@ from pathlib import Path
 
 from ..broker.database import BrokerConfig, ContractDatabase
 from ..broker.journal import JOURNAL_FILE, Journal
+from ..core.retry import BackoffPolicy
 from ..errors import DistError, ReproError
 from ..obs.metrics import MetricsRegistry
+
+#: The poll cadence :meth:`Replica.catch_up` waits on between polls —
+#: starts tight (journal writes usually land within milliseconds) and
+#: backs off to a capped plateau instead of busy-spinning.
+CATCH_UP_BACKOFF = BackoffPolicy(
+    max_retries=0,  # unused: catch_up polls until its own deadline
+    base_seconds=0.01,
+    cap_seconds=0.25,
+)
 
 
 @dataclass
@@ -44,6 +67,36 @@ class ReplicaCursor:
     epoch: int = -1  #: -1 = never synced
     offset: int = 0
     next_seq: int = 1
+
+
+@dataclass(frozen=True)
+class ReadPreference:
+    """How stale a routed replica read may be.
+
+    A coordinator serving a shard's read from its replica first polls
+    the replica; when more than ``max_staleness_records`` verified
+    leader records remain unapplied (or the replica is stalled), the
+    read falls back to the leader instead.  The default of 0 only ever
+    serves fully-caught-up answers."""
+
+    max_staleness_records: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_staleness_records < 0:
+            raise DistError(
+                "max_staleness_records must be >= 0, got "
+                f"{self.max_staleness_records}"
+            )
+
+
+@dataclass(frozen=True)
+class PromotionReport:
+    """What :meth:`Replica.promote` produced."""
+
+    directory: str  #: the promoted leader's data directory
+    epoch: int  #: the journal epoch the new leader writes at
+    contracts: int  #: contracts carried over from the dead leader
+    applied: int  #: records the final pre-promotion poll applied
 
 
 @dataclass
@@ -75,11 +128,19 @@ class Replica:
         self._db = ContractDatabase(config)
         self._ids: dict[str, int] = {}
         self._stalled_seq: int | None = None
+        self.promoted = False
 
     @property
     def db(self) -> ContractDatabase:
         """The replica's local database (query it directly)."""
         return self._db
+
+    @property
+    def stalled(self) -> bool:
+        """True when an unapplicable journal record poisoned the tail:
+        the replica holds a consistent *prefix* but cannot advance
+        until the leader compacts (or is replaced)."""
+        return self._stalled_seq is not None
 
     @property
     def journal_path(self) -> Path:
@@ -90,6 +151,11 @@ class Replica:
     def poll(self) -> PollReport:
         """One replication step: detect epoch changes, read the tail,
         apply what verified.  Cheap when there is nothing new."""
+        if self.promoted:
+            raise DistError(
+                "a promoted replica is a leader now; it no longer tails "
+                f"{self.leader_dir}"
+            )
         report = PollReport(epoch=self.cursor.epoch)
         started = time.perf_counter()
 
@@ -126,10 +192,18 @@ class Replica:
         return report
 
     def catch_up(self, *, timeout: float = 30.0,
-                 interval: float = 0.01) -> PollReport:
+                 backoff: BackoffPolicy | None = None) -> PollReport:
         """Poll until fully caught up (lag 0, no torn tail) or
-        ``timeout`` elapses."""
+        ``timeout`` elapses.
+
+        The wait between polls follows ``backoff`` (default
+        :data:`CATCH_UP_BACKOFF`): capped exponential with the shared
+        deterministic jitter, salted by the leader directory so two
+        replicas of different leaders desynchronize."""
+        policy = backoff if backoff is not None else CATCH_UP_BACKOFF
+        salt = f"replica:{self.leader_dir}"
         deadline = time.monotonic() + timeout
+        attempt = 0
         while True:
             report = self.poll()
             header = Journal.read_header_epoch(self.journal_path)
@@ -140,12 +214,76 @@ class Replica:
             )
             if caught_up:
                 return report
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise DistError(
                     f"replica did not catch up within {timeout}s "
                     f"(lag {report.lag_bytes} bytes, torn={report.torn})"
                 )
-            time.sleep(interval)
+            attempt += 1
+            time.sleep(min(policy.delay(attempt, salt), remaining))
+
+    def promote(self, directory: str | Path) -> PromotionReport:
+        """Turn this caught-up replica into a writable leader rooted at
+        ``directory``.
+
+        Promotion refuses unless the replica holds the **entire**
+        verified journal tail the dead leader shipped (a torn trailing
+        record was never acknowledged to any client, so discarding it
+        is safe), and refuses a stalled replica outright — promoting a
+        poisoned prefix would silently drop acknowledged writes.  On
+        success the replica's database gets a fresh journal at an epoch
+        **past** the old leader's and is snapshotted into ``directory``
+        — so any sibling replica re-pointed at the new leader sees the
+        epoch change and resyncs from the new snapshot.  The promoted
+        database keeps every contract's local id, which keeps every
+        *global* id stable across the coordinator's failover
+        (invariant 15).
+        """
+        from ..broker.persist import save_database
+
+        if self.promoted:
+            raise DistError("replica is already promoted")
+        directory = Path(directory)
+        if directory.resolve() == self.leader_dir.resolve():
+            raise DistError(
+                "promote into a fresh directory, not the dead leader's "
+                f"({self.leader_dir}): its journal must stay intact as "
+                "the replication source of record"
+            )
+        report = self.poll()
+        if self.stalled:
+            raise DistError(
+                "a stalled replica holds only a prefix of the leader's "
+                "acknowledged state and cannot be promoted (record "
+                f"seq={self._stalled_seq} failed to apply)"
+            )
+        if report.lag_records:
+            raise DistError(
+                f"replica lags {report.lag_records} verified record(s) "
+                "behind the shipped journal tail; catch_up() before "
+                "promoting"
+            )
+        new_epoch = max(self.cursor.epoch, 0) + 1
+        directory.mkdir(parents=True, exist_ok=True)
+        # save_database writes the snapshot, bumps the journal to
+        # epoch+1 and compacts — so open the journal one epoch early
+        # and let the save land exactly on new_epoch
+        journal = Journal.open(
+            directory / JOURNAL_FILE, epoch=new_epoch - 1,
+            config=self._db.config,
+        )
+        self._db.attach_journal(journal)
+        self._db.dirty = True
+        save_database(self._db, directory)
+        self.promoted = True
+        self.metrics.inc("dist.replica.promotions")
+        return PromotionReport(
+            directory=str(directory),
+            epoch=journal.epoch,
+            contracts=len(self._db),
+            applied=report.applied,
+        )
 
     def _resync(self, report: PollReport) -> None:
         """Rebuild from the leader's snapshot, then position the cursor

@@ -24,6 +24,7 @@ from pathlib import Path
 
 from ..broker.database import BrokerConfig, ContractDatabase
 from ..broker.journal import JOURNAL_FILE, open_database
+from ..core import faults
 from ..errors import DistError, ProtocolError, ReproError
 from . import protocol
 
@@ -39,7 +40,11 @@ class ShardServer:
     """A broker shard serving the wire protocol.
 
     ``directory`` roots a journaled database (crash-safe, replicatable);
-    without one the shard is memory-only.  ``start()`` binds a loopback
+    without one the shard is memory-only.  ``db`` serves an existing
+    database instead of opening one — the failover path: a promoted
+    replica's database goes straight behind a fresh socket without a
+    reload (``directory`` then defaults to the attached journal's, so
+    ``save``/``status`` keep working).  ``start()`` binds a loopback
     socket and serves from daemon threads; :meth:`handle_request` is
     also directly callable, so in-process callers (tests, the
     conformance runner) can skip the socket without skipping the
@@ -49,10 +54,20 @@ class ShardServer:
     def __init__(self, shard_id: int, *,
                  directory: str | Path | None = None,
                  config: BrokerConfig | None = None,
+                 db: ContractDatabase | None = None,
                  host: str = "127.0.0.1", port: int = 0):
         self.shard_id = shard_id
         self.directory = Path(directory) if directory is not None else None
-        if self.directory is not None:
+        if db is not None:
+            if config is not None:
+                raise DistError(
+                    "pass either a pre-built db or a config to build "
+                    "one with, not both"
+                )
+            self.db = db
+            if self.directory is None and db.journal is not None:
+                self.directory = Path(db.journal.path).parent
+        elif self.directory is not None:
             self.db = open_database(self.directory, config)
         else:
             self.db = ContractDatabase(config)
@@ -121,11 +136,8 @@ class ShardServer:
         options = protocol.options_from_doc(doc)
         queries = list(doc["queries"])
         outcomes = self.db.query_many(queries, options)
-        id_to_name = self._id_to_name()
-        return {"outcomes": [
-            protocol.outcome_to_doc(outcome, id_to_name)
-            for outcome in outcomes
-        ]}
+        payload = protocol.outcomes_doc(outcomes, self._id_to_name())
+        return {"outcomes": payload["outcomes"]}
 
     def _op_ingest(self, doc: dict) -> dict:
         report = self.db.ingest(list(doc["events"]))
@@ -258,6 +270,7 @@ class ShardClient:
         self.host = host
         self.port = port
         try:
+            faults.hit("dist.connect", host=host, port=port, client="sync")
             self._sock = socket.create_connection((host, port),
                                                   timeout=timeout)
         except OSError as exc:
@@ -267,7 +280,9 @@ class ShardClient:
 
     def request(self, doc: dict) -> dict:
         try:
+            faults.hit("dist.send", op=doc.get("op"), client="sync")
             protocol.send_frame(self._sock, doc)
+            faults.hit("dist.recv", op=doc.get("op"), client="sync")
             response = protocol.recv_frame(self._sock)
         except OSError as exc:
             raise DistError(

@@ -98,6 +98,15 @@ class ProtocolError(DistError):
     response that does not match the request."""
 
 
+class RetryableDistError(DistError):
+    """A *transient* transport failure on a non-idempotent operation
+    (``register``/``deregister``): the coordinator will not retry
+    automatically — the op may or may not have been applied on the
+    shard — but the caller may safely retry after verifying state
+    (e.g. via ``status``; a duplicate ``register`` is rejected by
+    name, so a blind retry is detected rather than double-applied)."""
+
+
 class JournalError(BrokerError):
     """Raised on write-ahead-journal failures that must not be silently
     degraded: an append whose payload cannot be serialized, a journal

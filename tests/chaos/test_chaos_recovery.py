@@ -17,19 +17,31 @@ class TestDrills:
         assert [r.name for r in report.results] == [
             "persist-crash", "journal-truncation",
             "replication-truncation", "quarantine",
+            "dist-flap", "dist-partition", "dist-failover",
         ]
         for result in report.results:
             assert result.ok, result.describe()
             assert result.checks > 0
             assert "PASS" in result.describe()
-        assert "4/4 drill(s) passed" in report.summary()
+        assert "7/7 drill(s) passed" in report.summary()
 
     def test_report_round_trips_as_json(self):
         report = run_chaos_drills(mutations=4, stride=32)
         doc = json.loads(json.dumps(report.to_dict()))
         assert doc["ok"] is True
-        assert len(doc["drills"]) == 4
+        assert len(doc["drills"]) == 7
         assert all(d["checks"] > 0 for d in doc["drills"])
+
+    def test_drill_selection_runs_only_the_named_drills(self):
+        report = run_chaos_drills(drills=["dist-flap", "quarantine"])
+        assert [r.name for r in report.results] == [
+            "dist-flap", "quarantine",
+        ]
+        assert report.ok, report.summary()
+
+    def test_unknown_drill_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown drill"):
+            run_chaos_drills(drills=["no-such-drill"])
 
 
 class TestCLI:
@@ -40,7 +52,21 @@ class TestCLI:
         assert "journal-truncation" in out
         assert "replication-truncation" in out
         assert "quarantine" in out
+        assert "dist-flap" in out
+        assert "dist-partition" in out
+        assert "dist-failover" in out
         assert "FAIL" not in out
+
+    def test_chaos_command_drill_selection(self, capsys):
+        assert main(["chaos", "--drills", "dist-failover"]) == 0
+        out = capsys.readouterr().out
+        assert "dist-failover" in out
+        assert "persist-crash" not in out
+        assert "1/1 drill(s) passed" in out
+
+    def test_chaos_command_rejects_unknown_drill(self, capsys):
+        assert main(["chaos", "--drills", "nope"]) == 1
+        assert "unknown drill" in capsys.readouterr().err
 
     def test_chaos_command_json(self, capsys):
         assert main(

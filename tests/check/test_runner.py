@@ -22,7 +22,7 @@ from repro.errors import ReproError
 class TestLattice:
     def test_lattice_shape(self):
         lattice = config_lattice()
-        assert len(lattice) == 21
+        assert len(lattice) == 23
         names = [c.name for c in lattice]
         assert len(set(names)) == len(names)
         assert "journal-replay" in names
@@ -30,6 +30,7 @@ class TestLattice:
         assert "ndfs-planner" in names and "scc-planner" in names
         assert "monitor-stream" in names and "monitor-unknown" in names
         assert "sharded" in names and "replicated" in names
+        assert "flaky-network" in names and "failover" in names
         assert sum(1 for c in lattice if not c.exact) == 1
 
     def test_configs_by_name_rejects_unknown(self):
@@ -49,7 +50,7 @@ class TestCleanRun:
         report = runner.run()
         assert report.ok
         assert report.cases_run + report.cases_skipped == 12
-        assert report.configs_run == report.cases_run * 21
+        assert report.configs_run == report.cases_run * 23
         assert list(tmp_path.iterdir()) == []
         assert runner.metrics.counter_value("check.cases") == report.cases_run
         assert runner.metrics.counter_value("check.disagreements") == 0

@@ -1,0 +1,122 @@
+"""The shared capped-exponential backoff policy (repro.core.retry).
+
+Three retry loops lean on this module — the registration pool, the
+coordinator's shard RPCs, and replica catch-up — so the schedule's
+shape (doubling, cap, deterministic jitter) and the deadline discipline
+of :func:`retry_call` are pinned here once for all of them.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.retry import BackoffPolicy, retry_call
+
+
+class TestBackoffPolicy:
+    def test_delays_double_then_cap(self):
+        policy = BackoffPolicy(base_seconds=0.1, cap_seconds=0.4, jitter=0.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4, 5)] == [
+            0.1, 0.2, 0.4, 0.4, 0.4,
+        ]
+
+    def test_jitter_only_shortens_within_its_fraction(self):
+        policy = BackoffPolicy(base_seconds=0.1, cap_seconds=1.0, jitter=0.25)
+        for attempt in range(1, 6):
+            raw = min(0.1 * 2 ** (attempt - 1), 1.0)
+            got = policy.delay(attempt, salt="s")
+            assert raw * 0.75 <= got <= raw
+
+    def test_jitter_is_deterministic_per_salt_and_attempt(self):
+        policy = BackoffPolicy()
+        assert policy.delay(1, salt="a") == policy.delay(1, salt="a")
+        # distinct salts desynchronize (no thundering herd)
+        assert policy.delay(1, salt="a") != policy.delay(1, salt="b")
+
+    def test_delays_generator_matches_indexed_delay(self):
+        policy = BackoffPolicy(base_seconds=0.01, cap_seconds=0.08)
+        stream = list(itertools.islice(policy.delays(salt="x"), 6))
+        assert stream == [policy.delay(n, salt="x") for n in range(1, 7)]
+
+    def test_zero_base_stays_zero(self):
+        policy = BackoffPolicy(base_seconds=0.0, cap_seconds=1.0)
+        assert policy.delay(3, salt="s") == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"base_seconds": -0.1},
+        {"cap_seconds": -1.0},
+        {"jitter": -0.1},
+        {"jitter": 1.5},
+    ])
+    def test_invalid_policies_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            BackoffPolicy().delay(0)
+
+
+class TestRetryCall:
+    def _flaky(self, failures, exc=OSError("boom")):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc
+            return calls["n"]
+
+        return fn, calls
+
+    def test_transient_failures_are_absorbed(self):
+        fn, calls = self._flaky(2)
+        slept = []
+        policy = BackoffPolicy(max_retries=2, base_seconds=0.01, jitter=0.0)
+        result = retry_call(fn, policy=policy, sleep=slept.append)
+        assert result == 3
+        assert calls["n"] == 3
+        assert slept == [0.01, 0.02]
+
+    def test_budget_exhaustion_reraises_the_last_failure(self):
+        fn, calls = self._flaky(5, exc=OSError("still down"))
+        policy = BackoffPolicy(max_retries=2, base_seconds=0.0)
+        with pytest.raises(OSError, match="still down"):
+            retry_call(fn, policy=policy, sleep=lambda _: None)
+        assert calls["n"] == 3  # first call + two retries
+
+    def test_unlisted_exceptions_pass_straight_through(self):
+        def fn():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retry_call(
+                fn, policy=BackoffPolicy(), retry_on=(OSError,),
+                sleep=lambda _: None,
+            )
+
+    def test_deadline_is_never_outlived(self):
+        # the backoff sleep would cross the deadline → no sleep, re-raise
+        fn, calls = self._flaky(5)
+        clock = {"now": 10.0}
+        slept = []
+        policy = BackoffPolicy(max_retries=3, base_seconds=0.5, jitter=0.0)
+        with pytest.raises(OSError):
+            retry_call(
+                fn, policy=policy, deadline=10.2,
+                clock=lambda: clock["now"], sleep=slept.append,
+            )
+        assert calls["n"] == 1
+        assert slept == []
+
+    def test_on_retry_observes_each_attempt(self):
+        fn, _ = self._flaky(2)
+        seen = []
+        retry_call(
+            fn,
+            policy=BackoffPolicy(max_retries=2, base_seconds=0.0),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert seen == [(1, "boom"), (2, "boom")]

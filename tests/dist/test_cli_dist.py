@@ -50,7 +50,7 @@ class TestShardStatus:
             out = capsys.readouterr().out
             assert "1 contract(s), memory-only" in out
             assert "contracts: alpha" in out
-            assert "1 shard(s), 1 contract(s) total" in out
+            assert "1/1 shard(s) up, 1 contract(s) total" in out
 
             assert main([
                 "shard-status", "--address", f"{host}:{port}", "--json",
@@ -80,6 +80,95 @@ class TestShardStatus:
         assert main(["shard-status", "--address", "nope"]) == 1
         assert "expected HOST:PORT" in capsys.readouterr().err
 
-    def test_status_unreachable_shard_fails_cleanly(self, capsys):
-        assert main(["shard-status", "--address", "127.0.0.1:1"]) == 1
-        assert "cannot reach" in capsys.readouterr().err
+    def test_status_dead_shard_is_a_finding_not_a_failure(self, capsys):
+        # one dead shard must not fail the whole invocation: exit 0,
+        # the shard marked down with the transport error attached
+        assert main(["shard-status", "--address", "127.0.0.1:1"]) == 0
+        out = capsys.readouterr().out
+        assert "down (" in out
+        assert "0/1 shard(s) up, 0 contract(s) total" in out
+
+    def test_status_json_carries_the_down_error(self, capsys):
+        assert main([
+            "shard-status", "--address", "127.0.0.1:1", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        (shard,) = doc["shards"]
+        assert shard["up"] is False
+        assert "cannot reach" in shard["error"]
+        assert shard["contracts"] is None
+
+    def test_status_mixed_live_and_dead_shards(self, capsys):
+        server = ShardServer(0).start()
+        try:
+            host, port = server.address
+            assert main([
+                "shard-status",
+                "--address", f"{host}:{port}",
+                "--address", "127.0.0.1:1",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "1/2 shard(s) up" in out
+            assert "down (" in out
+        finally:
+            server.stop()
+
+    def test_status_health_summary(self, capsys):
+        server = ShardServer(0).start()
+        try:
+            host, port = server.address
+            assert main([
+                "shard-status", "--health",
+                "--address", f"{host}:{port}",
+                "--address", "127.0.0.1:1",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "up, 0 contract(s)" in out
+            assert "down (" in out
+            assert "1/2 shard(s) up" in out
+        finally:
+            server.stop()
+
+
+class TestPromoteCli:
+    def _journaled_leader(self, tmp_path):
+        from repro.broker.journal import open_database
+
+        leader_dir = tmp_path / "leader"
+        db = open_database(leader_dir)
+        db.register("alpha", ["F a"], {})
+        db.register("beta", ["G !a"], {})
+        return leader_dir
+
+    def test_promote_writes_a_new_leader(self, tmp_path, capsys):
+        from repro.broker.persist import load_database
+
+        leader_dir = self._journaled_leader(tmp_path)
+        promoted = tmp_path / "promoted"
+        assert main([
+            "promote", str(leader_dir), str(promoted),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "promoted into" in out
+        assert "journal epoch 1" in out
+        recovered = load_database(promoted)
+        assert sorted(c.name for c in recovered.contracts()) == [
+            "alpha", "beta",
+        ]
+
+    def test_promote_json_report(self, tmp_path, capsys):
+        leader_dir = self._journaled_leader(tmp_path)
+        assert main([
+            "promote", str(leader_dir), str(tmp_path / "promoted"),
+            "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["epoch"] == 1
+        assert doc["contracts"] == 2
+
+    def test_promote_refuses_the_leader_directory(self, tmp_path, capsys):
+        leader_dir = self._journaled_leader(tmp_path)
+        assert main([
+            "promote", str(leader_dir), str(leader_dir),
+        ]) == 1
+        assert "fresh directory" in capsys.readouterr().err

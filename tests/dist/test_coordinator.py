@@ -22,7 +22,7 @@ from repro.dist import (
     RoutedContract,
 )
 from repro.dist.coordinator import RPC_GRACE_SECONDS
-from repro.errors import DistError
+from repro.errors import DistError, QueryBudgetError
 
 SPECS = [
     (f"contract-{i}", ["G (a -> F b)"] if i % 2 else ["G !a"], {"price": i * 100})
@@ -178,9 +178,11 @@ class TestDegradedMerge:
             cluster.stop()
 
     def test_dead_shard_with_fail_policy_raises(self):
+        # a failed shard under Degradation.FAIL is the same typed
+        # refusal a single node gives an exhausted budget
         cluster, db, _ = self._cluster_with_dead_shard()
         try:
-            with pytest.raises(DistError):
+            with pytest.raises(QueryBudgetError):
                 db.query("F a", QueryOptions(degradation=Degradation.FAIL))
         finally:
             db.close()
@@ -293,7 +295,7 @@ class TestDeadlinePropagation:
         coordinator._by_name["alpha"] = 1
         calls = []
 
-        async def fake_call(shard, doc, *, timeout=None):
+        async def fake_call(shard, doc, *, timeout=None, deadline=None):
             calls.append((shard, doc, timeout))
             return {"ok": True, "outcomes": [{"verdicts": {}, "stats": {}}]}
 
